@@ -1,0 +1,41 @@
+// Estimator ablation: CVaR tail fraction alpha inside the VQE loop.
+// Folding-VQE literature (Robert et al. 2021) recommends small alpha —
+// for a diagonal Hamiltonian the goal is one good bitstring, not a good
+// average — with alpha = 1 recovering the plain mean estimator.
+#include "bench_util.h"
+#include "lattice/solver.h"
+#include "vqe/vqe.h"
+
+int main() {
+  using namespace qdb;
+  bench::header("Ablation - CVaR tail fraction alpha in the VQE estimator");
+
+  Table t({"PDB", "alpha", "Best estimate", "Sampled E_min", "Gap to exact"});
+  for (const char* id : {"2bok", "1gx8"}) {
+    const DatasetEntry& entry = entry_by_id(id);
+    const FoldingHamiltonian h = entry_hamiltonian(entry);
+    const double exact = ExactSolver().solve(h).energy;
+
+    for (double alpha : {0.02, 0.05, 0.1, 0.25, 1.0}) {
+      VqeOptions opt;
+      opt.cvar_alpha = alpha;
+      opt.seed = 19;
+      opt.run_id = entry.pdb_id;
+      opt.max_evaluations = 70;
+      opt.shots_per_eval = 256;
+      opt.final_shots = 6000;
+      opt.refine_bitstring = false;
+      const VqeResult r = VqeDriver(h, opt).run();
+      t.add_row({id, format_fixed(alpha, 2), format_fixed(r.best_cvar, 2),
+                 format_fixed(r.sampled_min_energy, 2),
+                 format_fixed(r.sampled_min_energy - exact, 2)});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("shape: the optimised estimate tracks alpha directly (smaller tail =\n"
+              "lower estimate), while the stage-2 sampled minimum is robust across\n"
+              "alpha at this shot count — heavy sampling of a diagonal Hamiltonian\n"
+              "forgives a mediocre mean, exactly the argument for CVaR-style\n"
+              "objectives in folding VQE.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation for the 5.2 noise-robustness claim: VQE solution quality as the
+// Eagle noise model is scaled from ideal (0x) to 4x.  The paper argues
+// utility-level noise acts as a stochastic perturbation that barely hurts
+// (and can help escape local minima) because CVaR-style sampling only needs
+// good bitstrings, not good averages.
+#include "bench_util.h"
+#include "lattice/solver.h"
+#include "vqe/vqe.h"
+
+int main() {
+  using namespace qdb;
+  bench::header("Ablation (paper 5.2) - VQE quality vs hardware noise level");
+
+  const char* ids[] = {"2bok", "1e2l", "5cxa"};
+  Table t({"PDB", "Noise scale", "Min estimate", "Sampled E_min", "Gap to exact",
+           "Hit optimum"});
+  for (const char* id : ids) {
+    const DatasetEntry& entry = entry_by_id(id);
+    const FoldingHamiltonian h = entry_hamiltonian(entry);
+    const double exact = ExactSolver().solve(h).energy;
+
+    for (double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+      VqeOptions opt;
+      opt.noise = NoiseModel::eagle_r3().scaled(scale);
+      opt.seed = 7;
+      opt.run_id = entry.pdb_id;
+      opt.max_evaluations = 70;
+      opt.shots_per_eval = 256;
+      opt.final_shots = 6000;
+      opt.refine_bitstring = false;  // isolate the quantum stage
+      const VqeResult r = VqeDriver(h, opt).run();
+      t.add_row({id, format_fixed(scale, 1), format_fixed(r.lowest_energy, 2),
+                 format_fixed(r.sampled_min_energy, 2),
+                 format_fixed(r.sampled_min_energy - exact, 2),
+                 r.sampled_min_energy - exact < 1.0 ? "yes" : "no"});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("paper claim (5.2): moderate noise acts as a stochastic perturbation\n"
+              "that helps escape local minima — the sampled minimum stays near (or\n"
+              "even improves toward) the exact optimum as noise broadens the measured\n"
+              "ensemble, while only the estimate stability degrades.\n");
+  return 0;
+}

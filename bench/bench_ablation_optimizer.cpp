@@ -1,0 +1,58 @@
+// Optimizer ablation: COBYLA (the paper's choice) against Nelder-Mead, SPSA
+// and random search on the same CVaR-VQE objective and budget.
+#include "bench_util.h"
+#include "lattice/solver.h"
+#include "optimize/cobyla.h"
+#include "optimize/nelder_mead.h"
+#include "optimize/random_search.h"
+#include "optimize/spsa.h"
+#include "quantum/ansatz.h"
+#include "quantum/statevector.h"
+#include "vqe/vqe.h"
+
+int main() {
+  using namespace qdb;
+  bench::header("Ablation - classical optimizer choice inside the VQE loop");
+
+  const DatasetEntry& entry = entry_by_id("2bok");
+  const FoldingHamiltonian h = entry_hamiltonian(entry);
+  const double exact = ExactSolver().solve(h).energy;
+  std::printf("fragment %s: %d qubits, exact ground energy %.3f\n\n", entry.pdb_id,
+              h.num_qubits(), exact);
+
+  const EfficientSU2 ansatz(h.num_qubits(), 2);
+  const NoiseModel noise = NoiseModel::eagle_r3();
+
+  auto make_objective = [&](Rng& rng) {
+    return [&](const std::vector<double>& params) {
+      const Circuit noisy = noise_trajectory(ansatz.build(params), noise, rng);
+      Statevector sv(h.num_qubits());
+      sv.apply(noisy);
+      auto shots = sv.sample(256, rng);
+      apply_readout_error(shots, h.num_qubits(), noise, rng);
+      std::vector<double> energies(shots.size());
+      for (std::size_t i = 0; i < shots.size(); ++i) energies[i] = h.energy(shots[i]);
+      return VqeDriver::cvar(std::move(energies), 0.1);
+    };
+  };
+
+  Table t({"Optimizer", "Best CVaR", "Gap to exact", "Evaluations"});
+  const Cobyla cobyla;
+  const NelderMead nm;
+  const Spsa spsa;
+  const RandomSearch rs;
+  const Optimizer* optimizers[] = {&cobyla, &nm, &spsa, &rs};
+  for (const Optimizer* opt : optimizers) {
+    Rng rng(11);
+    Rng init_rng(22);
+    const auto x0 = ansatz.initial_point(init_rng, 0.25);
+    const auto objective = make_objective(rng);
+    const OptimResult r = opt->minimize(objective, x0, 150);
+    t.add_row({opt->name(), format_fixed(r.fx, 2), format_fixed(r.fx - exact, 2),
+               format("%d", r.evaluations)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("the paper uses COBYLA; this ablation shows how the alternatives fare\n"
+              "under the identical shot-noise budget.\n");
+  return 0;
+}

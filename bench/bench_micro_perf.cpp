@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// statevector gate application, MPS circuit simulation and sampling,
+// Hamiltonian energy evaluation, exact solving, Vina scoring, and docking.
+#include <benchmark/benchmark.h>
+
+#include "core/qdockbank.h"
+#include "quantum/ansatz.h"
+#include "quantum/mps.h"
+#include "quantum/statevector.h"
+
+namespace {
+
+using namespace qdb;
+
+void BM_StatevectorGates(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  Statevector sv(nq);
+  Circuit c(nq);
+  for (int q = 0; q < nq; ++q) c.ry(0.3, q);
+  for (int q = 0; q + 1 < nq; ++q) c.cx(q, q + 1);
+  for (auto _ : state) {
+    sv.apply(c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(c.size()));
+}
+BENCHMARK(BM_StatevectorGates)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_MpsAnsatzApply(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  const EfficientSU2 ansatz(nq, 2);
+  Rng rng(1);
+  const auto params = ansatz.initial_point(rng, 0.5);
+  const Circuit c = ansatz.build(params);
+  for (auto _ : state) {
+    MpsSimulator mps(nq);
+    mps.apply(c);
+    benchmark::DoNotOptimize(mps.max_bond_reached());
+  }
+}
+BENCHMARK(BM_MpsAnsatzApply)->Arg(10)->Arg(22)->Arg(40);
+
+void BM_MpsSampling(benchmark::State& state) {
+  const int nq = 22;  // L-group register
+  const EfficientSU2 ansatz(nq, 2);
+  Rng rng(1);
+  MpsSimulator mps(nq);
+  mps.apply(ansatz.build(ansatz.initial_point(rng, 0.5)));
+  for (auto _ : state) {
+    auto shots = mps.sample(static_cast<std::size_t>(state.range(0)), rng);
+    benchmark::DoNotOptimize(shots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MpsSampling)->Arg(256)->Arg(4096);
+
+void BM_HamiltonianEnergy(benchmark::State& state) {
+  const DatasetEntry& e = entry_by_id("4jpy");  // 14 residues
+  const FoldingHamiltonian h = entry_hamiltonian(e);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.energy(x));
+    x = (x + 0x9e3779b9ULL) & ((1ULL << 22) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HamiltonianEnergy);
+
+void BM_ExactSolver(benchmark::State& state) {
+  const DatasetEntry& e = entry_by_id(state.range(0) == 0 ? "2bok" : "4jpy");
+  const FoldingHamiltonian h = entry_hamiltonian(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSolver().solve(h).energy);
+  }
+}
+BENCHMARK(BM_ExactSolver)->Arg(0)->Arg(1);
+
+void BM_VinaScoring(benchmark::State& state) {
+  Pipeline pipeline;
+  const DatasetEntry& e = entry_by_id("2bok");
+  const Structure& receptor = pipeline.reference(e);
+  const Ligand& lig = pipeline.ligand(e);
+  const ReceptorGrid grid(type_receptor(receptor), 8.0);
+  const auto coords = lig.conformation(lig.neutral_pose());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intermolecular_energy(grid, lig, coords));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VinaScoring);
+
+void BM_DockingRun(benchmark::State& state) {
+  Pipeline pipeline;
+  const DatasetEntry& e = entry_by_id("3ckz");
+  const Structure& receptor = pipeline.reference(e);
+  const Ligand& lig = pipeline.ligand(e);
+  DockingParams params;
+  params.num_runs = 1;
+  params.mc_steps = 300;
+  for (auto _ : state) {
+    params.seed++;
+    benchmark::DoNotOptimize(dock(receptor, lig, params).best_affinity);
+  }
+}
+BENCHMARK(BM_DockingRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

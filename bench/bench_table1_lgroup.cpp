@@ -1,0 +1,8 @@
+// Reproduces Table 1: L-group fragments (13-14 residues) — per-fragment
+// qubits, transpiled depth, VQE energy statistics and execution time.
+#include "bench_util.h"
+
+int main() {
+  qdb::bench::run_group_table(qdb::Group::L, "Table 1");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Table 2: M-group fragments (9-12 residues) — per-fragment
+// qubits, transpiled depth, VQE energy statistics and execution time.
+#include "bench_util.h"
+
+int main() {
+  qdb::bench::run_group_table(qdb::Group::M, "Table 2");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Table 3: S-group fragments (5-8 residues) — per-fragment
+// qubits, transpiled depth, VQE energy statistics and execution time.
+#include "bench_util.h"
+
+int main() {
+  qdb::bench::run_group_table(qdb::Group::S, "Table 3");
+  return 0;
+}

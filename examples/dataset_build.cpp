@@ -1,0 +1,49 @@
+// Build a distributable QDockBank dataset tree (the paper's 4.2 layout):
+//
+//   <root>/<S|M|L>/<pdb_id>/structure.pdb
+//   <root>/<S|M|L>/<pdb_id>/metadata.json
+//   <root>/<S|M|L>/<pdb_id>/docking.json
+//
+//   ./dataset_build [root] [group|all]    (defaults: ./qdockbank_dataset S)
+//
+// Building only the S group by default keeps the example quick; pass "all"
+// (ideally with QDB_FULL=1) to regenerate the full 55-entry dataset.
+#include <cstdio>
+#include <string>
+
+#include "core/qdockbank.h"
+
+int main(int argc, char** argv) {
+  using namespace qdb;
+  const std::string root = argc > 1 ? argv[1] : "./qdockbank_dataset";
+  const std::string which = argc > 2 ? argv[2] : "S";
+
+  Pipeline pipeline;
+
+  std::vector<const DatasetEntry*> entries;
+  if (which == "all") {
+    for (const DatasetEntry& e : qdockbank_entries()) entries.push_back(&e);
+  } else {
+    const Group g = which == "L" ? Group::L : which == "M" ? Group::M : Group::S;
+    entries = entries_in_group(g);
+  }
+
+  std::printf("Building %zu entries into %s ...\n\n", entries.size(), root.c_str());
+  double rmsd_sum = 0.0, affinity_sum = 0.0;
+  for (const DatasetEntry* e : entries) {
+    const Prediction pred = pipeline.predict(*e, Method::QDock);
+    const DockingResult docking = pipeline.dock_prediction(*e, pred);
+    const double rmsd = ca_rmsd(pred.structure, pipeline.reference(*e));
+    write_entry_files(root, *e, pred.structure, *pred.vqe, docking, rmsd);
+    std::printf("  %s/%-6s rmsd %.3f A  affinity %.3f kcal/mol  (%s)\n",
+                group_name(e->group()), e->pdb_id, rmsd, docking.best_affinity,
+                entry_directory(root, *e).c_str());
+    rmsd_sum += rmsd;
+    affinity_sum += docking.best_affinity;
+  }
+  std::printf("\nDone: mean RMSD %.3f A, mean best affinity %.3f kcal/mol over %zu entries.\n",
+              rmsd_sum / static_cast<double>(entries.size()),
+              affinity_sum / static_cast<double>(entries.size()), entries.size());
+  std::printf("Each entry folder holds structure.pdb, metadata.json, docking.json.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// End-to-end walkthrough of the paper's Figure 1 workflow on one fragment,
+// exercising each public API layer explicitly:
+//
+//   sequence -> lattice Hamiltonian -> VQE (simulated Eagle) ->
+//   bitstring -> conformation -> full-atom reconstruction -> protonation ->
+//   PDB / PDBQT files -> docking -> metrics
+//
+//   ./fold_and_dock [pdb_id] [output_dir]     (defaults: 4jpy ./fold_out)
+#include <cstdio>
+
+#include "baseline/classical.h"
+#include "core/qdockbank.h"
+#include "structure/protonate.h"
+#include "structure/reconstruct.h"
+
+int main(int argc, char** argv) {
+  using namespace qdb;
+  const std::string id = argc > 1 ? argv[1] : "4jpy";
+  const std::string out_dir = argc > 2 ? argv[2] : "./fold_out";
+
+  const DatasetEntry& entry = entry_by_id(id);
+  std::printf("== 1. Fragment ==\n%s: \"%s\" (%d residues, %s group)\n\n", entry.pdb_id,
+              entry.sequence, entry.length(), group_name(entry.group()));
+
+  // -- The folding Hamiltonian on the tetrahedral lattice (paper 4.3.1).
+  const FoldingHamiltonian h = entry_hamiltonian(entry);
+  std::printf("== 2. Hamiltonian ==\nqubits (compact turn encoding): %d\n", h.num_qubits());
+  std::printf("contact-eligible residue pairs: %d\n\n", h.contact_pair_count());
+
+  // -- VQE with CVaR + COBYLA on the simulated noisy backend (paper 4.3.2).
+  VqeOptions vopt;
+  vopt.seed = 42;
+  vopt.run_id = entry.pdb_id;
+  const VqeResult vqe = VqeDriver(h, vopt).run();
+  std::printf("== 3. VQE ==\nbest CVaR estimate: %.3f after %d evaluations\n", vqe.best_cvar,
+              vqe.evaluations);
+  std::printf("stage-2 sampled energies: [%.3f, %.3f]\n", vqe.lowest_energy,
+              vqe.highest_energy);
+  std::printf("refined conformation energy: %.3f\n", vqe.best_energy);
+
+  // Compare against the certified optimum.
+  const SolveResult exact = ExactSolver().solve(h);
+  std::printf("certified ground state energy: %.3f (VQE gap: %.3f)\n\n", exact.energy,
+              vqe.best_energy - exact.energy);
+
+  // -- Reconstruction to a docking-ready full-atom fragment (paper 4.3.3).
+  const auto turns = decode_turns(vqe.best_bitstring, entry.length());
+  Structure predicted = structure_from_turns(h, turns, entry.pdb_id, entry.residue_start);
+  std::printf("== 4. Reconstruction ==\n%d residues, %zu atoms (with polar hydrogens)\n",
+              predicted.num_residues(), predicted.num_atoms());
+
+  write_pdb_file(predicted, out_dir + "/" + id + "_qdock.pdb");
+  write_pdbqt_file(predicted, out_dir + "/" + id + "_qdock.pdbqt");
+  std::printf("wrote %s/%s_qdock.pdb and .pdbqt\n\n", out_dir.c_str(), id.c_str());
+
+  // -- Docking against the entry's imprinted ligand (paper 4.2 protocol).
+  Pipeline pipeline;
+  const Ligand& lig = pipeline.ligand(entry);
+  std::printf("== 5. Docking ==\nligand %s: %d atoms, %d rotatable bonds\n",
+              lig.name().c_str(), lig.num_atoms(), lig.num_torsions());
+
+  Prediction pred;
+  pred.method = Method::QDock;
+  pred.structure = predicted;
+  const DockingResult docking = pipeline.dock_prediction(entry, pred);
+  std::printf("20-seed protocol: best %.3f kcal/mol, mean of run-bests %.3f\n",
+              docking.best_affinity, docking.mean_affinity);
+  std::printf("pose variability vs best pose: RMSD l.b. %.2f / u.b. %.2f A\n\n",
+              docking.rmsd_lb_mean, docking.rmsd_ub_mean);
+
+  // -- RMSD vs the reference (paper 6.1.1).
+  const double rmsd = ca_rmsd(predicted, pipeline.reference(entry));
+  std::printf("== 6. Structural accuracy ==\nCalpha RMSD vs reference: %.3f A\n", rmsd);
+  std::printf("(paper: QDock RMSD for 2qbs was 2.428 A vs AF3's 4.234 A)\n");
+  return 0;
+}

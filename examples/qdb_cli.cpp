@@ -1,0 +1,120 @@
+// qdb — command-line interface over the QDockBank library.
+//
+//   qdb list [S|M|L]               list dataset entries
+//   qdb info <pdb_id>              published Tables 1-3 metadata of an entry
+//   qdb predict <pdb_id> [method] [out.pdb]
+//                                  predict a fragment and optionally save it
+//   qdb evaluate <pdb_id> [method] RMSD + docking metrics for one entry
+//   qdb reference <pdb_id> <out.pdb>
+//                                  write the reference structure
+//
+// Methods: qdock (default), af2, af3, annealing, greedy, exact.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "core/qdockbank.h"
+#include "structure/pdb.h"
+
+namespace {
+
+using namespace qdb;
+
+Method parse_method(const std::string& s) {
+  if (s == "qdock") return Method::QDock;
+  if (s == "af2") return Method::AF2;
+  if (s == "af3") return Method::AF3;
+  if (s == "annealing") return Method::Annealing;
+  if (s == "greedy") return Method::Greedy;
+  if (s == "exact") return Method::Exact;
+  throw Error("unknown method '" + s + "' (try qdock|af2|af3|annealing|greedy|exact)");
+}
+
+int cmd_list(int argc, char** argv) {
+  std::printf("%-6s %-5s %-16s %-9s %s\n", "PDB", "Group", "Sequence", "Residues", "Qubits");
+  for (const DatasetEntry& e : qdockbank_entries()) {
+    if (argc > 2 && std::string(argv[2]) != group_name(e.group())) continue;
+    std::printf("%-6s %-5s %-16s %4d-%-4d %d\n", e.pdb_id, group_name(e.group()),
+                e.sequence, e.residue_start, e.residue_end, e.qubits);
+  }
+  return 0;
+}
+
+int cmd_info(const char* id) {
+  const DatasetEntry& e = entry_by_id(id);
+  std::printf("%s (%s group)\n", e.pdb_id, group_name(e.group()));
+  std::printf("  sequence        %s (%d residues, %d-%d)\n", e.sequence, e.length(),
+              e.residue_start, e.residue_end);
+  std::printf("  logical qubits  %d (compact turn encoding)\n", encoding_qubits(e.length()));
+  std::printf("published (paper Tables 1-3):\n");
+  std::printf("  allocated qubits %d, transpiled depth %d\n", e.qubits, e.depth);
+  std::printf("  energy min/max   %.3f / %.3f (range %.3f)\n", e.lowest_energy,
+              e.highest_energy, e.energy_range);
+  std::printf("  execution time   %.2f s\n", e.exec_time_s);
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  const DatasetEntry& e = entry_by_id(argv[2]);
+  const Method m = argc > 3 ? parse_method(argv[3]) : Method::QDock;
+  Pipeline pipeline;
+  const Prediction p = pipeline.predict(e, m);
+  std::printf("%s prediction of %s: %zu atoms, conformation energy %.3f\n",
+              method_name(m), e.pdb_id, p.structure.num_atoms(), p.conformation_energy);
+  if (p.vqe) {
+    std::printf("VQE: %d evaluations, lowest estimate %.3f, modeled exec %.0f s\n",
+                p.vqe->evaluations, p.vqe->lowest_energy, p.vqe->modeled_exec_time_s);
+  }
+  if (argc > 4) {
+    write_pdb_file(p.structure, argv[4]);
+    std::printf("wrote %s\n", argv[4]);
+  }
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  const DatasetEntry& e = entry_by_id(argv[2]);
+  const Method m = argc > 3 ? parse_method(argv[3]) : Method::QDock;
+  Pipeline pipeline;
+  const Evaluation ev = pipeline.evaluate(e, m);
+  std::printf("%s on %s:\n", method_name(m), e.pdb_id);
+  std::printf("  Calpha RMSD vs reference  %.3f A\n", ev.rmsd);
+  std::printf("  best docking affinity     %.3f kcal/mol\n", ev.affinity);
+  std::printf("  mean of run-best          %.3f kcal/mol\n", ev.mean_affinity);
+  std::printf("  pose RMSD l.b./u.b.       %.2f / %.2f A\n", ev.pose_rmsd_lb, ev.pose_rmsd_ub);
+  return 0;
+}
+
+int cmd_reference(char** argv) {
+  const DatasetEntry& e = entry_by_id(argv[2]);
+  const Structure ref = reference_structure(e);
+  write_pdb_file(ref, argv[3]);
+  std::printf("wrote reference structure of %s (%zu atoms) to %s\n", e.pdb_id,
+              ref.num_atoms(), argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: qdb list [S|M|L] | info <id> | predict <id> [method] [out.pdb] "
+                 "| evaluate <id> [method] | reference <id> <out.pdb>\n");
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "list") return cmd_list(argc, argv);
+    if (argc >= 3 && cmd == "info") return cmd_info(argv[2]);
+    if (argc >= 3 && cmd == "predict") return cmd_predict(argc, argv);
+    if (argc >= 3 && cmd == "evaluate") return cmd_evaluate(argc, argv);
+    if (argc >= 4 && cmd == "reference") return cmd_reference(argv);
+    std::fprintf(stderr, "qdb: bad arguments for '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "qdb: %s\n", ex.what());
+    return 1;
+  }
+}

@@ -1,0 +1,64 @@
+#include "baseline/classical.h"
+
+#include <limits>
+
+#include "structure/protonate.h"
+#include "structure/reconstruct.h"
+
+namespace qdb {
+
+Structure structure_from_turns(const FoldingHamiltonian& h, const std::vector<int>& turns,
+                               const std::string& id, int first_residue_number) {
+  std::vector<Vec3> trace;
+  for (const IVec3& p : walk_positions(turns)) trace.push_back(lattice_to_cartesian(p));
+  Structure s = reconstruct_backbone(trace, h.sequence(), id, first_residue_number);
+  s.id = id;
+  add_polar_hydrogens(s);
+  assign_partial_charges(s);
+  s.center_on_origin();
+  return s;
+}
+
+Structure AnnealingPredictor::predict(const FoldingHamiltonian& h, const std::string& id,
+                                      int first_residue_number) const {
+  const SolveResult r = AnnealingSolver(options).solve(h);
+  return structure_from_turns(h, r.turns, id, first_residue_number);
+}
+
+std::vector<int> GreedyPredictor::fold(const FoldingHamiltonian& h) const {
+  const int num_turns = h.length() - 1;
+  std::vector<int> turns;
+  turns.reserve(static_cast<std::size_t>(num_turns));
+  turns.push_back(0);
+  turns.push_back(1);
+  for (int k = 2; k < num_turns; ++k) {
+    int best_turn = 0;
+    double best_e = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < 4; ++t) {
+      // Score the partial chain as if it ended here: pad the remaining
+      // turns with a straight alternation (cheap filler the next steps
+      // overwrite anyway).
+      std::vector<int> trial = turns;
+      trial.push_back(t);
+      int filler = 0;
+      while (static_cast<int>(trial.size()) < num_turns) {
+        trial.push_back(trial.back() == filler ? (filler + 1) % 4 : filler);
+        filler = (filler + 1) % 4;
+      }
+      const double e = h.energy_of_turns(trial);
+      if (e < best_e) {
+        best_e = e;
+        best_turn = t;
+      }
+    }
+    turns.push_back(best_turn);
+  }
+  return turns;
+}
+
+Structure GreedyPredictor::predict(const FoldingHamiltonian& h, const std::string& id,
+                                   int first_residue_number) const {
+  return structure_from_turns(h, fold(h), id, first_residue_number);
+}
+
+}  // namespace qdb

@@ -1,0 +1,42 @@
+// Classical physics-based folding baselines.
+//
+// These share the exact Hamiltonian the quantum pipeline optimises, so they
+// isolate the optimizer: simulated annealing (the conventional classical
+// heuristic the paper contrasts with, §1) and a greedy chain-growth folder.
+// Both return reconstructed structures comparable to the VQE output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lattice/hamiltonian.h"
+#include "lattice/solver.h"
+#include "structure/molecule.h"
+
+namespace qdb {
+
+/// Build a full-atom structure from a turn sequence of `h`'s fragment
+/// (shared by every folding method).
+Structure structure_from_turns(const FoldingHamiltonian& h, const std::vector<int>& turns,
+                               const std::string& id, int first_residue_number = 1);
+
+/// Simulated-annealing folding baseline.
+struct AnnealingPredictor {
+  AnnealingSolver::Options options;
+
+  Structure predict(const FoldingHamiltonian& h, const std::string& id,
+                    int first_residue_number = 1) const;
+};
+
+/// Greedy chain growth: extends the walk one residue at a time, always
+/// picking the locally cheapest turn.  Fast, myopic — the weakest physics
+/// baseline.
+struct GreedyPredictor {
+  Structure predict(const FoldingHamiltonian& h, const std::string& id,
+                    int first_residue_number = 1) const;
+
+  /// The turn sequence the greedy growth chooses (exposed for tests).
+  std::vector<int> fold(const FoldingHamiltonian& h) const;
+};
+
+}  // namespace qdb

@@ -1,0 +1,38 @@
+// Error handling helpers.
+//
+// QDockBank throws qdb::Error for recoverable, user-visible failures (bad
+// input files, invalid sequences) and uses QDB_REQUIRE for programming-error
+// preconditions that indicate a bug in the caller.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qdb {
+
+/// Base exception for all QDockBank failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input data could not be parsed (PDB/JSON/sequence).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A precondition on a public API was violated.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : Error("precondition violated: " + what) {}
+};
+
+}  // namespace qdb
+
+/// Check a precondition on public-API input; throws qdb::PreconditionError.
+#define QDB_REQUIRE(cond, msg)                      \
+  do {                                              \
+    if (!(cond)) throw ::qdb::PreconditionError(msg); \
+  } while (0)

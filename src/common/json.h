@@ -1,0 +1,94 @@
+// Minimal JSON document model, writer, and parser.
+//
+// QDockBank stores per-entry prediction metadata and docking results as JSON
+// files (paper §4.2).  This is a small, dependency-free implementation that
+// covers the subset of JSON the dataset uses: objects with ordered keys,
+// arrays, strings, doubles, integers, booleans and null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qdb {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Object keys keep insertion order so emitted files are stable and diffable.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// A JSON value.  Numbers distinguish integers from doubles so qubit counts
+/// round-trip exactly while energies keep full precision.
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(int i) : type_(Type::Int), int_(i) {}
+  Json(std::int64_t i) : type_(Type::Int), int_(i) {}
+  Json(std::uint64_t i) : type_(Type::Int), int_(static_cast<std::int64_t>(i)) {}
+  Json(double d) : type_(Type::Double), double_(d) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::Array), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), object_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Accessors throw qdb::Error on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  // accepts Int too
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field access; throws if not an object or key missing.
+  const Json& at(std::string_view key) const;
+  /// True if this is an object containing key.
+  bool contains(std::string_view key) const;
+
+  /// Append to an array value.
+  void push_back(Json v);
+  /// Set (or overwrite) an object field, preserving insertion order.
+  void set(std::string key, Json v);
+
+  /// Serialise.  indent < 0 means compact single-line output.
+  std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document; throws qdb::ParseError on bad input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Write text to a file, creating parent directories; throws qdb::Error.
+void write_file(const std::string& path, const std::string& contents);
+/// Read a whole file; throws qdb::Error if unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace qdb

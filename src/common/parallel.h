@@ -1,0 +1,62 @@
+// OpenMP-backed parallel loop helpers.
+//
+// All fan-out in QDockBank (shot batches, docking runs, dataset entries,
+// enumeration subtrees) goes through these wrappers so the code reads the
+// same with or without OpenMP and stays correct on a single core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace qdb {
+
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel for over [0, n).  body must be safe to run concurrently for
+/// distinct indices.  Exceptions must not escape body when OpenMP is enabled.
+template <typename Body>
+void parallel_for(std::int64_t n, Body&& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// Parallel for with a static schedule and a caller-chosen chunk size; use
+/// for uniform, fine-grained work (e.g. amplitude loops).
+template <typename Body>
+void parallel_for_static(std::int64_t n, Body&& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// Parallel sum-reduction of body(i) over [0, n).
+template <typename Body>
+double parallel_reduce(std::int64_t n, Body&& body) {
+  double total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < n; ++i) total += body(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) total += body(i);
+#endif
+  return total;
+}
+
+}  // namespace qdb

@@ -1,0 +1,136 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in QDockBank derives its stream from an explicit
+// 64-bit seed so that dataset builds, docking runs, and benchmarks are exactly
+// reproducible.  The generator is xoshiro256** seeded through SplitMix64, the
+// standard pairing recommended by the xoshiro authors.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace qdb {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a string, for deriving seeds from entry ids like "4jpy".
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combine seed components (entry id, component name, run index) into one
+/// stream seed.  Order-sensitive: combine(a,b) != combine(b,a).
+constexpr std::uint64_t seed_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  /// Seed derived from a string id plus component/run discriminators.
+  Rng(std::string_view id, std::string_view component, std::uint64_t run) noexcept {
+    reseed(seed_combine(seed_combine(fnv1a(id), fnv1a(component)), run));
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method (cached second value).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * f;
+    has_cached_ = true;
+    return u * f;
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Split off an independent child stream (for per-thread / per-run use).
+  Rng split() noexcept { return Rng{seed_combine((*this)(), (*this)())}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace qdb

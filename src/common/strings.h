@@ -1,0 +1,29 @@
+// Small string/format helpers shared by the library, benches and tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qdb {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format a double with fixed decimals, e.g. format_fixed(3.14159, 3) == "3.142".
+std::string format_fixed(double value, int decimals);
+
+/// Split on a single character, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Uppercase/lowercase ASCII copies.
+std::string to_upper(std::string_view s);
+std::string to_lower(std::string_view s);
+
+/// True if s begins with prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace qdb

@@ -1,0 +1,27 @@
+// Console table formatter used by the bench harnesses to print the same
+// rows the paper's tables report (Tables 1-4) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qdb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qdb

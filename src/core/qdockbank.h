@@ -1,0 +1,19 @@
+// QDockBank — umbrella public header.
+//
+// Include this to get the full public API: the dataset registry, the
+// prediction pipeline (VQE + baselines), docking, RMSD evaluation, and the
+// dataset writer.  Individual module headers remain available for
+// fine-grained use.
+#pragma once
+
+#include "core/pipeline.h"          // Pipeline, Method, Evaluation, WinRates
+#include "data/dataset_io.h"        // JSON documents + on-disk layout
+#include "data/reference.h"         // reference structures
+#include "data/registry.h"          // the 55 entries, Tables 1-3 metadata
+#include "dock/dock.h"              // docking engine
+#include "dock/ligand_gen.h"        // ligand generation
+#include "lattice/hamiltonian.h"    // folding Hamiltonian
+#include "lattice/solver.h"         // exact / annealing solvers
+#include "structure/pdb.h"          // PDB IO
+#include "structure/pdbqt.h"        // PDBQT export
+#include "vqe/vqe.h"                // the VQE driver

@@ -1,0 +1,82 @@
+#include "data/dataset_io.h"
+
+#include "data/protein_class.h"
+#include "structure/pdb.h"
+
+namespace qdb {
+
+Json prediction_metadata_json(const DatasetEntry& entry, const VqeResult& vqe) {
+  Json j = Json::object();
+  j.set("pdb_id", entry.pdb_id);
+  j.set("sequence", entry.sequence);
+  j.set("sequence_length", entry.length());
+  j.set("group", group_name(entry.group()));
+  j.set("protein_class", protein_class_name(protein_class(entry.pdb_id)));
+  Json residues = Json::object();
+  residues.set("start", entry.residue_start);
+  residues.set("end", entry.residue_end);
+  j.set("residues", std::move(residues));
+
+  Json measured = Json::object();
+  measured.set("qubits", vqe.allocation.qubits);
+  measured.set("logical_qubits", vqe.logical_qubits);
+  measured.set("circuit_depth", vqe.allocation.depth);
+  measured.set("lowest_energy", vqe.lowest_energy);
+  measured.set("highest_energy", vqe.highest_energy);
+  measured.set("energy_range", vqe.energy_range);
+  measured.set("exec_time_s", vqe.modeled_exec_time_s);
+  measured.set("evaluations", vqe.evaluations);
+  measured.set("total_shots", vqe.total_shots);
+  j.set("measured", std::move(measured));
+
+  Json published = Json::object();
+  published.set("qubits", entry.qubits);
+  published.set("circuit_depth", entry.depth);
+  published.set("lowest_energy", entry.lowest_energy);
+  published.set("highest_energy", entry.highest_energy);
+  published.set("energy_range", entry.energy_range);
+  published.set("exec_time_s", entry.exec_time_s);
+  j.set("published", std::move(published));
+  return j;
+}
+
+Json docking_results_json(const DatasetEntry& entry, const DockingResult& docking,
+                          double ca_rmsd_vs_reference) {
+  Json j = Json::object();
+  j.set("pdb_id", entry.pdb_id);
+  j.set("num_runs", docking.run_best.size());
+  Json runs = Json::array();
+  for (double a : docking.run_best) runs.push_back(a);
+  j.set("run_best_affinity", std::move(runs));
+  j.set("best_affinity", docking.best_affinity);
+  j.set("mean_affinity", docking.mean_affinity);
+  j.set("pose_rmsd_lb_mean", docking.rmsd_lb_mean);
+  j.set("pose_rmsd_ub_mean", docking.rmsd_ub_mean);
+  j.set("ca_rmsd_vs_reference", ca_rmsd_vs_reference);
+
+  Json poses = Json::array();
+  for (const ScoredPose& p : docking.poses) {
+    Json pose = Json::object();
+    pose.set("affinity", p.affinity);
+    pose.set("run", p.run);
+    poses.push_back(std::move(pose));
+  }
+  j.set("top_poses", std::move(poses));
+  return j;
+}
+
+std::string entry_directory(const std::string& root, const DatasetEntry& entry) {
+  return root + "/" + group_name(entry.group()) + "/" + entry.pdb_id;
+}
+
+void write_entry_files(const std::string& root, const DatasetEntry& entry,
+                       const Structure& predicted, const VqeResult& vqe,
+                       const DockingResult& docking, double ca_rmsd_vs_reference) {
+  const std::string dir = entry_directory(root, entry);
+  write_pdb_file(predicted, dir + "/structure.pdb");
+  write_file(dir + "/metadata.json", prediction_metadata_json(entry, vqe).dump());
+  write_file(dir + "/docking.json",
+             docking_results_json(entry, docking, ca_rmsd_vs_reference).dump());
+}
+
+}  // namespace qdb

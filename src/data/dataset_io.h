@@ -1,0 +1,36 @@
+// Dataset serialisation: the per-entry JSON documents and the on-disk
+// layout of §4.2 (group folder / PDB-id folder / three files):
+//
+//   <root>/<S|M|L>/<pdb_id>/structure.pdb    predicted structure
+//   <root>/<S|M|L>/<pdb_id>/metadata.json    quantum prediction metadata
+//   <root>/<S|M|L>/<pdb_id>/docking.json     docking results (20 seeds)
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "data/registry.h"
+#include "dock/dock.h"
+#include "structure/molecule.h"
+#include "vqe/vqe.h"
+
+namespace qdb {
+
+/// Quantum prediction metadata (qubit count, depth, energies, exec time),
+/// with the published table values embedded for side-by-side comparison.
+Json prediction_metadata_json(const DatasetEntry& entry, const VqeResult& vqe);
+
+/// Docking results document: per-run best affinities, the global top poses
+/// with Vina-style pose-RMSD bounds, and the averaged binding score.
+Json docking_results_json(const DatasetEntry& entry, const DockingResult& docking,
+                          double ca_rmsd_vs_reference);
+
+/// Directory of one entry inside the dataset root.
+std::string entry_directory(const std::string& root, const DatasetEntry& entry);
+
+/// Write the three files of one entry.  Creates directories as needed.
+void write_entry_files(const std::string& root, const DatasetEntry& entry,
+                       const Structure& predicted, const VqeResult& vqe,
+                       const DockingResult& docking, double ca_rmsd_vs_reference);
+
+}  // namespace qdb

@@ -1,0 +1,50 @@
+#include "data/protein_class.h"
+
+namespace qdb {
+
+const char* protein_class_name(ProteinClass c) {
+  switch (c) {
+    case ProteinClass::ViralEnzyme: return "viral enzyme";
+    case ProteinClass::Kinase: return "kinase";
+    case ProteinClass::MetabolicEnzyme: return "metabolic enzyme";
+    case ProteinClass::Receptor: return "receptor";
+    case ProteinClass::Chaperone: return "chaperone";
+    case ProteinClass::Protease: return "protease";
+    case ProteinClass::Miscellaneous: return "miscellaneous";
+  }
+  return "?";
+}
+
+ProteinClass protein_class(std::string_view pdb_id) {
+  // The paper's §6.2 listing.  HIV-protease-like LLDTGADDTV/LIDTGADDTV
+  // fragments share the viral-enzyme class with the named examples.
+  for (const char* id : {"1e2k", "1e2l", "1zsf", "2avo", "3vf7", "4mc1"}) {
+    if (pdb_id == id) return ProteinClass::ViralEnzyme;
+  }
+  for (const char* id : {"3d7z", "4aoi", "4tmk", "5cqu", "4clj", "5nkb", "5nkc", "5nkd"}) {
+    if (pdb_id == id) return ProteinClass::Kinase;
+  }
+  for (const char* id : {"1hdq", "1m7y", "3ibi", "5cxa", "1ppi"}) {
+    if (pdb_id == id) return ProteinClass::MetabolicEnzyme;
+  }
+  for (const char* id : {"1gx8", "3s0b", "4xaq", "4f5y"}) {
+    if (pdb_id == id) return ProteinClass::Receptor;
+  }
+  for (const char* id : {"1yc4", "6udv", "3b26"}) {
+    if (pdb_id == id) return ProteinClass::Chaperone;
+  }
+  for (const char* id : {"5kqx", "5kr2", "2bok", "2vwo", "4y79"}) {
+    if (pdb_id == id) return ProteinClass::Protease;
+  }
+  return ProteinClass::Miscellaneous;
+}
+
+std::vector<const DatasetEntry*> entries_in_class(ProteinClass c) {
+  std::vector<const DatasetEntry*> out;
+  for (const DatasetEntry& e : qdockbank_entries()) {
+    if (protein_class(e.pdb_id) == c) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace qdb

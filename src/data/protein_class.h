@@ -1,0 +1,33 @@
+// Functional classification of the source proteins (paper §6.2, "Protein
+// types"): QDockBank deliberately spans viral enzymes, kinases, metabolic
+// enzymes, receptors, chaperones, proteases and miscellaneous proteins so
+// benchmarks generalise beyond one family.  The assignments below follow
+// the paper's own listing; entries it does not name are Miscellaneous.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "data/registry.h"
+
+namespace qdb {
+
+enum class ProteinClass {
+  ViralEnzyme,
+  Kinase,
+  MetabolicEnzyme,   // digestive and metabolic enzymes
+  Receptor,          // receptors and ligand-binding proteins
+  Chaperone,         // chaperones and regulatory proteins
+  Protease,
+  Miscellaneous,
+};
+
+const char* protein_class_name(ProteinClass c);
+
+/// Class of a dataset entry's source protein.
+ProteinClass protein_class(std::string_view pdb_id);
+
+/// All entries of one class, in registry order.
+std::vector<const DatasetEntry*> entries_in_class(ProteinClass c);
+
+}  // namespace qdb

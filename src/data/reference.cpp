@@ -1,0 +1,55 @@
+#include "data/reference.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "lattice/solver.h"
+#include "structure/protonate.h"
+#include "structure/reconstruct.h"
+
+namespace qdb {
+
+FoldingHamiltonian entry_hamiltonian(const DatasetEntry& entry) {
+  return FoldingHamiltonian(entry.parsed_sequence(),
+                            HamiltonianWeights::standard(entry.length()));
+}
+
+Structure reference_structure(const DatasetEntry& entry, const ReferenceOptions& opt) {
+  const FoldingHamiltonian h = entry_hamiltonian(entry);
+  const SolveResult ground = ExactSolver().solve(h);
+
+  std::vector<Vec3> trace;
+  for (const IVec3& p : walk_positions(ground.turns)) {
+    trace.push_back(lattice_to_cartesian(p));
+  }
+
+  // Crystallographic relaxation: smooth per-residue displacement, seeded by
+  // the entry id, with virtual bonds re-clamped afterwards.
+  Rng rng(entry.pdb_id, "xray-relaxation", 0);
+  std::vector<Vec3> noise(trace.size());
+  for (Vec3& nv : noise) {
+    nv = Vec3{rng.normal(0.0, opt.relaxation_sigma), rng.normal(0.0, opt.relaxation_sigma),
+              rng.normal(0.0, opt.relaxation_sigma)};
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    Vec3 sm = noise[i] * 2.0;
+    double wsum = 2.0;
+    if (i > 0) { sm += noise[i - 1]; wsum += 1.0; }
+    if (i + 1 < trace.size()) { sm += noise[i + 1]; wsum += 1.0; }
+    trace[i] += sm / wsum;
+  }
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const Vec3 bond = trace[i] - trace[i - 1];
+    const double len = std::clamp(bond.norm(), 3.5, 4.1);
+    trace[i] = trace[i - 1] + bond.normalized() * len;
+  }
+
+  Structure s = reconstruct_backbone(trace, h.sequence(), entry.pdb_id, entry.residue_start);
+  s.id = entry.pdb_id;
+  add_polar_hydrogens(s);
+  assign_partial_charges(s);
+  s.center_on_origin();
+  return s;
+}
+
+}  // namespace qdb

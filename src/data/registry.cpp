@@ -1,0 +1,111 @@
+#include "data/registry.h"
+
+#include "common/error.h"
+
+namespace qdb {
+
+const char* group_name(Group g) {
+  switch (g) {
+    case Group::S: return "S";
+    case Group::M: return "M";
+    case Group::L: return "L";
+  }
+  return "?";
+}
+
+int DatasetEntry::length() const {
+  return static_cast<int>(std::string_view(sequence).size());
+}
+
+Group DatasetEntry::group() const {
+  const int n = length();
+  if (n <= 8) return Group::S;
+  if (n <= 12) return Group::M;
+  return Group::L;
+}
+
+std::vector<AminoAcid> DatasetEntry::parsed_sequence() const {
+  return parse_sequence(sequence);
+}
+
+const std::vector<DatasetEntry>& qdockbank_entries() {
+  // Transcribed verbatim from the paper's Tables 1 (L), 2 (M) and 3 (S).
+  static const std::vector<DatasetEntry> entries = {
+      // Table 1: L group (13-14 residues).
+      {"1yc4", "ELISNSSDALDKI", 47, 59, 92, 373, 16129.383, 20745.807, 4616.425, 15777.29},
+      {"3d7z", "YLVTHLMGADLNNI", 103, 116, 102, 413, 22979.863, 29707.296, 6727.433, 156289.48},
+      {"4aoi", "VVLPYMKHGDLRNF", 1155, 1168, 102, 413, 23245.373, 32378.950, 9133.577, 13328.65},
+      {"4cig", "VRDQAEHLKTAVQM", 165, 178, 102, 413, 21375.594, 29846.536, 8470.942, 17293.54},
+      {"4clj", "ILMELMAGGDLKSF", 1194, 1207, 102, 413, 23968.789, 30839.148, 6870.358, 56855.98},
+      {"4fp1", "PVHTAVGTVGTAPL", 21, 34, 102, 413, 22564.107, 30593.710, 8029.604, 9301.82},
+      {"4jpx", "DYLEAYGKGGVKA", 154, 166, 92, 373, 16962.095, 22231.950, 5269.856, 90422.62},
+      {"4jpy", "DYLEAYGKGGVKAK", 154, 167, 102, 413, 23332.068, 30779.295, 7447.227, 12918.78},
+      {"4tmk", "IEGLEGAGKTTARN", 8, 21, 102, 413, 22590.207, 29135.420, 6545.212, 199292.66},
+      {"5cqu", "RKLGRGKYSEVFE", 43, 55, 92, 373, 17865.392, 22801.515, 4936.123, 7620.94},
+      {"5nkb", "MIITEYMENGALDK", 689, 702, 102, 413, 22570.674, 31770.986, 9200.312, 9311.28},
+      {"6udv", "SLSRVMIHVFSDGV", 245, 258, 102, 413, 24186.062, 33350.850, 9164.788, 188397.35},
+      // Table 2: M group (9-12 residues).
+      {"1e2l", "AQITMGMPY", 124, 132, 54, 221, 1509.665, 2837.818, 1328.153, 12951.69},
+      {"1gx8", "SAPLRVYVE", 36, 44, 54, 221, 1626.015, 3053.529, 1427.514, 14080.77},
+      {"1m7y", "TAGATSANE", 117, 125, 54, 221, 1420.378, 2714.983, 1294.604, 12918.04},
+      {"1zsf", "LLDTGADDTV", 23, 32, 63, 257, 4283.258, 6023.888, 1740.630, 5674.54},
+      {"2avo", "LIDTGADDTV", 23, 32, 63, 257, 4711.417, 6788.627, 2077.210, 5709.81},
+      {"2bfq", "AFPAVSAGIYGC", 136, 147, 82, 333, 11784.906, 16384.379, 4599.473, 10361.37},
+      {"2bok", "EDACQGDSGG", 188, 197, 63, 257, 4365.802, 6164.745, 1798.942, 6145.18},
+      {"2qbs", "HCSAGIGRSGT", 214, 224, 72, 293, 6691.571, 9356.871, 2665.300, 13899.11},
+      {"2vwo", "EDACQGDSGG", 188, 197, 63, 257, 4175.516, 6533.564, 2358.048, 5812.72},
+      {"2xxx", "GAVEDGATMTFF", 683, 694, 82, 333, 14199.993, 18862.515, 4662.522, 14962.26},
+      {"3b26", "ELISNSSDAL", 47, 56, 63, 257, 3768.807, 6015.566, 2246.759, 5546.94},
+      {"3d83", "YLVTHLMGAD", 103, 112, 63, 257, 4235.343, 6119.164, 1883.822, 19833.57},
+      {"3vf7", "LLDTGADDTV", 23, 32, 63, 257, 3975.024, 6162.421, 2187.398, 5348.25},
+      {"4f5y", "GLAWSYYIGYL", 158, 168, 72, 293, 6408.497, 8858.596, 2450.099, 6157.46},
+      {"4mc1", "LLDTGADDTV", 23, 32, 63, 257, 4092.236, 6199.231, 2106.996, 5609.02},
+      {"4y79", "DACQGDSGG", 189, 197, 54, 221, 1549.162, 2874.211, 1325.049, 207445.70},
+      {"5cxa", "FDGKGGILAHA", 174, 184, 72, 293, 6946.425, 9298.822, 2352.396, 5638.71},
+      {"5kqx", "LLNTGADDTV", 23, 32, 63, 257, 4336.777, 6158.301, 1821.524, 21706.78},
+      {"5kr2", "LLNTGADDTV", 23, 32, 63, 257, 4113.621, 6383.194, 2269.573, 5687.63},
+      {"5nkc", "MIITEYMENGAL", 689, 700, 82, 333, 12919.795, 16929.422, 4009.627, 6363.43},
+      {"5nkd", "MIITEYMENGA", 689, 699, 72, 293, 7192.774, 10425.425, 3232.651, 5997.07},
+      {"6ezq", "AKQRLKCASL", 194, 203, 63, 257, 4178.824, 6002.270, 1823.446, 23591.38},
+      {"6g98", "RNNGHSVQLTL", 60, 70, 72, 293, 7254.135, 9951.906, 2697.771, 7080.74},
+      // Table 3: S group (5-8 residues).
+      {"1e2k", "DGPHGM", 55, 60, 23, 97, 97.347, 392.073, 294.726, 4425.19},
+      {"1hdq", "SIHSYS", 194, 199, 23, 97, 135.525, 400.060, 264.535, 4352.49},
+      {"1ppi", "PWWERYQP", 57, 64, 46, 189, 1843.649, 2795.853, 952.204, 13305.89},
+      {"1qin", "QQTMLRV", 32, 38, 38, 157, 258.484, 775.731, 517.247, 19567.41},
+      {"2v25", "ATFTIT", 81, 86, 23, 97, 100.416, 340.832, 240.416, 22356.46},
+      {"3ckz", "VKDRS", 149, 153, 12, 53, 10.433, 14.651, 4.218, 5763.36},
+      {"3dx3", "HNDPGWI", 90, 96, 38, 157, 339.992, 962.620, 622.628, 4661.24},
+      {"3eax", "RYRDV", 45, 49, 12, 53, 10.357, 16.021, 5.664, 4028.72},
+      {"3ibi", "IQFHFH", 91, 96, 23, 97, 120.664, 455.422, 334.758, 4486.62},
+      {"3nxq", "VCHASAWD", 329, 336, 46, 189, 1815.928, 2836.486, 1020.558, 14496.99},
+      {"3s0b", "GIKAVM", 67, 72, 23, 97, 162.239, 431.986, 269.747, 51428.83},
+      {"3tcg", "IEGVPESN", 57, 64, 46, 189, 1660.359, 2492.704, 832.345, 4331.88},
+      {"4mo4", "NIGGF", 162, 166, 12, 53, 10.636, 16.117, 5.480, 25834.89},
+      {"4q87", "SLTTPPLL", 197, 204, 46, 189, 1659.516, 2928.576, 1269.061, 4565.00},
+      {"4xaq", "GSYSDVSI", 142, 149, 46, 189, 1486.347, 2716.796, 1230.450, 4497.95},
+      {"4zb8", "GGPNGWKV", 14, 21, 46, 189, 1791.084, 2876.999, 968.063, 16029.02},
+      {"5c28", "CDLCSVT", 663, 669, 38, 157, 386.810, 792.776, 405.965, 114029.96},
+      {"5tya", "SLTTPPLL", 197, 204, 46, 189, 1719.112, 2594.339, 875.227, 9870.15},
+      {"6czf", "LRKANG", 44, 49, 23, 97, 114.701, 376.059, 261.358, 4309.82},
+      {"6p86", "VYSSGIPL", 300, 307, 46, 189, 1486.200, 3008.481, 1522.281, 4290.98},
+  };
+  return entries;
+}
+
+const DatasetEntry& entry_by_id(std::string_view pdb_id) {
+  for (const DatasetEntry& e : qdockbank_entries()) {
+    if (pdb_id == e.pdb_id) return e;
+  }
+  throw Error("unknown QDockBank entry '" + std::string(pdb_id) + "'");
+}
+
+std::vector<const DatasetEntry*> entries_in_group(Group g) {
+  std::vector<const DatasetEntry*> out;
+  for (const DatasetEntry& e : qdockbank_entries()) {
+    if (e.group() == g) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace qdb

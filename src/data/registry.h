@@ -1,0 +1,47 @@
+// The QDockBank registry: all 55 protein fragments with the published
+// per-fragment metadata of Tables 1-3 (sequence, source-protein residue
+// range, hardware allocation, VQE energy statistics, and execution time).
+//
+// Groups follow §4.2: S = 5-8 residues, M = 9-12, L = 13-14.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lattice/amino_acid.h"
+
+namespace qdb {
+
+enum class Group { S, M, L };
+
+const char* group_name(Group g);
+
+struct DatasetEntry {
+  const char* pdb_id;
+  const char* sequence;     // one-letter fragment sequence
+  int residue_start;        // residue numbering in the source protein
+  int residue_end;
+
+  // Published Tables 1-3 values (what the paper measured on Eagle r3).
+  int qubits;
+  int depth;
+  double lowest_energy;
+  double highest_energy;
+  double energy_range;
+  double exec_time_s;
+
+  int length() const;
+  Group group() const;
+  std::vector<AminoAcid> parsed_sequence() const;
+};
+
+/// All 55 entries in table order (Table 1 L, Table 2 M, Table 3 S).
+const std::vector<DatasetEntry>& qdockbank_entries();
+
+/// Lookup by PDB id; throws qdb::Error if absent.
+const DatasetEntry& entry_by_id(std::string_view pdb_id);
+
+/// Entries of one group, in table order.
+std::vector<const DatasetEntry*> entries_in_group(Group g);
+
+}  // namespace qdb

@@ -1,0 +1,73 @@
+#include "dock/ligand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+Ligand::Ligand(std::vector<LigandAtom> atoms, std::vector<TorsionBond> torsions,
+               std::string name)
+    : atoms_(std::move(atoms)), torsions_(std::move(torsions)), name_(std::move(name)) {
+  QDB_REQUIRE(!atoms_.empty(), "ligand needs atoms");
+  const int n = num_atoms();
+  for (const TorsionBond& t : torsions_) {
+    QDB_REQUIRE(t.axis_a >= 0 && t.axis_a < n && t.axis_b >= 0 && t.axis_b < n,
+                "torsion axis atom out of range");
+    QDB_REQUIRE(t.axis_a != t.axis_b, "degenerate torsion axis");
+    QDB_REQUIRE(!t.moved.empty(), "torsion moves no atoms");
+    for (int idx : t.moved) {
+      QDB_REQUIRE(idx >= 0 && idx < n, "moved atom out of range");
+      QDB_REQUIRE(idx != t.axis_a && idx != t.axis_b, "axis atom cannot move");
+    }
+  }
+  // Centre the local frame on the heavy-atom centroid.
+  Vec3 c;
+  int heavy = 0;
+  for (const LigandAtom& a : atoms_) {
+    if (a.element != 'H') {
+      c += a.local_pos;
+      ++heavy;
+    }
+  }
+  if (heavy > 0) {
+    c /= static_cast<double>(heavy);
+    for (LigandAtom& a : atoms_) a.local_pos -= c;
+  }
+}
+
+Pose Ligand::neutral_pose() const {
+  Pose p;
+  p.torsions.assign(static_cast<std::size_t>(num_torsions()), 0.0);
+  return p;
+}
+
+std::vector<Vec3> Ligand::conformation(const Pose& pose) const {
+  QDB_REQUIRE(pose.torsions.size() == static_cast<std::size_t>(num_torsions()),
+              "pose torsion count mismatch");
+  std::vector<Vec3> pts(atoms_.size());
+  for (std::size_t i = 0; i < atoms_.size(); ++i) pts[i] = atoms_[i].local_pos;
+
+  for (std::size_t t = 0; t < torsions_.size(); ++t) {
+    const TorsionBond& bond = torsions_[t];
+    const Vec3 origin = pts[static_cast<std::size_t>(bond.axis_a)];
+    const Vec3 axis = pts[static_cast<std::size_t>(bond.axis_b)] - origin;
+    const Mat3 rot = Mat3::rotation(axis, pose.torsions[t]);
+    for (int idx : bond.moved) {
+      pts[static_cast<std::size_t>(idx)] = origin + rot * (pts[static_cast<std::size_t>(idx)] - origin);
+    }
+  }
+
+  const Mat3 r = pose.orientation.to_matrix();
+  for (Vec3& p : pts) p = r * p + pose.translation;
+  return pts;
+}
+
+double Ligand::radius() const {
+  double r = 0.0;
+  for (const LigandAtom& a : atoms_) r = std::max(r, a.local_pos.norm());
+  return r;
+}
+
+}  // namespace qdb

@@ -1,0 +1,71 @@
+// Small-molecule ligand model with a torsion tree.
+//
+// AutoDock Vina treats the ligand as a rigid root plus rotatable bonds; a
+// pose is (translation, orientation quaternion, torsion angles).  This is
+// the same parameterisation.  Atom chemistry (hydrophobicity, H-bond roles)
+// feeds the Vina scoring terms.  Coordinates are stored in a local frame
+// centred on the ligand's heavy-atom centroid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/mat3.h"
+#include "geom/vec3.h"
+
+namespace qdb {
+
+struct LigandAtom {
+  std::string name;   // e.g. "C1", "N2", "O3"
+  char element = 'C';
+  Vec3 local_pos;     // position in the ligand frame
+  double charge = 0.0;
+  bool hydrophobic = false;
+  bool donor = false;     // H-bond donor heavy atom
+  bool acceptor = false;  // H-bond acceptor heavy atom
+};
+
+/// A rotatable bond: rotating `moved` atom indices about the axis from atom
+/// `axis_a` to atom `axis_b` (both fixed).
+struct TorsionBond {
+  int axis_a = 0;
+  int axis_b = 0;
+  std::vector<int> moved;
+};
+
+/// Ligand pose: rigid placement plus one angle per rotatable bond.
+struct Pose {
+  Vec3 translation;
+  Quat orientation = Quat::identity();
+  std::vector<double> torsions;
+};
+
+class Ligand {
+ public:
+  Ligand(std::vector<LigandAtom> atoms, std::vector<TorsionBond> torsions,
+         std::string name);
+
+  const std::string& name() const { return name_; }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  int num_torsions() const { return static_cast<int>(torsions_.size()); }
+  const std::vector<LigandAtom>& atoms() const { return atoms_; }
+  const std::vector<TorsionBond>& torsions() const { return torsions_; }
+
+  /// Identity pose with zeroed torsions.
+  Pose neutral_pose() const;
+
+  /// World coordinates of every atom under `pose`: torsions applied in
+  /// order, then the rigid transform.
+  std::vector<Vec3> conformation(const Pose& pose) const;
+
+  /// Maximum distance of any atom from the ligand frame origin (bounding
+  /// radius used for box sizing).
+  double radius() const;
+
+ private:
+  std::vector<LigandAtom> atoms_;
+  std::vector<TorsionBond> torsions_;
+  std::string name_;
+};
+
+}  // namespace qdb

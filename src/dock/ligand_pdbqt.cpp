@@ -1,0 +1,89 @@
+#include "dock/ligand_pdbqt.h"
+
+#include <algorithm>
+
+#include "common/json.h"  // write_file
+#include "common/strings.h"
+
+namespace qdb {
+
+namespace {
+
+const char* ad_type(const LigandAtom& a) {
+  switch (a.element) {
+    case 'N': return a.acceptor ? "NA" : "N";
+    case 'O': return "OA";
+    case 'S': return "SA";
+    case 'H': return "HD";
+    default: return a.hydrophobic ? "C" : "A";
+  }
+}
+
+void emit_atom(std::string& out, int serial, const LigandAtom& a, const Vec3& p) {
+  std::string name = a.name.substr(0, 3);
+  out += format("ATOM  %5d  %-3s LIG A   1    %8.3f%8.3f%8.3f%6.2f%6.2f    %6.3f %-2s\n",
+                serial, name.c_str(), p.x, p.y, p.z, 1.0, 0.0, a.charge, ad_type(a));
+}
+
+}  // namespace
+
+std::string ligand_to_pdbqt(const Ligand& ligand) {
+  return ligand_to_pdbqt(ligand, ligand.neutral_pose());
+}
+
+std::string ligand_to_pdbqt(const Ligand& ligand, const Pose& pose) {
+  const auto coords = ligand.conformation(pose);
+  std::string out;
+  out += format("REMARK  QDockBank ligand %s (%d torsions)\n", ligand.name().c_str(),
+                ligand.num_torsions());
+  out += format("REMARK  %d active torsions\n", ligand.num_torsions());
+
+  // Atoms moved by some torsion belong to that torsion's branch; everything
+  // else is the rigid root.  (The generator's torsion trees are chains, so
+  // each atom belongs to the innermost branch that moves it.)
+  const int n = ligand.num_atoms();
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);  // torsion index or -1
+  for (int t = 0; t < ligand.num_torsions(); ++t) {
+    for (int idx : ligand.torsions()[static_cast<std::size_t>(t)].moved) {
+      owner[static_cast<std::size_t>(idx)] = t;  // later torsions are inner
+    }
+  }
+
+  int serial = 1;
+  std::vector<int> serial_of(static_cast<std::size_t>(n), 0);
+  out += "ROOT\n";
+  for (int i = 0; i < n; ++i) {
+    if (owner[static_cast<std::size_t>(i)] < 0) {
+      serial_of[static_cast<std::size_t>(i)] = serial;
+      emit_atom(out, serial++, ligand.atoms()[static_cast<std::size_t>(i)],
+                coords[static_cast<std::size_t>(i)]);
+    }
+  }
+  out += "ENDROOT\n";
+
+  // One BRANCH block per torsion, innermost atoms only.
+  std::vector<std::pair<int, int>> open;  // (torsion, axis serial pair placeholder)
+  for (int t = 0; t < ligand.num_torsions(); ++t) {
+    const TorsionBond& bond = ligand.torsions()[static_cast<std::size_t>(t)];
+    out += format("BRANCH %d %d\n", bond.axis_a + 1, bond.axis_b + 1);
+    for (int i = 0; i < n; ++i) {
+      if (owner[static_cast<std::size_t>(i)] == t) {
+        serial_of[static_cast<std::size_t>(i)] = serial;
+        emit_atom(out, serial++, ligand.atoms()[static_cast<std::size_t>(i)],
+                  coords[static_cast<std::size_t>(i)]);
+      }
+    }
+    open.emplace_back(bond.axis_a + 1, bond.axis_b + 1);
+  }
+  for (auto it = open.rbegin(); it != open.rend(); ++it) {
+    out += format("ENDBRANCH %d %d\n", it->first, it->second);
+  }
+  out += format("TORSDOF %d\n", ligand.num_torsions());
+  return out;
+}
+
+void write_ligand_pdbqt(const Ligand& ligand, const std::string& path) {
+  write_file(path, ligand_to_pdbqt(ligand));
+}
+
+}  // namespace qdb

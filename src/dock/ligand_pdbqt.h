@@ -1,0 +1,21 @@
+// Ligand PDBQT writer with the AutoDock torsion tree (ROOT/BRANCH blocks).
+//
+// The paper highlights direct PDBQT interoperability (§7.1).  The receptor
+// side lives in structure/pdbqt.h; this writer serialises a (possibly
+// imprinted) ligand with its rotatable bonds as BRANCH records so external
+// AutoDock/Vina installations can consume QDockBank ligands directly.
+#pragma once
+
+#include <string>
+
+#include "dock/ligand.h"
+
+namespace qdb {
+
+/// Serialise the ligand at `pose` (default: rest shape at origin).
+std::string ligand_to_pdbqt(const Ligand& ligand);
+std::string ligand_to_pdbqt(const Ligand& ligand, const Pose& pose);
+
+void write_ligand_pdbqt(const Ligand& ligand, const std::string& path);
+
+}  // namespace qdb

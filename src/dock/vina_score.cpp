@@ -1,0 +1,114 @@
+#include "dock/vina_score.h"
+
+#include "common/error.h"
+
+namespace qdb {
+
+double vdw_radius(char element) {
+  switch (element) {
+    case 'C': return 1.9;
+    case 'N': return 1.8;
+    case 'O': return 1.7;
+    case 'S': return 2.0;
+    case 'H': return 1.0;
+    default: return 1.9;
+  }
+}
+
+std::vector<ReceptorAtom> type_receptor(const Structure& receptor) {
+  std::vector<ReceptorAtom> out;
+  for (const Residue& r : receptor.residues) {
+    const bool hydrophobic_residue = aa_class(r.type) == ResidueClass::Hydrophobic;
+    for (const Atom& a : r.atoms) {
+      if (a.is_hydrogen()) continue;  // united-atom model
+      ReceptorAtom t;
+      t.pos = a.pos;
+      t.element = a.element;
+      if (a.element == 'C') {
+        // Backbone carbons are bonded to polar atoms; side-chain carbons of
+        // hydrophobic residues drive the hydrophobic term.
+        t.hydrophobic = !a.is_backbone() && hydrophobic_residue;
+      } else if (a.element == 'N') {
+        t.donor = true;  // backbone amide and positive side-chain nitrogens
+        t.acceptor = !a.is_backbone() && aa_charge(r.type) <= 0;
+      } else if (a.element == 'O') {
+        t.acceptor = true;
+        t.donor = (r.type == AminoAcid::Ser || r.type == AminoAcid::Thr ||
+                   r.type == AminoAcid::Tyr);  // hydroxyls donate too
+      } else if (a.element == 'S') {
+        t.acceptor = true;
+        t.hydrophobic = true;  // thioether sulfurs behave hydrophobically
+      }
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+ReceptorGrid::ReceptorGrid(std::vector<ReceptorAtom> atoms, double cutoff)
+    : atoms_(std::move(atoms)), cutoff_(cutoff), cell_(cutoff) {
+  QDB_REQUIRE(!atoms_.empty(), "receptor grid needs atoms");
+  QDB_REQUIRE(cutoff > 0.0, "cutoff must be positive");
+  origin_ = atoms_[0].pos;
+  for (const ReceptorAtom& a : atoms_) {
+    origin_.x = std::min(origin_.x, a.pos.x);
+    origin_.y = std::min(origin_.y, a.pos.y);
+    origin_.z = std::min(origin_.z, a.pos.z);
+  }
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    const Vec3 rel = atoms_[i].pos - origin_;
+    cells_[key(cell_index(rel.x), cell_index(rel.y), cell_index(rel.z))].push_back(
+        static_cast<int>(i));
+  }
+}
+
+namespace {
+
+/// Linear slope that is 1 below `good`, 0 above `bad`.
+double slope_step(double x, double good, double bad) {
+  if (x <= good) return 1.0;
+  if (x >= bad) return 0.0;
+  return (bad - x) / (bad - good);
+}
+
+}  // namespace
+
+double intermolecular_energy(const ReceptorGrid& grid, const Ligand& ligand,
+                             const std::vector<Vec3>& coords, const VinaWeights& w) {
+  QDB_REQUIRE(coords.size() == static_cast<std::size_t>(ligand.num_atoms()),
+              "coords/ligand mismatch");
+  const double cutoff2 = grid.cutoff() * grid.cutoff();
+  const auto& ratoms = grid.atoms();
+  double total = 0.0;
+
+  for (std::size_t li = 0; li < coords.size(); ++li) {
+    const LigandAtom& la = ligand.atoms()[li];
+    if (la.element == 'H') continue;
+    const Vec3& lp = coords[li];
+    const double lr = vdw_radius(la.element);
+
+    grid.for_neighbors(lp, [&](int ri) {
+      const ReceptorAtom& ra = ratoms[static_cast<std::size_t>(ri)];
+      const double d2 = lp.distance2(ra.pos);
+      if (d2 > cutoff2) return;
+      const double d = std::sqrt(d2);
+      const double ds = d - lr - vdw_radius(ra.element);
+
+      double e = w.gauss1 * std::exp(-(ds / 0.5) * (ds / 0.5));
+      const double g2 = (ds - 3.0) / 2.0;
+      e += w.gauss2 * std::exp(-g2 * g2);
+      if (ds < 0.0) e += w.repulsion * ds * ds;
+      if (la.hydrophobic && ra.hydrophobic) e += w.hydrophobic * slope_step(ds, 0.5, 1.5);
+      const bool hb = (la.donor && ra.acceptor) || (la.acceptor && ra.donor);
+      if (hb) e += w.hbond * slope_step(ds, -0.7, 0.0);
+      total += e;
+    });
+  }
+  return total;
+}
+
+double affinity_from_energy(double inter_energy, int num_torsions, const VinaWeights& w) {
+  return inter_energy / (1.0 + w.rot_penalty * static_cast<double>(num_torsions));
+}
+
+}  // namespace qdb

@@ -1,0 +1,104 @@
+// AutoDock Vina scoring function (Trott & Olson 2010), used for all docking
+// evaluations in the paper (§4.2, §6.1.2).
+//
+// Intermolecular score between receptor and ligand heavy atoms within an
+// 8 A cutoff, as a function of the surface distance
+// d_surf = d - R_i - R_j (van der Waals radii by element):
+//
+//   gauss1      -0.035579 * exp(-(d_surf / 0.5)^2)
+//   gauss2      -0.005156 * exp(-((d_surf - 3) / 2)^2)
+//   repulsion    0.840245 * d_surf^2            (d_surf < 0)
+//   hydrophobic -0.035069 * slope(0.5, 1.5)     (both atoms hydrophobic)
+//   h-bond      -0.587439 * slope(-0.7, 0)      (donor-acceptor pair)
+//
+// Binding affinity (kcal/mol) of a pose divides the intermolecular energy
+// by 1 + w_rot * N_rot with w_rot = 0.05846, penalising flexible ligands.
+// Hydrogens are ignored (united-atom model); only heavy atoms score.
+#pragma once
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "dock/ligand.h"
+#include "structure/molecule.h"
+
+namespace qdb {
+
+/// Typed receptor atom ready for scoring.
+struct ReceptorAtom {
+  Vec3 pos;
+  char element = 'C';
+  bool hydrophobic = false;
+  bool donor = false;
+  bool acceptor = false;
+};
+
+/// Van der Waals radius by element (Vina's values, Angstroms).
+double vdw_radius(char element);
+
+/// Type the receptor's heavy atoms for scoring: side-chain carbons of
+/// hydrophobic residues are hydrophobic, backbone N donates, O accepts,
+/// side-chain terminal N/O follow their residue chemistry.
+std::vector<ReceptorAtom> type_receptor(const Structure& receptor);
+
+/// Uniform-cell spatial grid over receptor atoms for O(1) neighbour lookup
+/// within the scoring cutoff.
+class ReceptorGrid {
+ public:
+  explicit ReceptorGrid(std::vector<ReceptorAtom> atoms, double cutoff = 8.0);
+
+  const std::vector<ReceptorAtom>& atoms() const { return atoms_; }
+  double cutoff() const { return cutoff_; }
+
+  /// Visit the indices of receptor atoms within the cutoff of `p`.
+  template <typename Fn>
+  void for_neighbors(const Vec3& p, Fn&& fn) const {
+    const int cx = cell_index(p.x - origin_.x);
+    const int cy = cell_index(p.y - origin_.y);
+    const int cz = cell_index(p.z - origin_.z);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const auto it = cells_.find(key(cx + dx, cy + dy, cz + dz));
+          if (it == cells_.end()) continue;
+          for (int idx : it->second) fn(idx);
+        }
+      }
+    }
+  }
+
+ private:
+  int cell_index(double v) const { return static_cast<int>(std::floor(v / cell_)); }
+  static long key(int x, int y, int z) {
+    return (static_cast<long>(x) & 0x1FFFFF) | ((static_cast<long>(y) & 0x1FFFFF) << 21) |
+           ((static_cast<long>(z) & 0x1FFFFF) << 42);
+  }
+
+  std::vector<ReceptorAtom> atoms_;
+  double cutoff_;
+  double cell_;
+  Vec3 origin_;
+  std::unordered_map<long, std::vector<int>> cells_;
+};
+
+/// Vina term weights (exposed for the scoring ablation bench).
+struct VinaWeights {
+  double gauss1 = -0.035579;
+  double gauss2 = -0.005156;
+  double repulsion = 0.840245;
+  double hydrophobic = -0.035069;
+  double hbond = -0.587439;
+  double rot_penalty = 0.05846;
+};
+
+/// Intermolecular energy of ligand coordinates against the receptor grid.
+double intermolecular_energy(const ReceptorGrid& grid, const Ligand& ligand,
+                             const std::vector<Vec3>& coords,
+                             const VinaWeights& w = VinaWeights{});
+
+/// Affinity (kcal/mol): intermolecular energy scaled by the torsion penalty.
+double affinity_from_energy(double inter_energy, int num_torsions,
+                            const VinaWeights& w = VinaWeights{});
+
+}  // namespace qdb

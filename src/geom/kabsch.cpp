@@ -1,0 +1,96 @@
+#include "geom/kabsch.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+Vec3 centroid(const std::vector<Vec3>& pts) {
+  QDB_REQUIRE(!pts.empty(), "centroid of empty point set");
+  Vec3 c;
+  for (const Vec3& p : pts) c += p;
+  return c / static_cast<double>(pts.size());
+}
+
+Superposition superpose(const std::vector<Vec3>& moving, const std::vector<Vec3>& target) {
+  QDB_REQUIRE(moving.size() == target.size(), "superpose: size mismatch");
+  QDB_REQUIRE(!moving.empty(), "superpose: empty point sets");
+
+  Superposition out;
+  out.moving_center = centroid(moving);
+  out.target_center = centroid(target);
+
+  // Covariance H_jk = sum_i p_ij * q_ik over centered coordinates.
+  Mat3 h;
+  for (std::size_t i = 0; i < moving.size(); ++i) {
+    const Vec3 p = moving[i] - out.moving_center;
+    const Vec3 q = target[i] - out.target_center;
+    const double pc[3] = {p.x, p.y, p.z};
+    const double qc[3] = {q.x, q.y, q.z};
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) h(r, c) += pc[r] * qc[c];
+  }
+
+  // SVD of H via the eigen-decomposition of H^T H = V S^2 V^T.
+  const SymmetricEigen eig = eigen_symmetric(h.transposed() * h);
+  const Mat3& v = eig.vectors;
+
+  Mat3 u;  // columns u_i = H v_i / sigma_i
+  double sigma[3];
+  for (int c = 0; c < 3; ++c) {
+    const Vec3 vc{v(0, c), v(1, c), v(2, c)};
+    const Vec3 hv = h * vc;
+    sigma[c] = std::sqrt(std::max(eig.values[static_cast<std::size_t>(c)], 0.0));
+    if (sigma[c] > 1e-9) {
+      const Vec3 uc = hv / sigma[c];
+      u(0, c) = uc.x; u(1, c) = uc.y; u(2, c) = uc.z;
+    } else {
+      // Rank-deficient direction (planar/collinear sets): complete with a
+      // unit vector orthogonal to the columns already placed (Gram-Schmidt
+      // over the coordinate axes).
+      Vec3 uc{0, 0, 0};
+      for (const Vec3 seed : {Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}) {
+        Vec3 cand = seed;
+        for (int prev = 0; prev < c; ++prev) {
+          const Vec3 up{u(0, prev), u(1, prev), u(2, prev)};
+          cand -= up * cand.dot(up);
+        }
+        if (cand.norm() > 1e-6) {
+          uc = cand.normalized();
+          break;
+        }
+      }
+      u(0, c) = uc.x; u(1, c) = uc.y; u(2, c) = uc.z;
+    }
+  }
+
+  // With H = sum p q^T and SVD H = U S V^T, the optimal proper rotation
+  // mapping p onto q is R = V D U^T, D flipping the smallest singular
+  // direction when det(V U^T) < 0 (reflection case).
+  const double d = (v * u.transposed()).determinant();
+  Mat3 flip = Mat3::identity();
+  if (d < 0) flip(2, 2) = -1.0;
+  out.rotation = v * flip * u.transposed();
+
+  double ss = 0.0;
+  for (std::size_t i = 0; i < moving.size(); ++i) {
+    ss += out.apply(moving[i]).distance2(target[i]);
+  }
+  out.rmsd = std::sqrt(ss / static_cast<double>(moving.size()));
+  return out;
+}
+
+double rmsd_direct(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  QDB_REQUIRE(a.size() == b.size(), "rmsd: size mismatch");
+  QDB_REQUIRE(!a.empty(), "rmsd: empty point sets");
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) ss += a[i].distance2(b[i]);
+  return std::sqrt(ss / static_cast<double>(a.size()));
+}
+
+double rmsd_superposed(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  return superpose(a, b).rmsd;
+}
+
+}  // namespace qdb

@@ -1,0 +1,42 @@
+// Kabsch superposition and RMSD.
+//
+// The paper evaluates structural accuracy as Calpha RMSD between the
+// predicted fragment and the X-ray reference after optimal rigid-body
+// superposition (Biopython's Superimposer); this module is the C++
+// equivalent: optimal rotation via SVD of the covariance matrix (computed
+// through a symmetric Jacobi eigen-solve) with the usual reflection fix.
+#pragma once
+
+#include <vector>
+
+#include "geom/mat3.h"
+#include "geom/vec3.h"
+
+namespace qdb {
+
+/// Result of superimposing `moving` onto `target`.
+struct Superposition {
+  Mat3 rotation;       // applied to centered moving points
+  Vec3 moving_center;  // centroid subtracted from moving points
+  Vec3 target_center;  // centroid added after rotation
+  double rmsd = 0.0;   // RMSD after superposition
+
+  /// Map a point of the moving frame into the target frame.
+  Vec3 apply(const Vec3& p) const {
+    return rotation * (p - moving_center) + target_center;
+  }
+};
+
+/// Optimal rigid superposition (Kabsch).  Requires equal, non-zero sizes.
+Superposition superpose(const std::vector<Vec3>& moving, const std::vector<Vec3>& target);
+
+/// RMSD between paired coordinates without any superposition.
+double rmsd_direct(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+/// RMSD after optimal superposition (the paper's structural-accuracy metric).
+double rmsd_superposed(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+/// Centroid of a non-empty point set.
+Vec3 centroid(const std::vector<Vec3>& pts);
+
+}  // namespace qdb

@@ -1,0 +1,167 @@
+#include "geom/mat3.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdb {
+
+Mat3 Mat3::identity() {
+  Mat3 r;
+  r(0, 0) = r(1, 1) = r(2, 2) = 1.0;
+  return r;
+}
+
+Mat3 Mat3::rotation(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double t = 1.0 - c;
+  Mat3 r;
+  r(0, 0) = c + u.x * u.x * t;
+  r(0, 1) = u.x * u.y * t - u.z * s;
+  r(0, 2) = u.x * u.z * t + u.y * s;
+  r(1, 0) = u.y * u.x * t + u.z * s;
+  r(1, 1) = c + u.y * u.y * t;
+  r(1, 2) = u.y * u.z * t - u.x * s;
+  r(2, 0) = u.z * u.x * t - u.y * s;
+  r(2, 1) = u.z * u.y * t + u.x * s;
+  r(2, 2) = c + u.z * u.z * t;
+  return r;
+}
+
+Mat3 Mat3::from_quaternion(double w, double x, double y, double z) {
+  Mat3 r;
+  r(0, 0) = 1 - 2 * (y * y + z * z);
+  r(0, 1) = 2 * (x * y - z * w);
+  r(0, 2) = 2 * (x * z + y * w);
+  r(1, 0) = 2 * (x * y + z * w);
+  r(1, 1) = 1 - 2 * (x * x + z * z);
+  r(1, 2) = 2 * (y * z - x * w);
+  r(2, 0) = 2 * (x * z - y * w);
+  r(2, 1) = 2 * (y * z + x * w);
+  r(2, 2) = 1 - 2 * (x * x + y * y);
+  return r;
+}
+
+Vec3 Mat3::operator*(const Vec3& v) const {
+  return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+          m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+          m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      for (int k = 0; k < 3; ++k) r(i, j) += (*this)(i, k) * o(k, j);
+  return r;
+}
+
+Mat3 Mat3::operator+(const Mat3& o) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r(i, j) = (*this)(i, j) + o(i, j);
+  return r;
+}
+
+Mat3 Mat3::operator*(double s) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r(i, j) = (*this)(i, j) * s;
+  return r;
+}
+
+Mat3 Mat3::transposed() const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+  return r;
+}
+
+double Mat3::determinant() const {
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+SymmetricEigen eigen_symmetric(const Mat3& input) {
+  // Cyclic Jacobi: rotate away the largest off-diagonal element until the
+  // matrix is numerically diagonal.  Converges in a handful of sweeps for 3x3.
+  Mat3 a = input;
+  Mat3 v = Mat3::identity();
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    // Find largest off-diagonal |a(p,q)|.
+    int p = 0, q = 1;
+    double off = std::abs(a(0, 1));
+    if (std::abs(a(0, 2)) > off) { off = std::abs(a(0, 2)); p = 0; q = 2; }
+    if (std::abs(a(1, 2)) > off) { off = std::abs(a(1, 2)); p = 1; q = 2; }
+    if (off < 1e-14) break;
+
+    const double app = a(p, p), aqq = a(q, q), apq = a(p, q);
+    const double theta = 0.5 * (aqq - app) / apq;
+    const double t = (theta >= 0 ? 1.0 : -1.0) /
+                     (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+    const double c = 1.0 / std::sqrt(t * t + 1.0);
+    const double s = t * c;
+
+    // A <- J^T A J applied in place.
+    a(p, p) = app - t * apq;
+    a(q, q) = aqq + t * apq;
+    a(p, q) = a(q, p) = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      if (k == p || k == q) continue;
+      const double akp = a(k, p), akq = a(k, q);
+      a(k, p) = a(p, k) = c * akp - s * akq;
+      a(k, q) = a(q, k) = s * akp + c * akq;
+    }
+    for (int k = 0; k < 3; ++k) {
+      const double vkp = v(k, p), vkq = v(k, q);
+      v(k, p) = c * vkp - s * vkq;
+      v(k, q) = s * vkp + c * vkq;
+    }
+  }
+
+  // Sort eigenpairs descending.
+  std::array<int, 3> idx{0, 1, 2};
+  std::array<double, 3> vals{a(0, 0), a(1, 1), a(2, 2)};
+  std::sort(idx.begin(), idx.end(), [&](int i, int j) { return vals[static_cast<std::size_t>(i)] > vals[static_cast<std::size_t>(j)]; });
+
+  SymmetricEigen out;
+  for (int col = 0; col < 3; ++col) {
+    out.values[static_cast<std::size_t>(col)] = vals[static_cast<std::size_t>(idx[static_cast<std::size_t>(col)])];
+    for (int row = 0; row < 3; ++row) out.vectors(row, col) = v(row, idx[static_cast<std::size_t>(col)]);
+  }
+  return out;
+}
+
+Quat Quat::from_axis_angle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double h = 0.5 * angle;
+  const double s = std::sin(h);
+  return Quat{std::cos(h), u.x * s, u.y * s, u.z * s};
+}
+
+Quat Quat::random(double u1, double u2, double u3) {
+  // Shoemake (1992): uniform unit quaternions from three uniform variates.
+  constexpr double kTwoPi = 6.283185307179586;
+  const double s1 = std::sqrt(1.0 - u1);
+  const double s2 = std::sqrt(u1);
+  return Quat{s2 * std::cos(kTwoPi * u3), s1 * std::sin(kTwoPi * u2),
+              s1 * std::cos(kTwoPi * u2), s2 * std::sin(kTwoPi * u3)};
+}
+
+Quat Quat::operator*(const Quat& o) const {
+  return Quat{w * o.w - x * o.x - y * o.y - z * o.z,
+              w * o.x + x * o.w + y * o.z - z * o.y,
+              w * o.y - x * o.z + y * o.w + z * o.x,
+              w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+Quat Quat::normalized() const {
+  const double n = std::sqrt(w * w + x * x + y * y + z * z);
+  if (n < 1e-12) return Quat::identity();
+  return Quat{w / n, x / n, y / n, z / n};
+}
+
+}  // namespace qdb

@@ -1,0 +1,61 @@
+// 3x3 matrix, rotations, and a Jacobi eigen-solver for symmetric matrices.
+//
+// The eigen-solver backs the Kabsch superposition (geom/kabsch.h); rotations
+// back pose perturbation in the docking search.
+#pragma once
+
+#include <array>
+
+#include "geom/vec3.h"
+
+namespace qdb {
+
+struct Mat3 {
+  // Row-major storage: m[row][col].
+  std::array<std::array<double, 3>, 3> m{};
+
+  static Mat3 identity();
+  static Mat3 zero() { return Mat3{}; }
+
+  /// Rotation of `angle` radians about a (not necessarily unit) axis.
+  static Mat3 rotation(const Vec3& axis, double angle);
+
+  /// Rotation from a unit quaternion (w, x, y, z).
+  static Mat3 from_quaternion(double w, double x, double y, double z);
+
+  Vec3 operator*(const Vec3& v) const;
+  Mat3 operator*(const Mat3& o) const;
+  Mat3 operator+(const Mat3& o) const;
+  Mat3 operator*(double s) const;
+
+  Mat3 transposed() const;
+  double determinant() const;
+
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]; }
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]; }
+};
+
+/// Eigen-decomposition of a symmetric 3x3 matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues in descending order with matching unit eigenvectors
+/// (columns of `vectors`).
+struct SymmetricEigen {
+  std::array<double, 3> values{};
+  Mat3 vectors;  // column i is the eigenvector for values[i]
+};
+SymmetricEigen eigen_symmetric(const Mat3& a);
+
+/// Unit quaternion (w,x,y,z) helpers for docking pose orientation.
+struct Quat {
+  double w = 1.0, x = 0.0, y = 0.0, z = 0.0;
+
+  static Quat identity() { return {}; }
+  static Quat from_axis_angle(const Vec3& axis, double angle);
+  /// Uniformly random rotation (Shoemake's method) from three uniforms in [0,1).
+  static Quat random(double u1, double u2, double u3);
+
+  Quat operator*(const Quat& o) const;
+  Quat normalized() const;
+  Mat3 to_matrix() const { return Mat3::from_quaternion(w, x, y, z); }
+};
+
+}  // namespace qdb

@@ -1,0 +1,24 @@
+#include "lattice/allocation.h"
+
+#include "common/error.h"
+
+namespace qdb {
+
+EagleAllocation published_eagle_allocation(int sequence_length) {
+  // Qubit counts per length as reported across Tables 1-3 (consistent for
+  // every fragment of a given length in the paper).
+  static constexpr int kQubits[10] = {12, 23, 38, 46, 54, 63, 72, 82, 92, 102};
+  QDB_REQUIRE(sequence_length >= 5 && sequence_length <= 14,
+              "QDockBank fragments are 5..14 residues");
+  const int q = kQubits[sequence_length - 5];
+  return EagleAllocation{sequence_length, q, modeled_depth_for_allocation(q)};
+}
+
+int modeled_depth_for_allocation(int qubits) { return 4 * qubits + 5; }
+
+int logical_turn_qubits(int sequence_length) {
+  QDB_REQUIRE(sequence_length >= 4, "turn encoding needs at least 4 residues");
+  return 2 * (sequence_length - 3);
+}
+
+}  // namespace qdb

@@ -1,0 +1,89 @@
+#include "lattice/amino_acid.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace qdb {
+
+namespace {
+
+struct AaInfo {
+  char letter;
+  const char* three;
+  double hydropathy;  // Kyte-Doolittle
+  ResidueClass cls;
+  int charge;
+  int sidechain_heavy;
+};
+
+// Indexed by the AminoAcid enum order.
+constexpr std::array<AaInfo, kNumAminoAcids> kInfo{{
+    {'A', "ALA", 1.8, ResidueClass::Hydrophobic, 0, 1},
+    {'R', "ARG", -4.5, ResidueClass::Positive, +1, 7},
+    {'N', "ASN", -3.5, ResidueClass::Polar, 0, 4},
+    {'D', "ASP", -3.5, ResidueClass::Negative, -1, 4},
+    {'C', "CYS", 2.5, ResidueClass::Hydrophobic, 0, 2},
+    {'Q', "GLN", -3.5, ResidueClass::Polar, 0, 5},
+    {'E', "GLU", -3.5, ResidueClass::Negative, -1, 5},
+    {'G', "GLY", -0.4, ResidueClass::Polar, 0, 0},
+    {'H', "HIS", -3.2, ResidueClass::Positive, +1, 6},
+    {'I', "ILE", 4.5, ResidueClass::Hydrophobic, 0, 4},
+    {'L', "LEU", 3.8, ResidueClass::Hydrophobic, 0, 4},
+    {'K', "LYS", -3.9, ResidueClass::Positive, +1, 5},
+    {'M', "MET", 1.9, ResidueClass::Hydrophobic, 0, 4},
+    {'F', "PHE", 2.8, ResidueClass::Hydrophobic, 0, 7},
+    {'P', "PRO", -1.6, ResidueClass::Hydrophobic, 0, 3},
+    {'S', "SER", -0.8, ResidueClass::Polar, 0, 2},
+    {'T', "THR", -0.7, ResidueClass::Polar, 0, 3},
+    {'W', "TRP", -0.9, ResidueClass::Hydrophobic, 0, 10},
+    {'Y', "TYR", -1.3, ResidueClass::Polar, 0, 8},
+    {'V', "VAL", 4.2, ResidueClass::Hydrophobic, 0, 3},
+}};
+
+const AaInfo& info(AminoAcid a) { return kInfo[static_cast<std::size_t>(a)]; }
+
+}  // namespace
+
+AminoAcid aa_from_letter(char c) {
+  for (std::size_t i = 0; i < kInfo.size(); ++i) {
+    if (kInfo[i].letter == c) return static_cast<AminoAcid>(i);
+  }
+  throw ParseError(std::string("unknown amino acid letter '") + c + "'");
+}
+
+char aa_letter(AminoAcid a) { return info(a).letter; }
+
+const char* aa_three_letter(AminoAcid a) { return info(a).three; }
+
+AminoAcid aa_from_three_letter(std::string_view name) {
+  for (std::size_t i = 0; i < kInfo.size(); ++i) {
+    if (name == kInfo[i].three) return static_cast<AminoAcid>(i);
+  }
+  throw ParseError("unknown residue name '" + std::string(name) + "'");
+}
+
+double aa_hydropathy(AminoAcid a) { return info(a).hydropathy; }
+
+ResidueClass aa_class(AminoAcid a) { return info(a).cls; }
+
+int aa_charge(AminoAcid a) { return info(a).charge; }
+
+int aa_sidechain_heavy_atoms(AminoAcid a) { return info(a).sidechain_heavy; }
+
+std::vector<AminoAcid> parse_sequence(std::string_view seq) {
+  QDB_REQUIRE(!seq.empty(), "empty sequence");
+  std::vector<AminoAcid> out;
+  out.reserve(seq.size());
+  for (char c : seq) out.push_back(aa_from_letter(c));
+  return out;
+}
+
+std::string sequence_to_string(const std::vector<AminoAcid>& seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (AminoAcid a : seq) out += aa_letter(a);
+  return out;
+}
+
+}  // namespace qdb

@@ -1,0 +1,52 @@
+// The twenty standard amino acids: codes, classes, and hydrophobicity.
+//
+// Fragment sequences in QDockBank are one-letter strings (e.g. "DYLEAYGKGGVKAK"
+// for 4jpy).  This module validates and converts them, and carries the
+// per-residue properties the energy model and the reconstruction templates
+// need: Kyte-Doolittle hydrophobicity, polarity class, and formal charge.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qdb {
+
+enum class AminoAcid : int {
+  Ala, Arg, Asn, Asp, Cys, Gln, Glu, Gly, His, Ile,
+  Leu, Lys, Met, Phe, Pro, Ser, Thr, Trp, Tyr, Val,
+};
+
+constexpr int kNumAminoAcids = 20;
+
+/// Residue polarity classes used by the docking atom-typing and the paper's
+/// data-selection discussion (polar vs hydrophobic enrichment, §4.1).
+enum class ResidueClass { Hydrophobic, Polar, Positive, Negative };
+
+/// One-letter code, e.g. 'A' for Ala.  Throws qdb::ParseError on unknown.
+AminoAcid aa_from_letter(char c);
+char aa_letter(AminoAcid a);
+
+/// Three-letter PDB residue name, e.g. "ALA".
+const char* aa_three_letter(AminoAcid a);
+AminoAcid aa_from_three_letter(std::string_view name);
+
+/// Kyte-Doolittle hydropathy index (positive = hydrophobic).
+double aa_hydropathy(AminoAcid a);
+
+ResidueClass aa_class(AminoAcid a);
+
+/// Formal side-chain charge at physiological pH (-1, 0, +1).
+int aa_charge(AminoAcid a);
+
+/// Number of heavy side-chain atoms (0 for Gly); used by the coarse
+/// reconstruction and the ligand pocket sizing.
+int aa_sidechain_heavy_atoms(AminoAcid a);
+
+/// Parse a one-letter sequence; throws qdb::ParseError on invalid letters.
+std::vector<AminoAcid> parse_sequence(std::string_view seq);
+
+/// Render back to a one-letter string.
+std::string sequence_to_string(const std::vector<AminoAcid>& seq);
+
+}  // namespace qdb

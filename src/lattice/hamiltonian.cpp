@@ -1,0 +1,112 @@
+#include "lattice/hamiltonian.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "lattice/allocation.h"
+
+namespace qdb {
+
+HamiltonianWeights HamiltonianWeights::standard(int length) {
+  QDB_REQUIRE(length >= 4, "fragment too short");
+  HamiltonianWeights w;
+  const double dl = static_cast<double>(length);
+  // Hard penalties must dominate the best possible interaction gain
+  // (~|e_min| * max contacts ~ 7 * L); scale them with L^2 for headroom.
+  w.overlap_penalty = 12.0 * dl * dl;
+  w.backtrack_penalty = 12.0 * dl * dl;
+  // Mild second-shell crowding; the contact shell itself is exempt so MJ
+  // attraction drives folding.
+  w.repulsion = 0.1 * dl;
+  w.chirality_penalty = 0.5;
+  // Identity coefficient calibrated to the published per-group energy scale
+  // (see header).  Valid for the QDockBank range 5..14; extrapolates
+  // smoothly outside it.
+  if (length >= 5 && length <= 14) {
+    const double q = static_cast<double>(published_eagle_allocation(length).qubits);
+    w.energy_offset = 0.0013 * std::pow(q, 3.6);
+  }
+  return w;
+}
+
+FoldingHamiltonian::FoldingHamiltonian(std::vector<AminoAcid> sequence,
+                                       HamiltonianWeights weights, const MjMatrix& mj)
+    : seq_(std::move(sequence)), weights_(weights), mj_(mj) {
+  QDB_REQUIRE(seq_.size() >= 4, "folding needs at least 4 residues");
+  QDB_REQUIRE(seq_.size() <= 32, "fragment too long for the 64-bit encoding");
+}
+
+FoldingHamiltonian::Terms FoldingHamiltonian::terms_of_turns(
+    const std::vector<int>& turns) const {
+  QDB_REQUIRE(turns.size() + 1 == seq_.size(), "turn count must be L-1");
+  Terms t;
+  const std::vector<IVec3> pos = walk_positions(turns);
+  const auto& dirs = tetra_directions();
+
+  // Hg: repeated turn index = backtrack.
+  for (std::size_t k = 0; k + 1 < turns.size(); ++k) {
+    if (turns[k] == turns[k + 1]) t.geometry += weights_.backtrack_penalty;
+  }
+
+  // Hc: left-handed step triples.  Step k = +-dirs[t_k]; the sign cancels in
+  // the determinant parity for consecutive triples (s * -s * s = -s), so use
+  // the signed steps directly.
+  for (std::size_t k = 0; k + 2 < turns.size(); ++k) {
+    IVec3 s[3];
+    for (int j = 0; j < 3; ++j) {
+      const IVec3& d = dirs[static_cast<std::size_t>(turns[k + static_cast<std::size_t>(j)])];
+      const int sign = ((k + static_cast<std::size_t>(j)) % 2 == 0) ? 1 : -1;
+      s[j] = IVec3{sign * d.x, sign * d.y, sign * d.z};
+    }
+    const long det = static_cast<long>(s[0].x) * (static_cast<long>(s[1].y) * s[2].z - static_cast<long>(s[1].z) * s[2].y) -
+                     static_cast<long>(s[0].y) * (static_cast<long>(s[1].x) * s[2].z - static_cast<long>(s[1].z) * s[2].x) +
+                     static_cast<long>(s[0].z) * (static_cast<long>(s[1].x) * s[2].y - static_cast<long>(s[1].y) * s[2].x);
+    if (det < 0) t.chirality += weights_.chirality_penalty;
+  }
+
+  // Hd and Hi over non-bonded pairs.
+  const std::size_t n = pos.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      const IVec3 d = pos[i] - pos[j];
+      const int d2 = d.x * d.x + d.y * d.y + d.z * d.z;
+      if (d2 == 0) {
+        t.distance += weights_.overlap_penalty;
+      } else if (j - i >= 3 && d2 == 3) {
+        // Contact shell: pure MJ attraction, no crowding penalty.
+        t.interaction += mj_.energy(seq_[i], seq_[j]);
+      } else if (d2 <= 8) {
+        // Second-shell crowding (soft excluded volume of side chains).
+        t.distance += weights_.repulsion / static_cast<double>(d2);
+      }
+    }
+  }
+
+  t.chirality *= weights_.lambda_c;
+  t.geometry *= weights_.lambda_g;
+  t.distance *= weights_.lambda_d;
+  t.interaction *= weights_.lambda_i;
+  t.offset = weights_.energy_offset;
+  return t;
+}
+
+double FoldingHamiltonian::energy_of_turns(const std::vector<int>& turns) const {
+  return terms_of_turns(turns).total();
+}
+
+double FoldingHamiltonian::energy(std::uint64_t bitstring) const {
+  return energy_of_turns(decode_turns(bitstring, length()));
+}
+
+int FoldingHamiltonian::contact_pair_count() const {
+  int count = 0;
+  const int n = length();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 3; j < n; ++j) {
+      if ((j - i) % 2 == 1) ++count;  // contacts need opposite sublattices
+    }
+  }
+  return count;
+}
+
+}  // namespace qdb

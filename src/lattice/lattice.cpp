@@ -1,0 +1,77 @@
+#include "lattice/lattice.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+const std::array<IVec3, 4>& tetra_directions() {
+  static const std::array<IVec3, 4> dirs{{{1, 1, 1}, {1, -1, -1}, {-1, 1, -1}, {-1, -1, 1}}};
+  return dirs;
+}
+
+Vec3 lattice_to_cartesian(const IVec3& p) {
+  const double scale = kCaCaBondLength / std::sqrt(3.0);
+  return Vec3{p.x * scale, p.y * scale, p.z * scale};
+}
+
+std::vector<IVec3> walk_positions(const std::vector<int>& turns) {
+  std::vector<IVec3> pos;
+  pos.reserve(turns.size() + 1);
+  pos.push_back({0, 0, 0});
+  const auto& dirs = tetra_directions();
+  for (std::size_t k = 0; k < turns.size(); ++k) {
+    QDB_REQUIRE(turns[k] >= 0 && turns[k] < 4, "turn index out of range");
+    const IVec3& d = dirs[static_cast<std::size_t>(turns[k])];
+    // Even sites (A sublattice) step along +d, odd sites along -d.
+    const int sign = (k % 2 == 0) ? 1 : -1;
+    pos.push_back(pos.back() + IVec3{sign * d.x, sign * d.y, sign * d.z});
+  }
+  return pos;
+}
+
+int num_free_turns(int length) {
+  QDB_REQUIRE(length >= 4, "fragment too short for the turn encoding");
+  return length - 3;
+}
+
+int encoding_qubits(int length) { return 2 * num_free_turns(length); }
+
+std::vector<int> decode_turns(std::uint64_t x, int length) {
+  const int free_turns = num_free_turns(length);
+  std::vector<int> turns(static_cast<std::size_t>(length - 1));
+  turns[0] = 0;
+  turns[1] = 1;
+  for (int k = 0; k < free_turns; ++k) {
+    turns[static_cast<std::size_t>(k) + 2] = static_cast<int>((x >> (2 * k)) & 3);
+  }
+  return turns;
+}
+
+std::uint64_t encode_turns(const std::vector<int>& turns) {
+  QDB_REQUIRE(turns.size() >= 3, "turn sequence too short");
+  QDB_REQUIRE(turns[0] == 0 && turns[1] == 1, "gauge turns must be t0=0, t1=1");
+  std::uint64_t x = 0;
+  for (std::size_t k = 2; k < turns.size(); ++k) {
+    QDB_REQUIRE(turns[k] >= 0 && turns[k] < 4, "turn index out of range");
+    x |= static_cast<std::uint64_t>(turns[k]) << (2 * (k - 2));
+  }
+  return x;
+}
+
+bool is_self_avoiding(const std::vector<IVec3>& positions) {
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (positions[i] == positions[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_contact(const IVec3& a, const IVec3& b) {
+  const IVec3 d = a - b;
+  return (d.x * d.x + d.y * d.y + d.z * d.z) == 3;  // one bond: |(+-1,+-1,+-1)|^2
+}
+
+}  // namespace qdb

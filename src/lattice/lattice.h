@@ -1,0 +1,68 @@
+// Tetrahedral (diamond) lattice geometry and the 2-bit turn encoding.
+//
+// The paper's coarse-grained model (§4.3.1) places each residue on a
+// tetrahedral lattice node with four extension directions, fixed bond length
+// and ~109.47 degree bond angles.  We use the diamond-cubic construction:
+// two interpenetrating FCC sublattices A and B; from an A site the four bond
+// vectors are (1,1,1), (1,-1,-1), (-1,1,-1), (-1,-1,1) (in lattice units),
+// and from a B site their negatives.  Consecutive bonds with *different*
+// turn indices meet at arccos(1/3) ~ 109.47 degrees; a repeated turn index
+// means an immediate backtrack (residue n+1 lands on residue n-1), which the
+// geometry term of the Hamiltonian penalises.
+//
+// A conformation of an L-residue fragment is the sequence of L-1 turn
+// indices t_k in {0,1,2,3}.  Global rotations let us fix t_0 = 0 and
+// t_1 = 1, so 2*(L-3) bits (qubits) encode the conformation: exactly the
+// compact encoding the VQE runs on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.h"
+
+namespace qdb {
+
+/// Integer lattice coordinates (units of the cubic half-cell).
+struct IVec3 {
+  int x = 0, y = 0, z = 0;
+  constexpr bool operator==(const IVec3& o) const = default;
+  constexpr IVec3 operator+(const IVec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr IVec3 operator-(const IVec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+};
+
+/// The four A-sublattice bond vectors; B sites use their negatives.
+const std::array<IVec3, 4>& tetra_directions();
+
+/// Ideal Calpha-Calpha distance along the chain, in Angstroms.
+constexpr double kCaCaBondLength = 3.8;
+
+/// Cartesian position of a lattice node: integer coordinates scaled so that
+/// one bond has length kCaCaBondLength.
+Vec3 lattice_to_cartesian(const IVec3& p);
+
+/// Walk the turn sequence from the origin.  turns[k] in {0,1,2,3}; residue 0
+/// sits at the origin (an A site).  Returns L = turns.size()+1 positions.
+std::vector<IVec3> walk_positions(const std::vector<int>& turns);
+
+/// Number of free (encoded) turns for an L-residue fragment: L-3.
+int num_free_turns(int length);
+
+/// Qubits of the compact encoding: 2 * (L - 3).
+int encoding_qubits(int length);
+
+/// Decode a bitstring x (qubit 0 = LSB) into the full turn sequence,
+/// restoring the fixed gauge turns t0 = 0, t1 = 1.
+std::vector<int> decode_turns(std::uint64_t x, int length);
+
+/// Inverse of decode_turns; requires turns[0] == 0 and turns[1] == 1.
+std::uint64_t encode_turns(const std::vector<int>& turns);
+
+/// True if no two residues occupy the same lattice site.
+bool is_self_avoiding(const std::vector<IVec3>& positions);
+
+/// Contact test: non-bonded residues (|i-j| >= 3) one bond apart.
+bool is_contact(const IVec3& a, const IVec3& b);
+
+}  // namespace qdb

@@ -1,0 +1,52 @@
+#include "lattice/mj_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdb {
+
+const MjMatrix& MjMatrix::standard() {
+  static const MjMatrix instance = [] {
+    MjMatrix m;
+    // Map Kyte-Doolittle hydropathy (in [-4.5, 4.5]) to the LTW charge q in
+    // [0, 1]: q = (h + 4.5) / 9.  Coefficients calibrated to the MJ(1996)
+    // range: e(I,I) ~ -7, e(K,K)/e(E,E) ~ -0.5.
+    constexpr double c0 = -0.5;
+    constexpr double c1 = -1.0;
+    constexpr double c2 = -4.5;
+    for (int i = 0; i < kNumAminoAcids; ++i) {
+      for (int j = 0; j < kNumAminoAcids; ++j) {
+        const double qi = (aa_hydropathy(static_cast<AminoAcid>(i)) + 4.5) / 9.0;
+        const double qj = (aa_hydropathy(static_cast<AminoAcid>(j)) + 4.5) / 9.0;
+        double e = c0 + c1 * (qi + qj) + c2 * qi * qj;
+        // Like-charge contacts are further destabilised, opposite charges
+        // stabilised (salt bridges) — the electrostatic structure MJ's
+        // statistics capture implicitly.
+        const int ci = aa_charge(static_cast<AminoAcid>(i));
+        const int cj = aa_charge(static_cast<AminoAcid>(j));
+        e += 0.6 * ci * cj;
+        m.e_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = e;
+      }
+    }
+    return m;
+  }();
+  return instance;
+}
+
+double MjMatrix::energy(AminoAcid a, AminoAcid b) const {
+  return e_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+double MjMatrix::min_energy() const {
+  double best = 1e9;
+  for (const auto& row : e_) best = std::min(best, *std::min_element(row.begin(), row.end()));
+  return best;
+}
+
+double MjMatrix::max_energy() const {
+  double worst = -1e9;
+  for (const auto& row : e_) worst = std::max(worst, *std::max_element(row.begin(), row.end()));
+  return worst;
+}
+
+}  // namespace qdb

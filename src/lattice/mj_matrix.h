@@ -1,0 +1,41 @@
+// Miyazawa-Jernigan style residue-residue contact energies.
+//
+// The paper's interaction term Hi uses the Miyazawa-Jernigan statistical
+// potential (§6.2, Fig. 5 validates full coverage of its 400 pair types).
+// We construct the 20x20 matrix through the Li-Tang-Wingreen rank-2
+// decomposition of the MJ matrix (PRL 79:765, 1997):
+//
+//     e(i, j) = c0 + c1 * (q_i + q_j) + c2 * q_i * q_j
+//
+// with per-residue "hydrophobicity charges" q derived from the
+// Kyte-Doolittle scale and coefficients calibrated so the strongest
+// hydrophobic pairs (I-I, F-F, L-L) land near -7 RT and charged/polar pairs
+// near -1 RT, matching the published MJ(1996) energy range.  This keeps the
+// potential fully dense (all 400 pair types defined), symmetric, and
+// hydrophobicity-ordered — the properties the dataset evaluation relies on.
+#pragma once
+
+#include <array>
+
+#include "lattice/amino_acid.h"
+
+namespace qdb {
+
+class MjMatrix {
+ public:
+  /// The calibrated default matrix (see file comment).
+  static const MjMatrix& standard();
+
+  /// Contact energy in RT units; symmetric, negative = favourable.
+  double energy(AminoAcid a, AminoAcid b) const;
+
+  /// Strongest (most negative) and weakest entries, for range checks.
+  double min_energy() const;
+  double max_energy() const;
+
+ private:
+  MjMatrix() = default;
+  std::array<std::array<double, kNumAminoAcids>, kNumAminoAcids> e_{};
+};
+
+}  // namespace qdb

@@ -1,0 +1,179 @@
+#include "lattice/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace qdb {
+
+namespace {
+
+/// Incremental DFS state: penalties and interactions are accumulated as
+/// each residue is placed, so a subtree can be pruned as soon as the partial
+/// energy cannot beat the incumbent even with the best possible remaining
+/// interaction gain.
+class ExactSearch {
+ public:
+  explicit ExactSearch(const FoldingHamiltonian& h)
+      : h_(h), length_(h.length()), e_min_(MjMatrix::standard().min_energy()) {
+    // Most negative remaining interaction per *placed* residue: each new
+    // residue j can contact at most ceil((j-2)/2) earlier partners; bound it
+    // loosely by (length) contacts of strength e_min each.
+    best_.energy = std::numeric_limits<double>::infinity();
+  }
+
+  SolveResult run() {
+    turns_.assign(static_cast<std::size_t>(length_) - 1, 0);
+    turns_[1] = 1;
+    positions_.clear();
+    positions_.push_back({0, 0, 0});
+    extend(0, h_.weights().energy_offset);  // constant identity term
+    return best_;
+  }
+
+ private:
+  /// Penalty + interaction contributed by placing residue at index k+1
+  /// (after step k) given the existing prefix.
+  double placement_energy(std::size_t k, const IVec3& p) const {
+    const auto& w = h_.weights();
+    const auto& seq = h_.sequence();
+    double e = 0.0;
+    if (k > 0 && turns_[k] == turns_[k - 1]) e += w.lambda_g * w.backtrack_penalty;
+    // Chirality of the step triple ending at this step.
+    if (k >= 2) {
+      const auto& dirs = tetra_directions();
+      IVec3 s[3];
+      for (int j = 0; j < 3; ++j) {
+        const std::size_t idx = k - 2 + static_cast<std::size_t>(j);
+        const IVec3& d = dirs[static_cast<std::size_t>(turns_[idx])];
+        const int sign = (idx % 2 == 0) ? 1 : -1;
+        s[j] = IVec3{sign * d.x, sign * d.y, sign * d.z};
+      }
+      const long det = static_cast<long>(s[0].x) * (static_cast<long>(s[1].y) * s[2].z - static_cast<long>(s[1].z) * s[2].y) -
+                       static_cast<long>(s[0].y) * (static_cast<long>(s[1].x) * s[2].z - static_cast<long>(s[1].z) * s[2].x) +
+                       static_cast<long>(s[0].z) * (static_cast<long>(s[1].x) * s[2].y - static_cast<long>(s[1].y) * s[2].x);
+      if (det < 0) e += w.lambda_c * w.chirality_penalty;
+    }
+    // Pairwise terms against every residue except the bonded predecessor.
+    const std::size_t new_index = k + 1;
+    for (std::size_t i = 0; i + 1 < new_index; ++i) {
+      const IVec3 d = positions_[i] - p;
+      const int d2 = d.x * d.x + d.y * d.y + d.z * d.z;
+      if (d2 == 0) {
+        e += w.lambda_d * w.overlap_penalty;
+      } else if (new_index - i >= 3 && d2 == 3) {
+        e += w.lambda_i * MjMatrix::standard().energy(seq[i], seq[new_index]);
+      } else if (d2 <= 8) {
+        e += w.lambda_d * w.repulsion / static_cast<double>(d2);
+      }
+    }
+    return e;
+  }
+
+  /// Optimistic bound on the energy still to come after `placed` residues:
+  /// every remaining contact pair at the strongest MJ energy, zero penalty.
+  double remaining_bound(std::size_t placed) const {
+    const std::size_t remaining = static_cast<std::size_t>(length_) - placed;
+    // Each future residue can form at most (length/2) contacts; crude but
+    // admissible (interaction is the only negative term).
+    const double max_contacts = static_cast<double>(remaining) * (static_cast<double>(length_) / 2.0);
+    return max_contacts * e_min_;
+  }
+
+  void extend(std::size_t k, double acc) {
+    ++best_.nodes_visited;
+    const std::size_t num_turns = static_cast<std::size_t>(length_) - 1;
+    if (k == num_turns) {
+      if (acc < best_.energy) {
+        best_.energy = acc;
+        best_.turns = turns_;
+        best_.bitstring = encode_turns(turns_);
+      }
+      return;
+    }
+    if (acc + remaining_bound(k + 1) >= best_.energy) return;  // prune
+
+    const auto& dirs = tetra_directions();
+    const int sign = (k % 2 == 0) ? 1 : -1;
+    const int t_lo = (k < 2) ? turns_[k] : 0;  // gauge turns are fixed
+    const int t_hi = (k < 2) ? turns_[k] + 1 : 4;
+    for (int t = t_lo; t < t_hi; ++t) {
+      turns_[k] = t;
+      const IVec3& d = dirs[static_cast<std::size_t>(t)];
+      const IVec3 p = positions_.back() + IVec3{sign * d.x, sign * d.y, sign * d.z};
+      const double step_e = placement_energy(k, p);
+      positions_.push_back(p);
+      extend(k + 1, acc + step_e);
+      positions_.pop_back();
+    }
+    if (k < 2) turns_[k] = (k == 0) ? 0 : 1;  // restore gauge value
+  }
+
+  const FoldingHamiltonian& h_;
+  int length_;
+  double e_min_;
+  std::vector<int> turns_;
+  std::vector<IVec3> positions_;
+  SolveResult best_;
+};
+
+}  // namespace
+
+SolveResult ExactSolver::solve(const FoldingHamiltonian& h) const {
+  ExactSearch search(h);
+  SolveResult r = search.run();
+  // The incremental accumulation must agree with the reference evaluator.
+  const double check = h.energy_of_turns(r.turns);
+  QDB_REQUIRE(std::abs(check - r.energy) < 1e-6 * (1.0 + std::abs(check)),
+              "exact solver energy accounting mismatch");
+  r.energy = check;
+  return r;
+}
+
+SolveResult AnnealingSolver::solve(const FoldingHamiltonian& h) const {
+  Rng rng(opt_.seed);
+  const int free_turns = num_free_turns(h.length());
+
+  std::vector<int> turns(static_cast<std::size_t>(h.length()) - 1, 0);
+  turns[1] = 1;
+  for (int k = 0; k < free_turns; ++k)
+    turns[static_cast<std::size_t>(k) + 2] = static_cast<int>(rng.below(4));
+
+  double energy = h.energy_of_turns(turns);
+  SolveResult best;
+  best.turns = turns;
+  best.energy = energy;
+  best.bitstring = encode_turns(turns);
+
+  const double cool = std::pow(opt_.t_end / opt_.t_start,
+                               1.0 / std::max(1, opt_.sweeps - 1));
+  double temp = opt_.t_start;
+
+  for (int sweep = 0; sweep < opt_.sweeps; ++sweep, temp *= cool) {
+    for (int k = 0; k < free_turns; ++k) {
+      const std::size_t idx = static_cast<std::size_t>(k) + 2;
+      const int old_turn = turns[idx];
+      int proposal = static_cast<int>(rng.below(3));
+      if (proposal >= old_turn) ++proposal;  // uniform over the other three
+      turns[idx] = proposal;
+      const double cand = h.energy_of_turns(turns);
+      const double delta = cand - energy;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+        energy = cand;
+        ++best.nodes_visited;
+        if (energy < best.energy) {
+          best.energy = energy;
+          best.turns = turns;
+          best.bitstring = encode_turns(turns);
+        }
+      } else {
+        turns[idx] = old_turn;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace qdb

@@ -1,0 +1,51 @@
+// Classical ground-state solvers for the folding Hamiltonian.
+//
+// ExactSolver enumerates turn sequences by branch-and-bound DFS and returns
+// the certified global minimum — it provides the "experimental X-ray"
+// reference conformations of our reproduction (see DESIGN.md substitution
+// table) and the exact baseline the VQE approximation ratio is measured
+// against.  AnnealingSolver is the classical heuristic baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "lattice/hamiltonian.h"
+
+namespace qdb {
+
+struct SolveResult {
+  std::vector<int> turns;   // best turn sequence found
+  double energy = 0.0;      // its Hamiltonian value
+  std::uint64_t bitstring = 0;
+  long nodes_visited = 0;   // search effort (exact) / accepted moves (annealing)
+};
+
+class ExactSolver {
+ public:
+  /// Certified global minimum by branch-and-bound over all turn sequences.
+  /// Pruning bound: accumulated penalty + best-possible remaining
+  /// interaction (remaining contact pairs x strongest MJ energy).
+  SolveResult solve(const FoldingHamiltonian& h) const;
+};
+
+class AnnealingSolver {
+ public:
+  struct Options {
+    int sweeps = 4000;          // Metropolis sweeps over all free turns
+    double t_start = 20.0;      // initial temperature (RT units of H)
+    double t_end = 0.05;        // final temperature, geometric schedule
+    std::uint64_t seed = 1;
+  };
+
+  AnnealingSolver() = default;
+  explicit AnnealingSolver(Options opt) : opt_(opt) {}
+
+  SolveResult solve(const FoldingHamiltonian& h) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace qdb

@@ -1,0 +1,160 @@
+#include <limits>
+
+#include "optimize/cobyla.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+namespace {
+
+/// Solve A x = b (n x n, row-major) by Gaussian elimination with partial
+/// pivoting.  Returns false if A is numerically singular.
+bool solve_linear(std::vector<double> a, std::vector<double> b, int n,
+                  std::vector<double>& x) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + static_cast<std::size_t>(col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot) * static_cast<std::size_t>(n) + static_cast<std::size_t>(col)]))
+        pivot = r;
+    }
+    const double p = a[static_cast<std::size_t>(pivot) * static_cast<std::size_t>(n) + static_cast<std::size_t>(col)];
+    if (std::abs(p) < 1e-14) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c)
+        std::swap(a[static_cast<std::size_t>(pivot) * static_cast<std::size_t>(n) + static_cast<std::size_t>(c)],
+                  a[static_cast<std::size_t>(col) * static_cast<std::size_t>(n) + static_cast<std::size_t>(c)]);
+      std::swap(b[static_cast<std::size_t>(pivot)], b[static_cast<std::size_t>(col)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + static_cast<std::size_t>(col)] / p;
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c)
+        a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + static_cast<std::size_t>(c)] -=
+            factor * a[static_cast<std::size_t>(col) * static_cast<std::size_t>(n) + static_cast<std::size_t>(c)];
+      b[static_cast<std::size_t>(r)] -= factor * b[static_cast<std::size_t>(col)];
+    }
+  }
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c)
+      acc -= a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + static_cast<std::size_t>(c)] * x[static_cast<std::size_t>(c)];
+    x[static_cast<std::size_t>(r)] = acc / a[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) + static_cast<std::size_t>(r)];
+  }
+  return true;
+}
+
+}  // namespace
+
+OptimResult Cobyla::minimize(const Objective& f, const std::vector<double>& x0,
+                             int max_evals) const {
+  QDB_REQUIRE(!x0.empty(), "cobyla needs at least one parameter");
+  QDB_REQUIRE(max_evals >= 1, "cobyla needs a positive budget");
+  const int n = static_cast<int>(x0.size());
+
+  OptimResult result;
+  result.x = x0;
+  result.fx = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](const std::vector<double>& x) {
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < result.fx) {
+      result.fx = v;
+      result.x = x;
+    }
+    result.history.push_back(result.fx);
+    return v;
+  };
+
+  double rho = opt_.rho_begin;
+
+  // Simplex: vertex 0 plus n offsets, rebuilt around the incumbent whenever
+  // the radius shrinks or the geometry degenerates.
+  std::vector<std::vector<double>> pts;
+  std::vector<double> vals;
+
+  auto rebuild_simplex = [&](const std::vector<double>& center) {
+    pts.assign(1, center);
+    vals.assign(1, evaluate(center));
+    for (int i = 0; i < n && result.evaluations < max_evals; ++i) {
+      std::vector<double> p = center;
+      p[static_cast<std::size_t>(i)] += rho;
+      pts.push_back(p);
+      vals.push_back(evaluate(p));
+    }
+  };
+
+  rebuild_simplex(x0);
+
+  while (result.evaluations < max_evals && rho > opt_.rho_end) {
+    if (static_cast<int>(pts.size()) < n + 1) break;  // budget ran out mid-build
+
+    // Index of best and worst vertices.
+    std::size_t best = 0, worst = 0;
+    for (std::size_t i = 1; i < vals.size(); ++i) {
+      if (vals[i] < vals[best]) best = i;
+      if (vals[i] > vals[worst]) worst = i;
+    }
+
+    // Fit the linear model f(x) ~ f(x_best) + g . (x - x_best) through the
+    // other n vertices:  rows (p_i - x_best), rhs (f_i - f_best).
+    std::vector<double> a;
+    std::vector<double> b;
+    a.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (i == best) continue;
+      for (int c = 0; c < n; ++c)
+        a.push_back(pts[i][static_cast<std::size_t>(c)] - pts[best][static_cast<std::size_t>(c)]);
+      b.push_back(vals[i] - vals[best]);
+    }
+
+    std::vector<double> g;
+    if (!solve_linear(a, b, n, g)) {
+      // Degenerate geometry: restart the simplex around the incumbent.
+      rho *= 0.5;
+      rebuild_simplex(result.x);
+      continue;
+    }
+
+    double gnorm = 0.0;
+    for (double v : g) gnorm += v * v;
+    gnorm = std::sqrt(gnorm);
+    if (gnorm < 1e-12) {
+      rho *= 0.5;
+      rebuild_simplex(result.x);
+      continue;
+    }
+
+    // Trust-region step against the model gradient.
+    std::vector<double> cand = pts[best];
+    for (int c = 0; c < n; ++c)
+      cand[static_cast<std::size_t>(c)] -= rho * g[static_cast<std::size_t>(c)] / gnorm;
+    const double fcand = evaluate(cand);
+
+    if (fcand < vals[best]) {
+      // Model step worked: replace the worst vertex and cautiously re-expand
+      // the trust region (lets the method follow long curved valleys).
+      pts[worst] = std::move(cand);
+      vals[worst] = fcand;
+      rho = std::min(rho * 1.25, opt_.rho_begin);
+    } else if (fcand < vals[worst]) {
+      // Partial success: still improves the simplex.
+      pts[worst] = std::move(cand);
+      vals[worst] = fcand;
+      rho *= 0.8;
+    } else {
+      // Step failed: shrink the trust region and refresh geometry.
+      rho *= 0.5;
+      rebuild_simplex(result.x);
+    }
+  }
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,34 @@
+// COBYLA — Constrained Optimization BY Linear Approximation (Powell, 1994).
+//
+// The paper's VQE loop uses COBYLA as its classical optimizer.  This is a
+// faithful unconstrained variant of Powell's method: it maintains a simplex
+// of n+1 interpolation points, fits a linear model of the objective through
+// them, takes a trust-region step of radius rho against the model gradient,
+// and shrinks rho when the model stops producing improvement.  (QDockBank's
+// VQE problem is unconstrained — parameters are rotation angles — so the
+// constraint machinery of the original algorithm is not needed.)
+#pragma once
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+class Cobyla final : public Optimizer {
+ public:
+  struct Options {
+    double rho_begin = 0.5;  // initial trust-region radius (radians here)
+    double rho_end = 1e-4;   // final radius: convergence threshold
+  };
+
+  Cobyla() = default;
+  explicit Cobyla(Options opt) : opt_(opt) {}
+
+  OptimResult minimize(const Objective& f, const std::vector<double>& x0,
+                       int max_evals) const override;
+  const char* name() const override { return "cobyla"; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace qdb

@@ -1,0 +1,100 @@
+#include <limits>
+
+#include "optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace qdb {
+
+OptimResult NelderMead::minimize(const Objective& f, const std::vector<double>& x0,
+                                 int max_evals) const {
+  QDB_REQUIRE(!x0.empty(), "nelder-mead needs at least one parameter");
+  QDB_REQUIRE(max_evals >= 1, "nelder-mead needs a positive budget");
+  const std::size_t n = x0.size();
+
+  OptimResult result;
+  result.x = x0;
+  result.fx = std::numeric_limits<double>::infinity();
+  auto evaluate = [&](const std::vector<double>& x) {
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < result.fx) {
+      result.fx = v;
+      result.x = x;
+    }
+    result.history.push_back(result.fx);
+    return v;
+  };
+
+  std::vector<std::vector<double>> pts{x0};
+  std::vector<double> vals{evaluate(x0)};
+  for (std::size_t i = 0; i < n && result.evaluations < max_evals; ++i) {
+    auto p = x0;
+    p[i] += opt_.initial_step;
+    pts.push_back(p);
+    vals.push_back(evaluate(p));
+  }
+
+  while (result.evaluations < max_evals && pts.size() == n + 1) {
+    // Order vertices by value.
+    std::vector<std::size_t> order(pts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[order.size() - 2];
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (i == worst) continue;
+      for (std::size_t c = 0; c < n; ++c) centroid[c] += pts[i][c];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t c = 0; c < n; ++c) p[c] = centroid[c] + t * (centroid[c] - pts[worst][c]);
+      return p;
+    };
+
+    const auto reflected = blend(opt_.alpha);
+    const double fr = evaluate(reflected);
+    if (fr < vals[best]) {
+      const auto expanded = blend(opt_.gamma);
+      const double fe = result.evaluations < max_evals ? evaluate(expanded) : fr;
+      if (fe < fr) {
+        pts[worst] = expanded;
+        vals[worst] = fe;
+      } else {
+        pts[worst] = reflected;
+        vals[worst] = fr;
+      }
+    } else if (fr < vals[second_worst]) {
+      pts[worst] = reflected;
+      vals[worst] = fr;
+    } else {
+      const auto contracted = blend(-opt_.beta);
+      const double fc = result.evaluations < max_evals ? evaluate(contracted) : fr;
+      if (fc < vals[worst]) {
+        pts[worst] = contracted;
+        vals[worst] = fc;
+      } else {
+        // Shrink everything toward the best vertex.
+        for (std::size_t i = 0; i < pts.size() && result.evaluations < max_evals; ++i) {
+          if (i == best) continue;
+          for (std::size_t c = 0; c < n; ++c)
+            pts[i][c] = pts[best][c] + opt_.sigma * (pts[i][c] - pts[best][c]);
+          vals[i] = evaluate(pts[i]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qdb

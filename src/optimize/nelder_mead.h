@@ -1,0 +1,31 @@
+// Nelder-Mead downhill simplex (reflection / expansion / contraction /
+// shrink).  Baseline optimizer for comparison against COBYLA in the
+// optimizer ablation bench.
+#pragma once
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+class NelderMead final : public Optimizer {
+ public:
+  struct Options {
+    double initial_step = 0.5;
+    double alpha = 1.0;  // reflection
+    double gamma = 2.0;  // expansion
+    double beta = 0.5;   // contraction
+    double sigma = 0.5;  // shrink
+  };
+
+  NelderMead() = default;
+  explicit NelderMead(Options opt) : opt_(opt) {}
+
+  OptimResult minimize(const Objective& f, const std::vector<double>& x0,
+                       int max_evals) const override;
+  const char* name() const override { return "nelder-mead"; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace qdb

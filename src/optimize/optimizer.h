@@ -1,0 +1,38 @@
+// Gradient-free optimizers for the VQE classical loop.
+//
+// The paper minimises the Hamiltonian expectation with COBYLA (§4.3.2,
+// "gradient-free classical optimization", ~200 iterations).  All optimizers
+// here share one interface, take an explicit evaluation budget, and are
+// robust to stochastic objectives (shot-noise in the energy estimate).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qdb {
+
+/// Objective to minimise.  May be stochastic (e.g. sampled energies).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct OptimResult {
+  std::vector<double> x;        // best parameters found
+  double fx = 0.0;              // objective at x (best observed value)
+  int evaluations = 0;          // objective calls consumed
+  std::vector<double> history;  // best-so-far value after each evaluation
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Minimise `f` starting from `x0` with at most `max_evals` calls.
+  virtual OptimResult minimize(const Objective& f, const std::vector<double>& x0,
+                               int max_evals) const = 0;
+
+  /// Human-readable name for reports ("cobyla", "spsa", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace qdb

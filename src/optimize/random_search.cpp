@@ -1,0 +1,39 @@
+#include <limits>
+
+#include "optimize/random_search.h"
+
+#include "common/error.h"
+
+namespace qdb {
+
+OptimResult RandomSearch::minimize(const Objective& f, const std::vector<double>& x0,
+                                   int max_evals) const {
+  QDB_REQUIRE(!x0.empty(), "random search needs at least one parameter");
+  QDB_REQUIRE(max_evals >= 1, "random search needs a positive budget");
+
+  OptimResult result;
+  result.x = x0;
+  result.fx = std::numeric_limits<double>::infinity();
+  Rng rng(opt_.seed);
+
+  auto evaluate = [&](const std::vector<double>& x) {
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < result.fx) {
+      result.fx = v;
+      result.x = x;
+    }
+    result.history.push_back(result.fx);
+    return v;
+  };
+
+  evaluate(x0);
+  while (result.evaluations < max_evals) {
+    std::vector<double> cand = result.x;  // propose around the incumbent
+    for (double& c : cand) c += rng.normal(0.0, opt_.sigma);
+    evaluate(cand);
+  }
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,27 @@
+// Gaussian random search around the incumbent — the weakest sensible
+// baseline; anchors the optimizer ablation bench.
+#pragma once
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+class RandomSearch final : public Optimizer {
+ public:
+  struct Options {
+    double sigma = 0.4;      // proposal spread (radians)
+    std::uint64_t seed = 1;
+  };
+
+  RandomSearch() = default;
+  explicit RandomSearch(Options opt) : opt_(opt) {}
+
+  OptimResult minimize(const Objective& f, const std::vector<double>& x0,
+                       int max_evals) const override;
+  const char* name() const override { return "random-search"; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace qdb

@@ -1,0 +1,58 @@
+#include <limits>
+
+#include "optimize/spsa.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+OptimResult Spsa::minimize(const Objective& f, const std::vector<double>& x0,
+                           int max_evals) const {
+  QDB_REQUIRE(!x0.empty(), "spsa needs at least one parameter");
+  QDB_REQUIRE(max_evals >= 1, "spsa needs a positive budget");
+  const std::size_t n = x0.size();
+
+  OptimResult result;
+  result.x = x0;
+  result.fx = std::numeric_limits<double>::infinity();
+  auto evaluate = [&](const std::vector<double>& x) {
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < result.fx) {
+      result.fx = v;
+      result.x = x;
+    }
+    result.history.push_back(result.fx);
+    return v;
+  };
+
+  Rng rng(opt_.seed);
+  std::vector<double> x = x0;
+  evaluate(x);
+
+  for (int k = 0; result.evaluations + 2 <= max_evals; ++k) {
+    const double ak = opt_.a / std::pow(k + 1 + opt_.stability, opt_.alpha);
+    const double ck = opt_.c / std::pow(k + 1, opt_.gamma);
+
+    // Rademacher perturbation direction.
+    std::vector<double> delta(n);
+    for (double& d : delta) d = rng.bernoulli(0.5) ? 1.0 : -1.0;
+
+    std::vector<double> xp = x, xm = x;
+    for (std::size_t i = 0; i < n; ++i) {
+      xp[i] += ck * delta[i];
+      xm[i] -= ck * delta[i];
+    }
+    const double fp = evaluate(xp);
+    const double fm = evaluate(xm);
+    const double diff = (fp - fm) / (2.0 * ck);
+    for (std::size_t i = 0; i < n; ++i) x[i] -= ak * diff / delta[i];
+  }
+  // Record the final iterate if budget allows (it may beat both probes).
+  if (result.evaluations < max_evals) evaluate(x);
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,34 @@
+// SPSA — Simultaneous Perturbation Stochastic Approximation (Spall, 1992).
+//
+// Estimates the full gradient from two objective evaluations regardless of
+// dimension, which makes it popular for noisy VQE loops; included as a
+// baseline against COBYLA in the optimizer ablation.
+#pragma once
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+class Spsa final : public Optimizer {
+ public:
+  struct Options {
+    double a = 0.2;          // step gain numerator
+    double c = 0.15;         // perturbation size
+    double alpha = 0.602;    // step decay exponent (Spall's defaults)
+    double gamma = 0.101;    // perturbation decay exponent
+    double stability = 10.0; // A, stabilises early steps
+    std::uint64_t seed = 1;  // perturbation stream
+  };
+
+  Spsa() = default;
+  explicit Spsa(Options opt) : opt_(opt) {}
+
+  OptimResult minimize(const Objective& f, const std::vector<double>& x0,
+                       int max_evals) const override;
+  const char* name() const override { return "spsa"; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace qdb

@@ -1,0 +1,36 @@
+#include "quantum/ansatz.h"
+
+#include "common/error.h"
+
+namespace qdb {
+
+EfficientSU2::EfficientSU2(int num_qubits, int reps)
+    : num_qubits_(num_qubits), reps_(reps) {
+  QDB_REQUIRE(num_qubits >= 1, "ansatz needs at least one qubit");
+  QDB_REQUIRE(reps >= 1, "ansatz needs reps >= 1");
+}
+
+Circuit EfficientSU2::build(const std::vector<double>& params) const {
+  QDB_REQUIRE(static_cast<int>(params.size()) == num_parameters(),
+              "wrong parameter count for EfficientSU2");
+  Circuit c(num_qubits_);
+  std::size_t p = 0;
+  auto rotation_block = [&] {
+    for (int q = 0; q < num_qubits_; ++q) c.ry(params[p++], q);
+    for (int q = 0; q < num_qubits_; ++q) c.rz(params[p++], q);
+  };
+  rotation_block();
+  for (int r = 0; r < reps_; ++r) {
+    for (int q = 0; q + 1 < num_qubits_; ++q) c.cx(q, q + 1);
+    rotation_block();
+  }
+  return c;
+}
+
+std::vector<double> EfficientSU2::initial_point(Rng& rng, double scale) const {
+  std::vector<double> p(static_cast<std::size_t>(num_parameters()));
+  for (double& v : p) v = rng.normal(0.0, scale);
+  return p;
+}
+
+}  // namespace qdb

@@ -1,0 +1,40 @@
+// EfficientSU2 variational ansatz (paper §4.3.2).
+//
+// "The circuit comprises alternating layers of parameterized Ry Rz rotations
+// and entangling gates among adjacent qubits."  This matches Qiskit's
+// EfficientSU2 with ['ry','rz'] rotation blocks and linear entanglement:
+//
+//   [RY RZ on all qubits]  then reps x { CX chain (0,1)(1,2)... ; RY RZ }
+//
+// Parameter count: 2 * n * (reps + 1).  Parameters are ordered layer by
+// layer, RY block before RZ block, qubit-major inside a block (Qiskit order).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "quantum/circuit.h"
+
+namespace qdb {
+
+class EfficientSU2 {
+ public:
+  EfficientSU2(int num_qubits, int reps = 1);
+
+  int num_qubits() const { return num_qubits_; }
+  int reps() const { return reps_; }
+  int num_parameters() const { return 2 * num_qubits_ * (reps_ + 1); }
+
+  /// Bind parameters and materialise the circuit.
+  Circuit build(const std::vector<double>& params) const;
+
+  /// Hardware-efficient initial point: small random angles around zero keep
+  /// the initial state near |0...0> and avoid barren-plateau-scale gradients.
+  std::vector<double> initial_point(Rng& rng, double scale = 0.1) const;
+
+ private:
+  int num_qubits_;
+  int reps_;
+};
+
+}  // namespace qdb

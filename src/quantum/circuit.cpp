@@ -1,0 +1,71 @@
+#include "quantum/circuit.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  QDB_REQUIRE(num_qubits > 0, "circuit needs at least one qubit");
+}
+
+void Circuit::append(const Gate& g) {
+  QDB_REQUIRE(g.q0 >= 0 && g.q0 < num_qubits_, "gate qubit out of range");
+  if (is_two_qubit(g.kind)) {
+    QDB_REQUIRE(g.q1 >= 0 && g.q1 < num_qubits_, "gate qubit out of range");
+    QDB_REQUIRE(g.q0 != g.q1, "two-qubit gate needs distinct qubits");
+  }
+  gates_.push_back(g);
+}
+
+void Circuit::extend(const Circuit& other) {
+  QDB_REQUIRE(other.num_qubits_ <= num_qubits_, "extend: circuit too wide");
+  for (const Gate& g : other.gates_) append(g);
+}
+
+int Circuit::depth() const {
+  std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
+  int depth = 0;
+  for (const Gate& g : gates_) {
+    int l = level[static_cast<std::size_t>(g.q0)];
+    if (is_two_qubit(g.kind)) l = std::max(l, level[static_cast<std::size_t>(g.q1)]);
+    ++l;
+    level[static_cast<std::size_t>(g.q0)] = l;
+    if (is_two_qubit(g.kind)) level[static_cast<std::size_t>(g.q1)] = l;
+    depth = std::max(depth, l);
+  }
+  return depth;
+}
+
+std::size_t Circuit::two_qubit_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (is_two_qubit(g.kind)) ++n;
+  }
+  return n;
+}
+
+std::map<std::string, std::size_t> Circuit::count_ops() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Gate& g : gates_) ++counts[gate_name(g.kind)];
+  return counts;
+}
+
+std::string Circuit::to_string() const {
+  std::string out = format("circuit(%d qubits, %zu gates, depth %d)\n", num_qubits_,
+                           gates_.size(), depth());
+  for (const Gate& g : gates_) {
+    if (is_two_qubit(g.kind)) {
+      out += format("  %s q%d, q%d\n", gate_name(g.kind), g.q0, g.q1);
+    } else if (is_parameterised(g.kind)) {
+      out += format("  %s(%.6f) q%d\n", gate_name(g.kind), g.angle, g.q0);
+    } else {
+      out += format("  %s q%d\n", gate_name(g.kind), g.q0);
+    }
+  }
+  return out;
+}
+
+}  // namespace qdb

@@ -1,0 +1,65 @@
+// Quantum circuit container with builder helpers and resource accounting.
+//
+// Depth is computed the way Qiskit reports it after transpilation: the length
+// of the longest gate dependency chain, where each gate occupies one layer on
+// every qubit it touches.  The paper's Tables 1-3 report this "circuit depth
+// after parameterization" for the routed Eagle circuits.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "quantum/gate.h"
+
+namespace qdb {
+
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+
+  void append(const Gate& g);
+
+  // Builder helpers.
+  Circuit& x(int q) { append(Gate::one(GateKind::X, q)); return *this; }
+  Circuit& y(int q) { append(Gate::one(GateKind::Y, q)); return *this; }
+  Circuit& z(int q) { append(Gate::one(GateKind::Z, q)); return *this; }
+  Circuit& h(int q) { append(Gate::one(GateKind::H, q)); return *this; }
+  Circuit& s(int q) { append(Gate::one(GateKind::S, q)); return *this; }
+  Circuit& sdg(int q) { append(Gate::one(GateKind::Sdg, q)); return *this; }
+  Circuit& sx(int q) { append(Gate::one(GateKind::SX, q)); return *this; }
+  Circuit& sxdg(int q) { append(Gate::one(GateKind::SXdg, q)); return *this; }
+  Circuit& rx(double angle, int q) { append(Gate::one(GateKind::RX, q, angle)); return *this; }
+  Circuit& ry(double angle, int q) { append(Gate::one(GateKind::RY, q, angle)); return *this; }
+  Circuit& rz(double angle, int q) { append(Gate::one(GateKind::RZ, q, angle)); return *this; }
+  Circuit& cx(int control, int target) { append(Gate::two(GateKind::CX, control, target)); return *this; }
+  Circuit& cz(int a, int b) { append(Gate::two(GateKind::CZ, a, b)); return *this; }
+  Circuit& swap(int a, int b) { append(Gate::two(GateKind::SWAP, a, b)); return *this; }
+  Circuit& ecr(int a, int b) { append(Gate::two(GateKind::ECR, a, b)); return *this; }
+
+  /// Append every gate of `other` (qubit counts must be compatible).
+  void extend(const Circuit& other);
+
+  /// Longest dependency chain (Qiskit-style depth).
+  int depth() const;
+
+  /// Number of two-qubit gates (the error-dominating resource on hardware).
+  std::size_t two_qubit_count() const;
+
+  /// Histogram of gate mnemonics, e.g. {"rz": 40, "ecr": 21}.
+  std::map<std::string, std::size_t> count_ops() const;
+
+  /// Multi-line text rendering for debugging/logging.
+  std::string to_string() const;
+
+ private:
+  int num_qubits_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qdb

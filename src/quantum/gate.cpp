@@ -1,0 +1,107 @@
+#include "quantum/gate.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+namespace {
+constexpr cplx kI{0.0, 1.0};
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+bool is_two_qubit(GateKind k) {
+  switch (k) {
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::ECR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_parameterised(GateKind k) {
+  return k == GateKind::RX || k == GateKind::RY || k == GateKind::RZ;
+}
+
+const char* gate_name(GateKind k) {
+  switch (k) {
+    case GateKind::I: return "id";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::H: return "h";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::SX: return "sx";
+    case GateKind::SXdg: return "sxdg";
+    case GateKind::RX: return "rx";
+    case GateKind::RY: return "ry";
+    case GateKind::RZ: return "rz";
+    case GateKind::CX: return "cx";
+    case GateKind::CZ: return "cz";
+    case GateKind::SWAP: return "swap";
+    case GateKind::ECR: return "ecr";
+  }
+  return "?";
+}
+
+std::array<std::array<cplx, 2>, 2> gate_matrix_1q(GateKind k, double angle) {
+  const double c = std::cos(angle / 2.0);
+  const double s = std::sin(angle / 2.0);
+  switch (k) {
+    case GateKind::I: return {{{1, 0}, {0, 1}}};
+    case GateKind::X: return {{{0, 1}, {1, 0}}};
+    case GateKind::Y: return {{{0, -kI}, {kI, 0}}};
+    case GateKind::Z: return {{{1, 0}, {0, -1}}};
+    case GateKind::H: return {{{kInvSqrt2, kInvSqrt2}, {kInvSqrt2, -kInvSqrt2}}};
+    case GateKind::S: return {{{1, 0}, {0, kI}}};
+    case GateKind::Sdg: return {{{1, 0}, {0, -kI}}};
+    case GateKind::SX:
+      return {{{cplx(0.5, 0.5), cplx(0.5, -0.5)}, {cplx(0.5, -0.5), cplx(0.5, 0.5)}}};
+    case GateKind::SXdg:
+      return {{{cplx(0.5, -0.5), cplx(0.5, 0.5)}, {cplx(0.5, 0.5), cplx(0.5, -0.5)}}};
+    case GateKind::RX: return {{{cplx(c, 0), cplx(0, -s)}, {cplx(0, -s), cplx(c, 0)}}};
+    case GateKind::RY: return {{{cplx(c, 0), cplx(-s, 0)}, {cplx(s, 0), cplx(c, 0)}}};
+    case GateKind::RZ:
+      return {{{std::exp(-kI * (angle / 2.0)), 0}, {0, std::exp(kI * (angle / 2.0))}}};
+    default:
+      throw PreconditionError("gate_matrix_1q on a two-qubit gate");
+  }
+}
+
+std::array<std::array<cplx, 4>, 4> gate_matrix_2q(GateKind k) {
+  // Basis ordering |q1 q0>: index = 2*q1 + q0, where q0 is the gate's first
+  // operand.  For CX, q0 is the control.
+  switch (k) {
+    case GateKind::CX:
+      return {{{1, 0, 0, 0},
+               {0, 0, 0, 1},
+               {0, 0, 1, 0},
+               {0, 1, 0, 0}}};
+    case GateKind::CZ:
+      return {{{1, 0, 0, 0},
+               {0, 1, 0, 0},
+               {0, 0, 1, 0},
+               {0, 0, 0, -1}}};
+    case GateKind::SWAP:
+      return {{{1, 0, 0, 0},
+               {0, 0, 1, 0},
+               {0, 1, 0, 0},
+               {0, 0, 0, 1}}};
+    case GateKind::ECR:
+      // IBM echoed cross-resonance gate, 1/sqrt(2) * (IX - XY) with q0 the
+      // "control" operand (Qiskit little-endian convention).
+      return {{{0, kInvSqrt2, 0, kI * kInvSqrt2},
+               {kInvSqrt2, 0, -kI * kInvSqrt2, 0},
+               {0, kI * kInvSqrt2, 0, kInvSqrt2},
+               {-kI * kInvSqrt2, 0, kInvSqrt2, 0}}};
+    default:
+      throw PreconditionError("gate_matrix_2q on a one-qubit gate");
+  }
+}
+
+}  // namespace qdb

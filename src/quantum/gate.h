@@ -1,0 +1,52 @@
+// Quantum gate definitions.
+//
+// The gate set covers what the pipeline needs end to end: the generic gates
+// the EfficientSU2 ansatz is written in (RY/RZ/CX), the IBM Eagle r3 native
+// basis the transpiler lowers to (ECR, RZ, SX, X — paper §5.1), and SWAP for
+// routing.  Qubit 0 is the least-significant bit of a sampled bitstring.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <string>
+
+namespace qdb {
+
+using cplx = std::complex<double>;
+
+enum class GateKind : std::uint8_t {
+  // One-qubit.
+  I, X, Y, Z, H, S, Sdg, SX, SXdg, RX, RY, RZ,
+  // Two-qubit.
+  CX, CZ, SWAP, ECR,
+};
+
+/// True for CX/CZ/SWAP/ECR.
+bool is_two_qubit(GateKind k);
+
+/// Mnemonic, e.g. "rz", "ecr".
+const char* gate_name(GateKind k);
+
+/// True for RX/RY/RZ (the parameterised gates).
+bool is_parameterised(GateKind k);
+
+/// An instruction in a circuit.  One-qubit gates leave q1 = -1.
+struct Gate {
+  GateKind kind = GateKind::I;
+  int q0 = 0;
+  int q1 = -1;
+  double angle = 0.0;  // rotation angle for RX/RY/RZ; ignored otherwise
+
+  static Gate one(GateKind k, int q, double angle = 0.0) { return Gate{k, q, -1, angle}; }
+  static Gate two(GateKind k, int a, int b) { return Gate{k, a, b, 0.0}; }
+};
+
+/// 2x2 unitary of a one-qubit gate.  Row-major: u[row][col].
+std::array<std::array<cplx, 2>, 2> gate_matrix_1q(GateKind k, double angle);
+
+/// 4x4 unitary of a two-qubit gate in the basis |q1 q0> (q0 is the first
+/// operand and the low bit).  Row-major.
+std::array<std::array<cplx, 4>, 4> gate_matrix_2q(GateKind k);
+
+}  // namespace qdb

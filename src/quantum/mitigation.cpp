@@ -1,0 +1,77 @@
+#include "quantum/mitigation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots) {
+  Histogram h;
+  for (std::uint64_t x : shots) h[x] += 1.0;
+  return h;
+}
+
+ReadoutMitigator::ReadoutMitigator(int num_qubits, const NoiseModel& noise)
+    : num_qubits_(num_qubits) {
+  QDB_REQUIRE(num_qubits >= 1 && num_qubits <= 63, "mitigator supports 1..63 qubits");
+  // Confusion matrix M = [[1-p01, p10], [p01, 1-p10]]; its inverse is
+  // 1/det * [[1-p10, -p10], [-p01, 1-p01]] with det = 1 - p01 - p10.
+  const double p01 = noise.p_readout_01;
+  const double p10 = noise.p_readout_10;
+  const double det = 1.0 - p01 - p10;
+  QDB_REQUIRE(std::abs(det) > 1e-9, "readout errors too large to invert");
+  Inv2 inv;
+  inv.m[0][0] = (1.0 - p10) / det;
+  inv.m[0][1] = -p10 / det;
+  inv.m[1][0] = -p01 / det;
+  inv.m[1][1] = (1.0 - p01) / det;
+  inverse_.assign(static_cast<std::size_t>(num_qubits), inv);
+}
+
+Histogram ReadoutMitigator::mitigate(const Histogram& measured) const {
+  // Apply the tensor-product inverse one qubit at a time: for qubit q, each
+  // entry (x, w) splits into contributions to x with bit b and x with bit
+  // flipped, weighted by the inverse matrix column of its reported bit.
+  double total = 0.0;
+  for (const auto& [x, w] : measured) {
+    (void)x;
+    total += w;
+  }
+  // Off-diagonal inverse weights are O(p_readout), so contributions decay
+  // geometrically with every flipped bit; prune negligible entries to keep
+  // the support from doubling per qubit.
+  const double prune = 1e-7 * std::abs(total);
+
+  Histogram current = measured;
+  for (int q = 0; q < num_qubits_; ++q) {
+    const Inv2& inv = inverse_[static_cast<std::size_t>(q)];
+    Histogram next;
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (const auto& [x, w] : current) {
+      const int reported = (x & bit) ? 1 : 0;
+      // True-state amplitudes given this reported bit.
+      const double to0 = inv.m[0][reported] * w;
+      const double to1 = inv.m[1][reported] * w;
+      if (std::abs(to0) > prune) next[x & ~bit] += to0;
+      if (std::abs(to1) > prune) next[x | bit] += to1;
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+double ReadoutMitigator::mitigated_expectation(
+    const Histogram& measured, const std::function<double(std::uint64_t)>& f) const {
+  const Histogram corrected = mitigate(measured);
+  double acc = 0.0;
+  double total = 0.0;
+  for (const auto& [x, w] : corrected) {
+    acc += w * f(x);
+    total += w;
+  }
+  QDB_REQUIRE(std::abs(total) > 1e-12, "mitigated histogram has zero weight");
+  return acc / total;
+}
+
+}  // namespace qdb

@@ -1,0 +1,55 @@
+// Measurement-error mitigation (readout calibration).
+//
+// Standard practice on utility-level processors: readout assignment errors
+// are characterised per qubit as a 2x2 confusion matrix
+//     M_q = [[1-p01, p10], [p01, 1-p10]]
+// (column = prepared state, row = reported state); the device-wide confusion
+// matrix is their tensor product, and measured histograms are corrected by
+// applying the tensor-product inverse.  Because each M_q is 2x2, the
+// correction runs in O(shots-support * n) without ever materialising the
+// 2^n x 2^n matrix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "quantum/noise.h"
+
+namespace qdb {
+
+/// A measured histogram: counts per bitstring.
+using Histogram = std::unordered_map<std::uint64_t, double>;
+
+/// Build a histogram from raw shots.
+Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots);
+
+class ReadoutMitigator {
+ public:
+  /// Calibrate directly from the noise model's readout probabilities
+  /// (equivalent to the usual |0...0> / |1...1> calibration circuits when
+  /// errors are uncorrelated).
+  ReadoutMitigator(int num_qubits, const NoiseModel& noise);
+
+  int num_qubits() const { return num_qubits_; }
+
+  /// Apply the inverse confusion matrix to a measured histogram.  The
+  /// result is a quasi-probability histogram (entries may be slightly
+  /// negative); `total` is preserved.
+  Histogram mitigate(const Histogram& measured) const;
+
+  /// Mitigated expectation value of a diagonal observable.
+  double mitigated_expectation(const Histogram& measured,
+                               const std::function<double(std::uint64_t)>& f) const;
+
+ private:
+  int num_qubits_;
+  // Per-qubit inverse confusion matrix, row-major [reported][prepared].
+  struct Inv2 {
+    double m[2][2];
+  };
+  std::vector<Inv2> inverse_;
+};
+
+}  // namespace qdb

@@ -1,0 +1,94 @@
+#include "structure/molecule.h"
+
+#include "common/error.h"
+#include "geom/kabsch.h"
+
+namespace qdb {
+
+const Atom* Residue::find(const std::string& name) const {
+  for (const Atom& a : atoms) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::size_t Structure::num_atoms() const {
+  std::size_t n = 0;
+  for (const Residue& r : residues) n += r.atoms.size();
+  return n;
+}
+
+std::string Structure::sequence() const {
+  std::string s;
+  s.reserve(residues.size());
+  for (const Residue& r : residues) s += aa_letter(r.type);
+  return s;
+}
+
+std::vector<Vec3> Structure::ca_positions() const {
+  std::vector<Vec3> out;
+  out.reserve(residues.size());
+  for (const Residue& r : residues) {
+    const Atom* ca = r.find("CA");
+    QDB_REQUIRE(ca != nullptr, "residue lacks a CA atom");
+    out.push_back(ca->pos);
+  }
+  return out;
+}
+
+std::vector<Vec3> Structure::backbone_positions() const {
+  std::vector<Vec3> out;
+  for (const Residue& r : residues) {
+    for (const char* name : {"N", "CA", "C", "O"}) {
+      const Atom* a = r.find(name);
+      QDB_REQUIRE(a != nullptr, "residue lacks a backbone atom");
+      out.push_back(a->pos);
+    }
+  }
+  return out;
+}
+
+std::vector<Vec3> Structure::heavy_positions() const {
+  std::vector<Vec3> out;
+  for (const Residue& r : residues) {
+    for (const Atom& a : r.atoms) {
+      if (!a.is_hydrogen()) out.push_back(a.pos);
+    }
+  }
+  return out;
+}
+
+Vec3 Structure::center() const {
+  Vec3 c;
+  std::size_t n = 0;
+  for (const Residue& r : residues) {
+    for (const Atom& a : r.atoms) {
+      c += a.pos;
+      ++n;
+    }
+  }
+  QDB_REQUIRE(n > 0, "center of an empty structure");
+  return c / static_cast<double>(n);
+}
+
+void Structure::translate(const Vec3& delta) {
+  for (Residue& r : residues) {
+    for (Atom& a : r.atoms) a.pos += delta;
+  }
+}
+
+Vec3 Structure::center_on_origin() {
+  const Vec3 delta = -center();
+  translate(delta);
+  return delta;
+}
+
+double ca_rmsd(const Structure& a, const Structure& b) {
+  return rmsd_superposed(a.ca_positions(), b.ca_positions());
+}
+
+double backbone_rmsd(const Structure& a, const Structure& b) {
+  return rmsd_superposed(a.backbone_positions(), b.backbone_positions());
+}
+
+}  // namespace qdb

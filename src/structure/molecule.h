@@ -1,0 +1,76 @@
+// Molecular structure model: atoms, residues, and protein fragments.
+//
+// Holds what the pipeline needs end to end: reconstruction fills residues
+// with backbone + coarse side-chain atoms, protonation adds polar hydrogens
+// and partial charges, PDB/PDBQT writers serialise them, and the docking
+// engine consumes the typed atom list as the rigid receptor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/vec3.h"
+#include "lattice/amino_acid.h"
+
+namespace qdb {
+
+struct Atom {
+  std::string name;      // PDB atom name, e.g. "CA", "N", "O", "CB", "HN"
+  char element = 'C';    // element symbol (single letter: C,N,O,S,H)
+  Vec3 pos;
+  double partial_charge = 0.0;
+
+  bool is_hydrogen() const { return element == 'H'; }
+  bool is_backbone() const {
+    return name == "N" || name == "CA" || name == "C" || name == "O" || name == "HN";
+  }
+};
+
+struct Residue {
+  AminoAcid type = AminoAcid::Ala;
+  int seq_number = 1;  // residue number within the fragment's PDB numbering
+  std::vector<Atom> atoms;
+
+  /// Pointer to the named atom or nullptr.
+  const Atom* find(const std::string& name) const;
+};
+
+class Structure {
+ public:
+  std::string id;        // e.g. "4jpy"
+  char chain = 'A';
+  std::vector<Residue> residues;
+
+  int num_residues() const { return static_cast<int>(residues.size()); }
+  std::size_t num_atoms() const;
+
+  /// One-letter sequence of the fragment.
+  std::string sequence() const;
+
+  /// Calpha coordinates in residue order; throws if any residue lacks a CA.
+  std::vector<Vec3> ca_positions() const;
+
+  /// Backbone (N, CA, C, O) coordinates in a fixed per-residue order.
+  std::vector<Vec3> backbone_positions() const;
+
+  /// All heavy-atom coordinates.
+  std::vector<Vec3> heavy_positions() const;
+
+  /// Geometric center of all atoms.
+  Vec3 center() const;
+
+  /// Translate every atom (the paper centers structures before docking).
+  void translate(const Vec3& delta);
+
+  /// Center the structure on the origin; returns the applied translation.
+  Vec3 center_on_origin();
+};
+
+/// Calpha RMSD between two equal-length fragments after superposition —
+/// the paper's headline structural-accuracy metric (§6.1.1).
+double ca_rmsd(const Structure& a, const Structure& b);
+
+/// Backbone-atom RMSD after superposition.
+double backbone_rmsd(const Structure& a, const Structure& b);
+
+}  // namespace qdb

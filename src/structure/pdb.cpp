@@ -1,0 +1,91 @@
+#include "structure/pdb.h"
+
+#include <charconv>
+
+#include "common/error.h"
+#include "common/json.h"  // write_file / read_file
+#include "common/strings.h"
+
+namespace qdb {
+
+std::string to_pdb(const Structure& s) {
+  std::string out;
+  out += format("REMARK   1 QDOCKBANK FRAGMENT %s\n", s.id.c_str());
+  int serial = 1;
+  for (const Residue& r : s.residues) {
+    for (const Atom& a : r.atoms) {
+      // PDB atom-name column convention: names of 1-3 characters whose
+      // element is a single letter start in column 14 (one leading space).
+      std::string name = a.name;
+      if (name.size() < 4) name = " " + name;
+      if (name.size() < 4) name.append(4 - name.size(), ' ');
+      out += format("ATOM  %5d %-4s %3s %c%4d    %8.3f%8.3f%8.3f%6.2f%6.2f          %2c\n",
+                    serial++, name.c_str(), aa_three_letter(r.type), s.chain, r.seq_number,
+                    a.pos.x, a.pos.y, a.pos.z, 1.0, 0.0, a.element);
+    }
+  }
+  const Residue& last = s.residues.back();
+  out += format("TER   %5d      %3s %c%4d\n", serial, aa_three_letter(last.type), s.chain,
+                last.seq_number);
+  out += "END\n";
+  return out;
+}
+
+namespace {
+
+double parse_coord(std::string_view line, std::size_t col, std::size_t width) {
+  if (line.size() < col + width) throw ParseError("pdb: truncated ATOM record");
+  const std::string_view field = trim(line.substr(col, width));
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc() || p != field.data() + field.size())
+    throw ParseError("pdb: bad numeric field '" + std::string(field) + "'");
+  return v;
+}
+
+}  // namespace
+
+Structure parse_pdb(std::string_view text) {
+  Structure s;
+  Residue* current = nullptr;
+  int current_number = INT32_MIN;
+
+  for (const std::string& line : split(text, '\n')) {
+    if (!starts_with(line, "ATOM") && !starts_with(line, "HETATM")) continue;
+    if (line.size() < 54) throw ParseError("pdb: ATOM record too short");
+
+    const std::string name(trim(line.substr(12, 4)));
+    const std::string res_name(trim(line.substr(17, 3)));
+    const char chain = line[21];
+    const int res_seq = static_cast<int>(parse_coord(line, 22, 4));
+    Atom a;
+    a.name = name;
+    a.pos = Vec3{parse_coord(line, 30, 8), parse_coord(line, 38, 8), parse_coord(line, 46, 8)};
+    if (line.size() >= 78 && trim(line.substr(76, 2)).size() == 1) {
+      a.element = trim(line.substr(76, 2))[0];
+    } else {
+      a.element = name.empty() ? 'C' : name[0];
+    }
+
+    if (current == nullptr || res_seq != current_number) {
+      Residue r;
+      r.type = aa_from_three_letter(res_name);
+      r.seq_number = res_seq;
+      s.residues.push_back(std::move(r));
+      current = &s.residues.back();
+      current_number = res_seq;
+      s.chain = chain;
+    }
+    current->atoms.push_back(std::move(a));
+  }
+  QDB_REQUIRE(!s.residues.empty(), "pdb: no ATOM records found");
+  return s;
+}
+
+void write_pdb_file(const Structure& s, const std::string& path) {
+  write_file(path, to_pdb(s));
+}
+
+Structure read_pdb_file(const std::string& path) { return parse_pdb(read_file(path)); }
+
+}  // namespace qdb

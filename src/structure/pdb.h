@@ -1,0 +1,29 @@
+// PDB format reader/writer.
+//
+// QDockBank ships every predicted fragment as a standards-compliant PDB file
+// (paper §4.2, §7.2: "All PDB files in QDockBank adhere strictly to the PDB
+// format specification"), so external tools (PyMOL, Chimera, VMD, docking
+// preparation scripts) can consume them directly.  The writer emits
+// column-exact ATOM records, TER, and END; the reader parses ATOM/HETATM
+// records back into a Structure.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "structure/molecule.h"
+
+namespace qdb {
+
+/// Serialise to PDB text (ATOM records in residue order, TER, END).
+std::string to_pdb(const Structure& s);
+
+/// Parse ATOM records from PDB text; throws qdb::ParseError on malformed
+/// records or unknown residue names.
+Structure parse_pdb(std::string_view text);
+
+/// File convenience wrappers (create parent directories on write).
+void write_pdb_file(const Structure& s, const std::string& path);
+Structure read_pdb_file(const std::string& path);
+
+}  // namespace qdb

@@ -1,0 +1,46 @@
+#include "structure/pdbqt.h"
+
+#include "common/json.h"  // write_file
+#include "common/strings.h"
+
+namespace qdb {
+
+std::string autodock_type(const Atom& a) {
+  switch (a.element) {
+    case 'H': return "HD";  // we only ever add polar hydrogens
+    case 'N':
+      // Backbone amide N donates (has HN); side-chain terminal N on neutral
+      // residues accepts.
+      return a.name == "N" ? "N" : "NA";
+    case 'O': return "OA";
+    case 'S': return "SA";
+    default: return "C";
+  }
+}
+
+std::string to_pdbqt_rigid(const Structure& s) {
+  std::string out;
+  out += format("REMARK  QDockBank rigid receptor %s\n", s.id.c_str());
+  out += "ROOT\n";
+  int serial = 1;
+  for (const Residue& r : s.residues) {
+    for (const Atom& a : r.atoms) {
+      std::string name = a.name;
+      if (name.size() < 4) name = " " + name;
+      if (name.size() < 4) name.append(4 - name.size(), ' ');
+      out += format("ATOM  %5d %-4s %3s %c%4d    %8.3f%8.3f%8.3f%6.2f%6.2f    %6.3f %-2s\n",
+                    serial++, name.c_str(), aa_three_letter(r.type), s.chain, r.seq_number,
+                    a.pos.x, a.pos.y, a.pos.z, 1.0, 0.0, a.partial_charge,
+                    autodock_type(a).c_str());
+    }
+  }
+  out += "ENDROOT\n";
+  out += "TORSDOF 0\n";
+  return out;
+}
+
+void write_pdbqt_file(const Structure& s, const std::string& path) {
+  write_file(path, to_pdbqt_rigid(s));
+}
+
+}  // namespace qdb

@@ -1,0 +1,25 @@
+// PDBQT writer (AutoDock's input format: PDB + partial charge + atom type).
+//
+// The paper highlights that QDockBank fragments convert directly to PDBQT
+// via AutoDockTools/Open Babel (§7.1).  This writer covers the rigid
+// receptor case the pipeline needs; AutoDock atom types are derived from
+// the element and hydrogen-bonding role.
+#pragma once
+
+#include <string>
+
+#include "structure/molecule.h"
+
+namespace qdb {
+
+/// AutoDock atom type for an atom: C (aliphatic carbon), N / NA (nitrogen /
+/// acceptor nitrogen), OA (acceptor oxygen), SA (sulfur), HD (polar
+/// hydrogen).
+std::string autodock_type(const Atom& a);
+
+/// Serialise as a rigid-receptor PDBQT document.
+std::string to_pdbqt_rigid(const Structure& s);
+
+void write_pdbqt_file(const Structure& s, const std::string& path);
+
+}  // namespace qdb

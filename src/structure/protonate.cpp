@@ -1,0 +1,56 @@
+#include "structure/protonate.h"
+
+#include "common/error.h"
+
+namespace qdb {
+
+void add_polar_hydrogens(Structure& s) {
+  for (std::size_t i = 0; i < s.residues.size(); ++i) {
+    Residue& r = s.residues[i];
+    const Atom* n = r.find("N");
+    const Atom* ca = r.find("CA");
+    if (n && ca && !r.find("HN")) {
+      // Amide hydrogen: along the N-CA axis, away from CA.
+      const Vec3 dir = (n->pos - ca->pos).normalized();
+      r.atoms.push_back(Atom{"HN", 'H', n->pos + dir * 1.01, 0.0});
+    }
+    // Donor hydrogen on positively charged side-chain termini.
+    if (aa_charge(r.type) > 0) {
+      for (const char* tip : {"CE", "CD", "CG", "CB"}) {
+        const Atom* t = r.find(tip);
+        if (t && t->element == 'N' && !r.find("HZ")) {
+          const Vec3 dir = ca ? (t->pos - ca->pos).normalized() : Vec3{0, 0, 1};
+          r.atoms.push_back(Atom{"HZ", 'H', t->pos + dir * 1.01, 0.0});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void assign_partial_charges(Structure& s) {
+  for (Residue& r : s.residues) {
+    for (Atom& a : r.atoms) {
+      if (a.name == "N") a.partial_charge = -0.35;
+      else if (a.name == "HN") a.partial_charge = 0.16;
+      else if (a.name == "CA") a.partial_charge = 0.05;
+      else if (a.name == "C") a.partial_charge = 0.24;
+      else if (a.name == "O") a.partial_charge = -0.27;
+      else if (a.name == "HZ") a.partial_charge = 0.30;
+      else if (a.element == 'N') a.partial_charge = 0.40 * aa_charge(r.type) - 0.30;
+      else if (a.element == 'O') a.partial_charge = aa_charge(r.type) < 0 ? -0.60 : -0.35;
+      else if (a.element == 'S') a.partial_charge = -0.12;
+      else a.partial_charge = 0.02;  // aliphatic carbons
+    }
+  }
+}
+
+double total_charge(const Structure& s) {
+  double q = 0.0;
+  for (const Residue& r : s.residues) {
+    for (const Atom& a : r.atoms) q += a.partial_charge;
+  }
+  return q;
+}
+
+}  // namespace qdb

@@ -1,0 +1,25 @@
+// Protonation and partial charges (the Open Babel step of §4.3.3).
+//
+// Adds the polar hydrogens docking cares about (backbone amide HN, side
+// chain donor hydrogens on positive/polar termini) and assigns Gasteiger-
+// style partial charges from a per-atom-role table.  Only the slice of Open
+// Babel's functionality the QDockBank pipeline uses is reproduced.
+#pragma once
+
+#include "structure/molecule.h"
+
+namespace qdb {
+
+/// Add polar hydrogens.  Idempotent: atoms already present are not doubled.
+void add_polar_hydrogens(Structure& s);
+
+/// Assign partial charges to every atom (overwrites existing values).
+/// Charges follow the PEOE/Gasteiger magnitudes used by AutoDockTools:
+/// backbone N -0.35, HN +0.16, CA +0.05, C +0.24, O -0.27; side-chain
+/// terminal heteroatoms carry the residue's formal charge spread.
+void assign_partial_charges(Structure& s);
+
+/// Net charge of the structure (sum of partial charges).
+double total_charge(const Structure& s);
+
+}  // namespace qdb

@@ -1,0 +1,98 @@
+#include "structure/reconstruct.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+namespace {
+
+constexpr double kNCa = 1.46;
+constexpr double kCaC = 1.52;
+constexpr double kCO = 1.23;
+constexpr double kCaCb = 1.53;
+constexpr double kSideStep = 1.50;
+
+/// Any unit vector perpendicular to u.
+Vec3 any_perpendicular(const Vec3& u) {
+  const Vec3 trial = std::abs(u.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  return u.cross(trial).normalized();
+}
+
+}  // namespace
+
+Structure reconstruct_backbone(const std::vector<Vec3>& ca_trace,
+                               const std::vector<AminoAcid>& sequence,
+                               const std::string& id, int first_residue_number) {
+  QDB_REQUIRE(ca_trace.size() == sequence.size(), "trace/sequence length mismatch");
+  QDB_REQUIRE(ca_trace.size() >= 2, "need at least two residues");
+
+  Structure s;
+  s.id = id;
+  const std::size_t n = ca_trace.size();
+  s.residues.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& ca = ca_trace[i];
+    // Chain directions; chain ends extrapolate from their single neighbour.
+    const Vec3 to_prev =
+        (i > 0 ? ca_trace[i - 1] - ca : ca - ca_trace[i + 1]).normalized();
+    const Vec3 to_next =
+        (i + 1 < n ? ca_trace[i + 1] - ca : ca - ca_trace[i - 1]).normalized();
+    Vec3 normal = to_prev.cross(to_next);
+    if (normal.norm() < 1e-6) normal = any_perpendicular(to_next);
+    normal = normal.normalized();
+
+    Residue res;
+    res.type = sequence[i];
+    res.seq_number = first_residue_number + static_cast<int>(i);
+
+    // Backbone: N leans toward the previous residue, C toward the next, and
+    // both tilt off the Calpha axis along the local normal.
+    const Vec3 n_pos = ca + (to_prev * 0.94 + normal * 0.34).normalized() * kNCa;
+    const Vec3 c_pos = ca + (to_next * 0.94 + normal * 0.34).normalized() * kCaC;
+    const Vec3 o_dir = (normal * 0.9 + to_next.cross(normal) * 0.44).normalized();
+    const Vec3 o_pos = c_pos + o_dir * kCO;
+
+    res.atoms.push_back(Atom{"N", 'N', n_pos, 0.0});
+    res.atoms.push_back(Atom{"CA", 'C', ca, 0.0});
+    res.atoms.push_back(Atom{"C", 'C', c_pos, 0.0});
+    res.atoms.push_back(Atom{"O", 'O', o_pos, 0.0});
+
+    // Side chain: CB opposite the backbone tilt, then a short extension
+    // whose length grows with the residue's heavy-atom count.
+    const int heavy = aa_sidechain_heavy_atoms(sequence[i]);
+    if (heavy >= 1) {
+      const Vec3 cb_dir = ((to_prev + to_next) * -0.5 - normal * 1.1).normalized();
+      const Vec3 cb = ca + cb_dir * kCaCb;
+      res.atoms.push_back(Atom{"CB", 'C', cb, 0.0});
+
+      static const char* kExtNames[] = {"CG", "CD", "CE"};
+      const int extensions = std::min(3, (heavy - 1 + 1) / 2);  // 1 pseudo-atom per ~2 heavies
+      Vec3 prev = ca;
+      Vec3 cur = cb;
+      const Vec3 wiggle = any_perpendicular(cb_dir) * 0.35;
+      for (int e = 0; e < extensions; ++e) {
+        const Vec3 dir = ((cur - prev).normalized() + wiggle * ((e % 2) ? -1.0 : 1.0)).normalized();
+        const Vec3 next = cur + dir * kSideStep;
+        // The terminal pseudo-atom carries the side chain's chemistry:
+        // nitrogen for positive residues, oxygen for polar/negative ones.
+        char element = 'C';
+        if (e + 1 == extensions) {
+          const ResidueClass cls = aa_class(sequence[i]);
+          if (cls == ResidueClass::Positive) element = 'N';
+          else if (cls == ResidueClass::Negative || cls == ResidueClass::Polar) element = 'O';
+          if (sequence[i] == AminoAcid::Cys || sequence[i] == AminoAcid::Met) element = 'S';
+        }
+        res.atoms.push_back(Atom{kExtNames[e], element, next, 0.0});
+        prev = cur;
+        cur = next;
+      }
+    }
+    s.residues.push_back(std::move(res));
+  }
+  return s;
+}
+
+}  // namespace qdb

@@ -1,0 +1,27 @@
+// Atomic reconstruction from a coarse-grained Calpha trace (paper §4.3.3).
+//
+// The VQE stage produces lattice Calpha positions; this module applies
+// standard amino-acid template geometry to rebuild a full backbone
+// (N, CA, C, O) per residue, a CB for every non-glycine residue, and a short
+// coarse side-chain extension whose length tracks the residue's heavy-atom
+// count.  Local frames come from the neighbouring Calphas, so the
+// reconstruction is deterministic, rotation-covariant, and collision-free
+// for self-avoiding traces.  Ideal bond lengths: N-CA 1.46, CA-C 1.52,
+// C-O 1.23, CA-CB 1.53 Angstroms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "structure/molecule.h"
+
+namespace qdb {
+
+/// Rebuild full-atom residues around a Calpha trace.  `first_residue_number`
+/// is the PDB numbering origin (QDockBank keeps the source protein's
+/// residue numbers, e.g. 154-167 for 4jpy).
+Structure reconstruct_backbone(const std::vector<Vec3>& ca_trace,
+                               const std::vector<AminoAcid>& sequence,
+                               const std::string& id, int first_residue_number = 1);
+
+}  // namespace qdb

@@ -1,0 +1,64 @@
+#include "structure/secondary.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qdb {
+
+char ss_letter(SsState s) {
+  switch (s) {
+    case SsState::Helix: return 'H';
+    case SsState::Strand: return 'E';
+    case SsState::Coil: return 'C';
+  }
+  return '?';
+}
+
+std::vector<SsState> assign_ss(const std::vector<Vec3>& ca) {
+  QDB_REQUIRE(ca.size() >= 2, "need at least two residues");
+  const std::size_t n = ca.size();
+  std::vector<SsState> out(n, SsState::Coil);
+
+  // P-SEA distance criteria on the windows each residue anchors.
+  for (std::size_t i = 0; i + 3 < n; ++i) {
+    const double d2 = ca[i].distance(ca[i + 2]);
+    const double d3 = ca[i].distance(ca[i + 3]);
+    const bool helix = std::abs(d2 - 5.45) < 0.75 && std::abs(d3 - 5.30) < 1.10;
+    const bool strand = std::abs(d2 - 6.70) < 0.80 && d3 > 8.4;
+    if (helix) {
+      for (std::size_t k = i; k <= i + 3; ++k) out[k] = SsState::Helix;
+    } else if (strand && out[i] != SsState::Helix) {
+      for (std::size_t k = i; k <= i + 3; ++k) {
+        if (out[k] == SsState::Coil) out[k] = SsState::Strand;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SsState> assign_ss(const Structure& s) { return assign_ss(s.ca_positions()); }
+
+std::string ss_string(const std::vector<SsState>& states) {
+  std::string out;
+  out.reserve(states.size());
+  for (SsState s : states) out += ss_letter(s);
+  return out;
+}
+
+SsComposition ss_composition(const std::vector<SsState>& states) {
+  QDB_REQUIRE(!states.empty(), "empty state vector");
+  SsComposition c;
+  for (SsState s : states) {
+    if (s == SsState::Helix) c.helix += 1.0;
+    else if (s == SsState::Strand) c.strand += 1.0;
+    else c.coil += 1.0;
+  }
+  const double n = static_cast<double>(states.size());
+  c.helix /= n;
+  c.strand /= n;
+  c.coil /= n;
+  return c;
+}
+
+}  // namespace qdb

@@ -1,0 +1,37 @@
+// Secondary-structure assignment from Calpha geometry (P-SEA style).
+//
+// The paper's Figure 7 discussion reasons about helical segments of the
+// predicted fragments ("a canonical alpha-helical segment ... residues
+// 221-223").  This module assigns helix/strand/coil states from Calpha
+// coordinates alone using the classic distance criteria (Labesse et al.
+// 1997): an ideal alpha helix has d(i,i+2) ~ 5.5 A and d(i,i+3) ~ 5.3 A,
+// an extended strand d(i,i+2) ~ 6.7 A and d(i,i+3) ~ 9.9 A.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "structure/molecule.h"
+
+namespace qdb {
+
+enum class SsState { Helix, Strand, Coil };
+
+char ss_letter(SsState s);  // 'H', 'E', 'C'
+
+/// Assign a state per residue from the Calpha trace.
+std::vector<SsState> assign_ss(const std::vector<Vec3>& ca_trace);
+std::vector<SsState> assign_ss(const Structure& s);
+
+/// One-letter string, e.g. "CHHHHCCEE".
+std::string ss_string(const std::vector<SsState>& states);
+
+/// Fraction of residues in each state (helix, strand, coil).
+struct SsComposition {
+  double helix = 0.0;
+  double strand = 0.0;
+  double coil = 0.0;
+};
+SsComposition ss_composition(const std::vector<SsState>& states);
+
+}  // namespace qdb

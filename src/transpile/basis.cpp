@@ -1,0 +1,299 @@
+#include "transpile/basis.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace qdb {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool native_kind(GateKind k) {
+  switch (k) {
+    case GateKind::I:
+    case GateKind::RZ:
+    case GateKind::SX:
+    case GateKind::X:
+    case GateKind::ECR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Emit RY(theta) on q as RZ/SX: RY(theta) = RZ(pi) SX RZ(theta + pi) SX
+/// up to global phase (SXdg RZ SX conjugation, with SXdg = RZ(pi) SX RZ(pi)).
+void emit_ry(Circuit& out, double theta, int q) {
+  out.sx(q);
+  out.rz(theta + kPi, q);
+  out.sx(q);
+  out.rz(kPi, q);
+}
+
+/// RX(theta) = RZ(-pi/2) RY(theta) RZ(pi/2) up to phase (axis rotation).
+void emit_rx(Circuit& out, double theta, int q) {
+  out.rz(kPi / 2, q);
+  emit_ry(out, theta, q);
+  out.rz(-kPi / 2, q);
+}
+
+/// H = RZ(pi/2) SX RZ(pi/2) up to global phase.
+void emit_h(Circuit& out, int q) {
+  out.rz(kPi / 2, q);
+  out.sx(q);
+  out.rz(kPi / 2, q);
+}
+
+/// CX(control, target) over ECR, verified to be exactly CX (no residual
+/// phase) against the dense simulator:
+///   RZ(-pi/2) control;  SX target;  ECR(control, target);  X control; X target.
+void emit_cx(Circuit& out, int control, int target) {
+  out.rz(-kPi / 2, control);
+  out.sx(target);
+  out.ecr(control, target);
+  out.x(control);
+  out.x(target);
+}
+
+}  // namespace
+
+bool is_native_basis(const Circuit& c) {
+  for (const Gate& g : c.gates()) {
+    if (!native_kind(g.kind)) return false;
+  }
+  return true;
+}
+
+Circuit to_native_basis(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  for (const Gate& g : c.gates()) {
+    switch (g.kind) {
+      case GateKind::I:
+      case GateKind::RZ:
+      case GateKind::SX:
+      case GateKind::X:
+      case GateKind::ECR:
+        out.append(g);
+        break;
+      case GateKind::Z:
+        out.rz(kPi, g.q0);
+        break;
+      case GateKind::S:
+        out.rz(kPi / 2, g.q0);
+        break;
+      case GateKind::Sdg:
+        out.rz(-kPi / 2, g.q0);
+        break;
+      case GateKind::Y:
+        // Y = i X Z: phases are global here.
+        out.rz(kPi, g.q0);
+        out.x(g.q0);
+        break;
+      case GateKind::SXdg:
+        out.rz(kPi, g.q0);
+        out.sx(g.q0);
+        out.rz(kPi, g.q0);
+        break;
+      case GateKind::H:
+        emit_h(out, g.q0);
+        break;
+      case GateKind::RX:
+        emit_rx(out, g.angle, g.q0);
+        break;
+      case GateKind::RY:
+        emit_ry(out, g.angle, g.q0);
+        break;
+      case GateKind::CX:
+        emit_cx(out, g.q0, g.q1);
+        break;
+      case GateKind::CZ:
+        // CZ = (I (x) H) CX (I (x) H), H on the target side.
+        emit_h(out, g.q1);
+        emit_cx(out, g.q0, g.q1);
+        emit_h(out, g.q1);
+        break;
+      case GateKind::SWAP:
+        emit_cx(out, g.q0, g.q1);
+        emit_cx(out, g.q1, g.q0);
+        emit_cx(out, g.q0, g.q1);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Emit the ZYZ Euler form  U ~ RZ(a) RY(theta) RZ(b)  over the native
+/// basis, in circuit order (first-applied first):
+///   rz(b) ; sx ; rz(theta + pi) ; sx ; rz(a + pi)
+/// using RY(theta) = RZ(pi) SX RZ(theta + pi) SX (up to global phase).
+void emit_zyz(Circuit& out, double a, double theta, double b, int q) {
+  auto emit_rz = [&](double angle) {
+    double v = std::fmod(angle, 2 * kPi);
+    if (v > kPi) v -= 2 * kPi;
+    if (v < -kPi) v += 2 * kPi;
+    if (std::abs(v) > 1e-12) out.rz(v, q);
+  };
+  if (std::abs(std::remainder(theta, 2 * kPi)) < 1e-12) {
+    emit_rz(a + b);  // pure Z rotation
+    return;
+  }
+  emit_rz(b);
+  out.sx(q);
+  emit_rz(theta + kPi);
+  out.sx(q);
+  emit_rz(a + kPi);
+}
+
+std::array<std::array<cplx, 2>, 2> matmul2(const std::array<std::array<cplx, 2>, 2>& x,
+                                           const std::array<std::array<cplx, 2>, 2>& y);
+
+/// True if two 2x2 matrices agree up to a global phase.
+bool equal_up_to_phase(const std::array<std::array<cplx, 2>, 2>& x,
+                       const std::array<std::array<cplx, 2>, 2>& y) {
+  // Find the largest entry of x and use it to fix the phase.
+  int bi = 0, bj = 0;
+  double best = -1.0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      if (std::abs(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) > best) {
+        best = std::abs(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+        bi = i;
+        bj = j;
+      }
+  const cplx xb = x[static_cast<std::size_t>(bi)][static_cast<std::size_t>(bj)];
+  const cplx yb = y[static_cast<std::size_t>(bi)][static_cast<std::size_t>(bj)];
+  if (std::abs(yb) < 1e-12) return false;
+  const cplx phase = xb / yb;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      if (std::abs(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] -
+                   phase * y[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) > 1e-8)
+        return false;
+  return true;
+}
+
+/// ZYZ angles of a 2x2 unitary (up to global phase).  The a-b phase carries
+/// a 2*pi branch ambiguity (which flips RY's sign), so both candidates are
+/// reconstructed and checked against u.
+void zyz_angles(const std::array<std::array<cplx, 2>, 2>& u, double& a, double& theta,
+                double& b) {
+  theta = 2.0 * std::atan2(std::abs(u[1][0]), std::abs(u[0][0]));
+
+  auto build = [](double aa, double th, double bb) {
+    const auto rza = gate_matrix_1q(GateKind::RZ, aa);
+    const auto ryt = gate_matrix_1q(GateKind::RY, th);
+    const auto rzb = gate_matrix_1q(GateKind::RZ, bb);
+    return matmul2(rza, matmul2(ryt, rzb));
+  };
+
+  if (std::abs(u[0][0]) < 1e-9) {
+    // Anti-diagonal (theta = pi): only a - b is defined; set b = 0.
+    b = 0.0;
+    a = std::arg(u[1][0]) - std::arg(-u[0][1]);
+    for (double cand : {a, a + 2 * kPi}) {
+      if (equal_up_to_phase(u, build(cand, theta, b))) {
+        a = cand;
+        return;
+      }
+    }
+    return;  // best effort (callers verify through tests)
+  }
+
+  const double sum = std::arg(u[1][1]) - std::arg(u[0][0]);  // a + b
+  double diff = 0.0;
+  if (std::abs(u[1][0]) > 1e-9) {
+    diff = std::arg(u[1][0]) - std::arg(u[0][1]) + kPi;  // a - b, mod 2*pi
+  }
+  for (double cand : {diff, diff + 2 * kPi}) {
+    const double ca = 0.5 * (sum + cand);
+    const double cb = 0.5 * (sum - cand);
+    if (equal_up_to_phase(u, build(ca, theta, cb))) {
+      a = ca;
+      b = cb;
+      return;
+    }
+  }
+  // Fall back to the principal branch.
+  a = 0.5 * (sum + diff);
+  b = 0.5 * (sum - diff);
+}
+
+std::array<std::array<cplx, 2>, 2> matmul2(const std::array<std::array<cplx, 2>, 2>& x,
+                                           const std::array<std::array<cplx, 2>, 2>& y) {
+  std::array<std::array<cplx, 2>, 2> r{};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int k = 0; k < 2; ++k) r[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] += x[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] * y[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+  return r;
+}
+
+}  // namespace
+
+Circuit resynthesize_1q(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  // Accumulated 1q unitary per qubit (identity when empty).
+  std::vector<std::array<std::array<cplx, 2>, 2>> acc(
+      static_cast<std::size_t>(c.num_qubits()), {{{1.0, 0.0}, {0.0, 1.0}}});
+  std::vector<char> pending(static_cast<std::size_t>(c.num_qubits()), 0);
+
+  auto flush = [&](int q) {
+    if (!pending[static_cast<std::size_t>(q)]) return;
+    double a, theta, b;
+    zyz_angles(acc[static_cast<std::size_t>(q)], a, theta, b);
+    emit_zyz(out, a, theta, b, q);
+    acc[static_cast<std::size_t>(q)] = {{{1.0, 0.0}, {0.0, 1.0}}};
+    pending[static_cast<std::size_t>(q)] = 0;
+  };
+
+  for (const Gate& g : c.gates()) {
+    if (is_two_qubit(g.kind)) {
+      flush(g.q0);
+      flush(g.q1);
+      out.append(g);
+    } else {
+      acc[static_cast<std::size_t>(g.q0)] =
+          matmul2(gate_matrix_1q(g.kind, g.angle), acc[static_cast<std::size_t>(g.q0)]);
+      pending[static_cast<std::size_t>(g.q0)] = 1;
+    }
+  }
+  for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+Circuit simplify_native(const Circuit& c) {
+  QDB_REQUIRE(is_native_basis(c), "simplify_native expects a native-basis circuit");
+  // Single peephole pass over per-qubit pending RZ angles: RZ commutes with
+  // nothing else in the basis except other RZ on the same qubit, so we fold
+  // runs of RZ and flush lazily before any non-RZ gate on that qubit.
+  std::vector<double> pending(static_cast<std::size_t>(c.num_qubits()), 0.0);
+  Circuit out(c.num_qubits());
+
+  auto flush = [&](int q) {
+    double a = std::fmod(pending[static_cast<std::size_t>(q)], 2 * kPi);
+    if (a > kPi) a -= 2 * kPi;
+    if (a < -kPi) a += 2 * kPi;
+    if (std::abs(a) > 1e-12) out.rz(a, q);
+    pending[static_cast<std::size_t>(q)] = 0.0;
+  };
+
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::RZ) {
+      pending[static_cast<std::size_t>(g.q0)] += g.angle;
+      continue;
+    }
+    if (g.kind == GateKind::I) continue;
+    flush(g.q0);
+    if (is_two_qubit(g.kind)) flush(g.q1);
+    out.append(g);
+  }
+  for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+}  // namespace qdb

@@ -1,0 +1,30 @@
+// Lowering to the IBM Eagle r3 native gate set {ECR, ID, RZ, SX, X} (§5.1).
+//
+// Every one-qubit gate is rewritten into RZ/SX/X sequences (RZ is virtual on
+// hardware — implemented as a frame change — so only SX/X cost pulse time);
+// CX/CZ/SWAP are rewritten over ECR with one-qubit corrections.  A peephole
+// pass then merges adjacent RZ rotations and drops zero-angle rotations.
+#pragma once
+
+#include "quantum/circuit.h"
+
+namespace qdb {
+
+/// True if the circuit only uses ECR, I, RZ, SX and X.
+bool is_native_basis(const Circuit& c);
+
+/// Rewrite into the native basis.  The result is unitarily equivalent up to
+/// global phase.
+Circuit to_native_basis(const Circuit& c);
+
+/// Peephole cleanup on a native-basis circuit: merge consecutive RZ on the
+/// same qubit, drop RZ(0) (mod 2*pi), collapse X.X and SX.SX.SX.SX.
+Circuit simplify_native(const Circuit& c);
+
+/// One-qubit resynthesis: collapse every maximal run of one-qubit gates on a
+/// qubit into its minimal native realisation (at most RZ.SX.RZ.SX.RZ, the
+/// ZYZ Euler form over the Eagle basis).  Unitarily equivalent up to global
+/// phase; never emits more than five gates per run.
+Circuit resynthesize_1q(const Circuit& c);
+
+}  // namespace qdb

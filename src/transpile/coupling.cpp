@@ -1,0 +1,142 @@
+#include "transpile/coupling.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace qdb {
+
+CouplingMap::CouplingMap(int num_qubits)
+    : num_qubits_(num_qubits), adj_(static_cast<std::size_t>(num_qubits)) {
+  QDB_REQUIRE(num_qubits >= 1, "coupling map needs at least one qubit");
+}
+
+void CouplingMap::add_edge(int a, int b) {
+  QDB_REQUIRE(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+              "bad coupling edge");
+  if (connected(a, b)) return;
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+  ++edges_;
+  dist_.clear();  // invalidate cache
+}
+
+bool CouplingMap::connected(int a, int b) const {
+  const auto& n = adj_[static_cast<std::size_t>(a)];
+  return std::find(n.begin(), n.end(), b) != n.end();
+}
+
+const std::vector<int>& CouplingMap::neighbors(int q) const {
+  return adj_[static_cast<std::size_t>(q)];
+}
+
+void CouplingMap::ensure_distances() const {
+  if (!dist_.empty()) return;
+  dist_.assign(static_cast<std::size_t>(num_qubits_),
+               std::vector<int>(static_cast<std::size_t>(num_qubits_), -1));
+  for (int s = 0; s < num_qubits_; ++s) {
+    auto& d = dist_[static_cast<std::size_t>(s)];
+    std::queue<int> q;
+    q.push(s);
+    d[static_cast<std::size_t>(s)] = 0;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : adj_[static_cast<std::size_t>(u)]) {
+        if (d[static_cast<std::size_t>(v)] < 0) {
+          d[static_cast<std::size_t>(v)] = d[static_cast<std::size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+}
+
+int CouplingMap::distance(int a, int b) const {
+  ensure_distances();
+  return dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::vector<int> CouplingMap::bfs_order(int seed) const {
+  QDB_REQUIRE(seed >= 0 && seed < num_qubits_, "bfs seed out of range");
+  std::vector<int> order;
+  std::vector<char> seen(static_cast<std::size_t>(num_qubits_), 0);
+  std::queue<int> q;
+  q.push(seed);
+  seen[static_cast<std::size_t>(seed)] = 1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (int v : adj_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        q.push(v);
+      }
+    }
+  }
+  return order;
+}
+
+CouplingMap CouplingMap::line(int n) {
+  CouplingMap m(n);
+  for (int i = 0; i + 1 < n; ++i) m.add_edge(i, i + 1);
+  return m;
+}
+
+CouplingMap CouplingMap::full(int n) {
+  CouplingMap m(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) m.add_edge(i, j);
+  return m;
+}
+
+CouplingMap CouplingMap::eagle127() {
+  // Heavy-hex: 7 rows of qubits joined by bridge qubits.  Row lengths
+  // 14,15,15,15,15,15,14 and 4 bridges between consecutive rows
+  // (14 + 4 + 15 + 4 + 15 + 4 + 15 + 4 + 15 + 4 + 15 + 4 + 14 = 127).
+  // Bridge columns alternate 0/4/8/12 and 2/6/10/14 row pair to row pair,
+  // matching the IBM Eagle layout.  Degree never exceeds 3.
+  CouplingMap m(127);
+
+  const int row_len[7] = {14, 15, 15, 15, 15, 15, 14};
+  // First column index of each row (row 0 spans columns 0..13, row 6
+  // columns 1..14, middle rows 0..14).
+  const int row_col0[7] = {0, 0, 0, 0, 0, 0, 1};
+  int next = 0;
+  int row_start[7];
+  int bridge_start[6];
+  for (int r = 0; r < 7; ++r) {
+    row_start[r] = next;
+    next += row_len[r];
+    if (r < 6) {
+      bridge_start[r] = next;
+      next += 4;
+    }
+  }
+  QDB_REQUIRE(next == 127, "eagle construction must produce 127 qubits");
+
+  // Horizontal edges inside each row.
+  for (int r = 0; r < 7; ++r) {
+    for (int i = 0; i + 1 < row_len[r]; ++i) {
+      m.add_edge(row_start[r] + i, row_start[r] + i + 1);
+    }
+  }
+
+  // Bridges: row r column c  <->  bridge  <->  row r+1 column c.
+  for (int r = 0; r < 6; ++r) {
+    const int base_col = (r % 2 == 0) ? 0 : 2;
+    for (int k = 0; k < 4; ++k) {
+      const int col = base_col + 4 * k;
+      const int up_idx = col - row_col0[r];
+      const int dn_idx = col - row_col0[r + 1];
+      const int bridge = bridge_start[r] + k;
+      if (up_idx >= 0 && up_idx < row_len[r]) m.add_edge(row_start[r] + up_idx, bridge);
+      if (dn_idx >= 0 && dn_idx < row_len[r + 1]) m.add_edge(bridge, row_start[r + 1] + dn_idx);
+    }
+  }
+  return m;
+}
+
+}  // namespace qdb

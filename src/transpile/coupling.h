@@ -1,0 +1,51 @@
+// Device coupling maps.
+//
+// IBM Eagle r3 (the paper's processor, §5.1) is a 127-qubit device with a
+// heavy-hex lattice: degree <= 3, rows of 15 qubits linked by bridge qubits
+// every 4 columns.  Physical qubits lack full connectivity, which is exactly
+// why the paper's margin strategy (§5.3) matters: SWAP insertion during
+// routing inflates depth, and spare ancillas give the router freedom.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qdb {
+
+/// Undirected coupling graph over physical qubits.
+class CouplingMap {
+ public:
+  explicit CouplingMap(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+
+  void add_edge(int a, int b);
+  bool connected(int a, int b) const;
+  const std::vector<int>& neighbors(int q) const;
+  std::size_t num_edges() const { return edges_; }
+
+  /// Shortest-path hop distance (precomputed all-pairs BFS on first use).
+  int distance(int a, int b) const;
+
+  /// BFS order starting from `seed`, restricted to the whole device.
+  std::vector<int> bfs_order(int seed) const;
+
+  /// A linear chain of n qubits (useful for tests and idealised devices).
+  static CouplingMap line(int n);
+
+  /// Full connectivity (routing becomes a no-op; for unit tests).
+  static CouplingMap full(int n);
+
+  /// The 127-qubit IBM Eagle heavy-hex topology.
+  static CouplingMap eagle127();
+
+ private:
+  void ensure_distances() const;
+
+  int num_qubits_;
+  std::size_t edges_ = 0;
+  std::vector<std::vector<int>> adj_;
+  mutable std::vector<std::vector<int>> dist_;  // lazily built
+};
+
+}  // namespace qdb

@@ -1,0 +1,222 @@
+#include "transpile/router.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/error.h"
+#include "transpile/basis.h"
+
+namespace qdb {
+
+namespace {
+
+/// Distance restricted to the device metric between physical qubits.
+int pair_distance(const CouplingMap& device, const std::vector<int>& layout, int la, int lb) {
+  return device.distance(layout[static_cast<std::size_t>(la)], layout[static_cast<std::size_t>(lb)]);
+}
+
+}  // namespace
+
+RoutingResult route_circuit(const Circuit& logical, const CouplingMap& device,
+                            const std::vector<int>& initial_layout) {
+  QDB_REQUIRE(static_cast<int>(initial_layout.size()) == logical.num_qubits(),
+              "initial layout size must equal logical qubit count");
+  std::vector<char> used(static_cast<std::size_t>(device.num_qubits()), 0);
+  for (int p : initial_layout) {
+    QDB_REQUIRE(p >= 0 && p < device.num_qubits(), "layout qubit off-device");
+    QDB_REQUIRE(!used[static_cast<std::size_t>(p)], "layout has duplicate physical qubit");
+    used[static_cast<std::size_t>(p)] = 1;
+  }
+
+  RoutingResult result{Circuit(device.num_qubits()), initial_layout, initial_layout, 0};
+  std::vector<int>& layout = result.final_layout;  // logical -> physical
+  std::vector<int> inverse(static_cast<std::size_t>(device.num_qubits()), -1);
+  for (std::size_t l = 0; l < layout.size(); ++l) inverse[static_cast<std::size_t>(layout[l])] = static_cast<int>(l);
+
+  // Upcoming two-qubit gates, for lookahead scoring.
+  std::vector<std::pair<int, int>> upcoming;
+  for (const Gate& g : logical.gates()) {
+    if (is_two_qubit(g.kind)) upcoming.emplace_back(g.q0, g.q1);
+  }
+  std::size_t next_2q = 0;
+
+  auto apply_swap = [&](int pa, int pb) {
+    result.routed.swap(pa, pb);
+    ++result.swaps_inserted;
+    const int la = inverse[static_cast<std::size_t>(pa)];
+    const int lb = inverse[static_cast<std::size_t>(pb)];
+    if (la >= 0) layout[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0) layout[static_cast<std::size_t>(lb)] = pa;
+    std::swap(inverse[static_cast<std::size_t>(pa)], inverse[static_cast<std::size_t>(pb)]);
+  };
+
+  for (const Gate& g : logical.gates()) {
+    if (!is_two_qubit(g.kind)) {
+      Gate mapped = g;
+      mapped.q0 = layout[static_cast<std::size_t>(g.q0)];
+      result.routed.append(mapped);
+      continue;
+    }
+    ++next_2q;
+
+    int guard = 0;
+    while (pair_distance(device, layout, g.q0, g.q1) > 1) {
+      QDB_REQUIRE(++guard < 16 * device.num_qubits(), "routing failed to converge");
+      // Candidate swaps: any device edge touching the physical position of
+      // either endpoint.  Score = resulting distance of the blocked pair,
+      // tie-broken by the summed distance of the next few upcoming gates.
+      const int pa = layout[static_cast<std::size_t>(g.q0)];
+      const int pb = layout[static_cast<std::size_t>(g.q1)];
+      int best_u = -1, best_v = -1;
+      double best_score = std::numeric_limits<double>::max();
+      for (int endpoint : {pa, pb}) {
+        for (int nb : device.neighbors(endpoint)) {
+          // Tentatively swap endpoint <-> nb.
+          auto dist_after = [&](int la, int lb) {
+            int qa = layout[static_cast<std::size_t>(la)];
+            int qb = layout[static_cast<std::size_t>(lb)];
+            if (qa == endpoint) qa = nb; else if (qa == nb) qa = endpoint;
+            if (qb == endpoint) qb = nb; else if (qb == nb) qb = endpoint;
+            return device.distance(qa, qb);
+          };
+          double score = 1000.0 * dist_after(g.q0, g.q1);
+          const std::size_t look_end = std::min(next_2q + 4, upcoming.size());
+          for (std::size_t k = next_2q; k < look_end; ++k) {
+            score += dist_after(upcoming[k].first, upcoming[k].second);
+          }
+          if (score < best_score) {
+            best_score = score;
+            best_u = endpoint;
+            best_v = nb;
+          }
+        }
+      }
+      QDB_REQUIRE(best_u >= 0, "no routing move available (disconnected device?)");
+      apply_swap(best_u, best_v);
+    }
+
+    Gate mapped = g;
+    mapped.q0 = layout[static_cast<std::size_t>(g.q0)];
+    mapped.q1 = layout[static_cast<std::size_t>(g.q1)];
+    result.routed.append(mapped);
+  }
+  return result;
+}
+
+std::vector<int> allocate_region(const CouplingMap& device, int n_logical, int margin,
+                                 int seed) {
+  QDB_REQUIRE(n_logical >= 1, "region needs at least one qubit");
+  QDB_REQUIRE(margin >= 0, "margin must be non-negative");
+  const int want = n_logical + margin;
+  QDB_REQUIRE(want <= device.num_qubits(), "region larger than device");
+  std::vector<int> order = device.bfs_order(seed);
+  QDB_REQUIRE(static_cast<int>(order.size()) >= want,
+              "device is disconnected: BFS region too small");
+  order.resize(static_cast<std::size_t>(want));
+  return order;
+}
+
+std::vector<int> line_layout_in_region(const CouplingMap& device,
+                                       const std::vector<int>& region, int n_logical) {
+  QDB_REQUIRE(static_cast<int>(region.size()) >= n_logical,
+              "region smaller than logical circuit");
+  std::vector<char> in_region(static_cast<std::size_t>(device.num_qubits()), 0);
+  for (int q : region) in_region[static_cast<std::size_t>(q)] = 1;
+
+  // Longest simple path in the induced subgraph by bounded backtracking DFS
+  // (low-remaining-degree neighbours first).  Regions are small (tens of
+  // vertices), so a fixed step budget per start suffices; a roomier region
+  // (the margin strategy) makes a full-length chain far more likely, which
+  // is precisely the depth saving the paper reports.
+  std::vector<int> best_path;
+  std::vector<char> visited(static_cast<std::size_t>(device.num_qubits()), 0);
+  std::vector<int> path;
+  long budget = 0;
+
+  const std::function<bool(int)> dfs = [&](int cur) -> bool {
+    if (--budget < 0) return false;
+    path.push_back(cur);
+    visited[static_cast<std::size_t>(cur)] = 1;
+    if (path.size() > best_path.size()) best_path = path;
+    if (static_cast<int>(path.size()) >= n_logical) {
+      path.pop_back();
+      visited[static_cast<std::size_t>(cur)] = 0;
+      return true;  // long enough: unwind
+    }
+    // Order candidates by remaining in-region degree (fewest options first).
+    std::vector<std::pair<int, int>> cand;
+    for (int nb : device.neighbors(cur)) {
+      if (!in_region[static_cast<std::size_t>(nb)] || visited[static_cast<std::size_t>(nb)]) continue;
+      int deg = 0;
+      for (int nb2 : device.neighbors(nb)) {
+        deg += in_region[static_cast<std::size_t>(nb2)] && !visited[static_cast<std::size_t>(nb2)];
+      }
+      cand.emplace_back(deg, nb);
+    }
+    std::sort(cand.begin(), cand.end());
+    bool done = false;
+    for (const auto& [deg, nb] : cand) {
+      (void)deg;
+      if (dfs(nb)) {
+        done = true;
+        break;
+      }
+    }
+    path.pop_back();
+    visited[static_cast<std::size_t>(cur)] = 0;
+    return done;
+  };
+
+  for (int start : region) {
+    budget = 20000;
+    if (dfs(start)) break;
+  }
+
+  std::vector<int> layout;
+  layout.reserve(static_cast<std::size_t>(n_logical));
+  std::vector<char> taken(static_cast<std::size_t>(device.num_qubits()), 0);
+  for (int q : best_path) {
+    if (static_cast<int>(layout.size()) == n_logical) break;
+    layout.push_back(q);
+    taken[static_cast<std::size_t>(q)] = 1;
+  }
+  // If the path is shorter than the chain, place the rest on the region
+  // vertices closest to the path tail (these will cost SWAPs at runtime —
+  // exactly the penalty the margin strategy avoids).
+  while (static_cast<int>(layout.size()) < n_logical) {
+    const int tail = layout.back();
+    int best = -1, best_d = std::numeric_limits<int>::max();
+    for (int q : region) {
+      if (taken[static_cast<std::size_t>(q)]) continue;
+      const int d = device.distance(tail, q);
+      if (d >= 0 && d < best_d) {
+        best_d = d;
+        best = q;
+      }
+    }
+    QDB_REQUIRE(best >= 0, "region exhausted while building layout");
+    layout.push_back(best);
+    taken[static_cast<std::size_t>(best)] = 1;
+  }
+  return layout;
+}
+
+TranspileReport transpile_for_device(const Circuit& logical, const CouplingMap& device,
+                                     int margin, int seed) {
+  const std::vector<int> region = allocate_region(device, logical.num_qubits(), margin, seed);
+  const std::vector<int> layout = line_layout_in_region(device, region, logical.num_qubits());
+  // Route first (SWAPs stay explicit for counting), then collapse one-qubit
+  // runs (ZYZ resynthesis), lower everything — including the inserted SWAPs
+  // — to the native basis, and clean up.
+  const RoutingResult routed = route_circuit(logical, device, layout);
+  TranspileReport report;
+  report.circuit = simplify_native(to_native_basis(resynthesize_1q(routed.routed)));
+  report.allocated_qubits = static_cast<int>(region.size());
+  report.depth = report.circuit.depth();
+  report.swaps_inserted = routed.swaps_inserted;
+  report.two_qubit_gates = report.circuit.two_qubit_count();
+  return report;
+}
+
+}  // namespace qdb

@@ -1,0 +1,59 @@
+// Qubit routing (SWAP insertion) and the ancilla margin strategy (§5.3).
+//
+// Physical qubits on a heavy-hex device lack full connectivity, so two-qubit
+// gates between non-adjacent physical qubits require SWAP chains, inflating
+// the executed depth well beyond the ideal circuit.  The paper's mitigation
+// is to allocate 5-10 ancilla qubits beyond the logical requirement: the
+// extra room lets the layout/router find an embedding with fewer SWAPs.
+//
+// The router here is a greedy SABRE-style pass: it processes gates in
+// program order and, for a blocked two-qubit gate, repeatedly applies the
+// neighbouring SWAP that most reduces the distance of the blocked pair (with
+// a small lookahead over upcoming gates for tie-breaking).
+#pragma once
+
+#include <vector>
+
+#include "quantum/circuit.h"
+#include "transpile/coupling.h"
+
+namespace qdb {
+
+struct RoutingResult {
+  Circuit routed;                   // over the device's physical qubits
+  std::vector<int> initial_layout;  // logical index -> physical qubit
+  std::vector<int> final_layout;    // mapping after all inserted SWAPs
+  int swaps_inserted = 0;
+};
+
+/// Route `logical` onto `device` starting from `initial_layout`
+/// (logical -> physical, all entries distinct and on-device).
+RoutingResult route_circuit(const Circuit& logical, const CouplingMap& device,
+                            const std::vector<int>& initial_layout);
+
+/// Allocate a connected region of `n_logical + margin` physical qubits by
+/// BFS from `seed` (the margin qubits are the paper's ancilla allowance).
+std::vector<int> allocate_region(const CouplingMap& device, int n_logical, int margin,
+                                 int seed = 0);
+
+/// Choose an initial layout for a linear-entanglement circuit inside a
+/// region: follow the longest simple path found in the induced subgraph
+/// (greedy DFS from every region vertex), then place any remaining logical
+/// qubits on the nearest unused region vertices.
+std::vector<int> line_layout_in_region(const CouplingMap& device,
+                                       const std::vector<int>& region, int n_logical);
+
+/// Convenience: full transpile of a logical circuit for a device — native
+/// basis lowering, region allocation with `margin` ancillas, line layout,
+/// routing, and native-basis cleanup of the routed circuit.
+struct TranspileReport {
+  Circuit circuit{1};     // routed, native-basis
+  int allocated_qubits = 0;  // n_logical + margin
+  int depth = 0;
+  int swaps_inserted = 0;
+  std::size_t two_qubit_gates = 0;
+};
+TranspileReport transpile_for_device(const Circuit& logical, const CouplingMap& device,
+                                     int margin, int seed = 0);
+
+}  // namespace qdb

@@ -1,0 +1,21 @@
+#include "vqe/exec_time.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace qdb {
+
+double ExecTimeModel::total_time_s(int transpiled_depth, const NoiseModel& noise,
+                                   std::size_t total_shots, int evaluations,
+                                   std::string_view id) const {
+  const double per_shot = static_cast<double>(transpiled_depth) * mean_gate_time_ns * 1e-9 +
+                          noise.readout_time_ns * 1e-9 + rep_delay_s;
+  Rng rng(id, "exec-time", 0);
+  // Queueing only ever adds time: floor the factor at 1.
+  const double queue_factor = 1.0 + std::exp(rng.normal(0.0, queue_sigma));
+  return static_cast<double>(total_shots) * per_shot +
+         static_cast<double>(evaluations) * per_job_overhead_s * queue_factor;
+}
+
+}  // namespace qdb

@@ -1,0 +1,129 @@
+// Tests for src/baseline: Chou-Fasman propensities, the AF2/AF3 surrogate
+// predictors, and the classical folding baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/af_surrogate.h"
+#include "baseline/classical.h"
+#include "common/error.h"
+#include "lattice/solver.h"
+#include "structure/molecule.h"
+
+namespace qdb {
+namespace {
+
+FoldingHamiltonian make_h(const std::string& seq) {
+  auto s = parse_sequence(seq);
+  return FoldingHamiltonian(s, HamiltonianWeights::standard(static_cast<int>(s.size())));
+}
+
+TEST(Propensities, KnownChouFasmanValues) {
+  EXPECT_NEAR(helix_propensity(AminoAcid::Glu), 1.51, 1e-9);
+  EXPECT_NEAR(helix_propensity(AminoAcid::Gly), 0.57, 1e-9);
+  EXPECT_NEAR(strand_propensity(AminoAcid::Val), 1.70, 1e-9);
+  EXPECT_NEAR(strand_propensity(AminoAcid::Glu), 0.37, 1e-9);
+}
+
+TEST(Propensities, HelixFormersAssignHelix) {
+  // Poly-Glu/Ala is a textbook helix former; poly-Val prefers strand.
+  const auto helix_ss = assign_secondary_structure(parse_sequence("EAEAEAEAEA"));
+  int helix = 0;
+  for (auto s : helix_ss) helix += (s == SecondaryStructure::Helix);
+  EXPECT_GT(helix, 7);
+
+  const auto strand_ss = assign_secondary_structure(parse_sequence("VIVIVIVIVI"));
+  int strand = 0;
+  for (auto s : strand_ss) strand += (s == SecondaryStructure::Strand);
+  EXPECT_GT(strand, 7);
+}
+
+TEST(Surrogate, DeterministicPerIdAndVersion) {
+  const auto seq = parse_sequence("DYLEAYGKGGVKAK");
+  const AlphaFoldSurrogate af2(AlphaFoldSurrogate::Version::AF2);
+  const Structure a = af2.predict("4jpy", seq, 154);
+  const Structure b = af2.predict("4jpy", seq, 154);
+  EXPECT_NEAR(ca_rmsd(a, b), 0.0, 1e-12);
+
+  const Structure c = af2.predict("3d7z", seq, 154);
+  EXPECT_GT(ca_rmsd(a, c), 0.01);  // different id, different noise draw
+
+  const AlphaFoldSurrogate af3(AlphaFoldSurrogate::Version::AF3);
+  const Structure d = af3.predict("4jpy", seq, 154);
+  EXPECT_GT(ca_rmsd(a, d), 0.01);  // versions differ
+}
+
+TEST(Surrogate, ProducesValidStructures) {
+  const auto seq = parse_sequence("EDACQGDSGG");
+  for (auto v : {AlphaFoldSurrogate::Version::AF2, AlphaFoldSurrogate::Version::AF3}) {
+    const Structure s = AlphaFoldSurrogate(v).predict("2bok", seq, 188);
+    EXPECT_EQ(s.num_residues(), 10);
+    EXPECT_EQ(s.sequence(), "EDACQGDSGG");
+    EXPECT_EQ(s.residues.front().seq_number, 188);
+    // Virtual Calpha bonds stay near 3.8 A (noise perturbs them slightly).
+    const auto cas = s.ca_positions();
+    for (std::size_t i = 0; i + 1 < cas.size(); ++i) {
+      const double d = cas[i].distance(cas[i + 1]);
+      EXPECT_GT(d, 2.0) << i;
+      EXPECT_LT(d, 6.0) << i;
+    }
+    // Centered for docking.
+    EXPECT_NEAR(s.center().norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(Surrogate, Af3IsTighterThanAf2) {
+  EXPECT_LT(AlphaFoldSurrogate(AlphaFoldSurrogate::Version::AF3).noise_scale(),
+            AlphaFoldSurrogate(AlphaFoldSurrogate::Version::AF2).noise_scale());
+}
+
+TEST(Surrogate, PredictionIgnoresEnergyLandscape) {
+  // The surrogate's defining property: it predicts from sequence priors, so
+  // its conformation is generally far from the Hamiltonian's ground state.
+  const auto h = make_h("MIITEYMENGAL");
+  const SolveResult exact = ExactSolver().solve(h);
+  const Structure reference = structure_from_turns(h, exact.turns, "ref");
+  const Structure af = AlphaFoldSurrogate(AlphaFoldSurrogate::Version::AF2)
+                           .predict("5nkc", h.sequence(), 689);
+  EXPECT_GT(ca_rmsd(af, reference), 1.5);
+}
+
+TEST(Classical, StructureFromTurnsSharesPipeline) {
+  const auto h = make_h("VKDRS");
+  const SolveResult exact = ExactSolver().solve(h);
+  const Structure s = structure_from_turns(h, exact.turns, "3ckz", 149);
+  EXPECT_EQ(s.sequence(), "VKDRS");
+  EXPECT_EQ(s.residues.front().seq_number, 149);
+  EXPECT_NEAR(s.center().norm(), 0.0, 1e-9);
+  // Has hydrogens and charges (docking-ready).
+  EXPECT_NE(s.residues[0].find("HN"), nullptr);
+}
+
+TEST(Classical, AnnealingApproachesExactStructure) {
+  const auto h = make_h("EDACQGDSGG");
+  AnnealingPredictor annealer;
+  annealer.options.seed = 13;
+  const Structure sa = annealer.predict(h, "2bok");
+  const SolveResult exact = ExactSolver().solve(h);
+  const Structure ref = structure_from_turns(h, exact.turns, "2bok");
+  // The annealer shares the Hamiltonian, so it should land near the ground
+  // state (often exactly on it for 14-bit problems).
+  EXPECT_LT(ca_rmsd(sa, ref), 4.0);
+}
+
+TEST(Classical, GreedyProducesValidFoldButWorseEnergy) {
+  const auto h = make_h("AQITMGMPY");
+  const GreedyPredictor greedy;
+  const auto turns = greedy.fold(h);
+  ASSERT_EQ(turns.size(), 8u);
+  EXPECT_EQ(turns[0], 0);
+  EXPECT_EQ(turns[1], 1);
+  const double greedy_e = h.energy_of_turns(turns);
+  const double exact_e = ExactSolver().solve(h).energy;
+  EXPECT_GE(greedy_e, exact_e - 1e-9);
+  // Greedy still avoids catastrophic penalties.
+  EXPECT_LT(greedy_e, exact_e + h.weights().overlap_penalty);
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,234 @@
+// Tests for src/common: RNG determinism and statistics, JSON round-trips,
+// string helpers, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace qdb {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StringSeedingIsStableAndComponentSensitive) {
+  Rng a("4jpy", "dock", 0), a2("4jpy", "dock", 0);
+  Rng b("4jpy", "dock", 1), c("4jpy", "vqe", 0), d("3d7z", "dock", 0);
+  const auto va = a();
+  EXPECT_EQ(va, a2());
+  EXPECT_NE(va, b());
+  EXPECT_NE(va, c());
+  EXPECT_NE(va, d());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  Rng rng(13);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  Rng child2 = parent.split();
+  EXPECT_NE(child(), child2());
+}
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e-3").as_double(), -1e-3);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(Json, IntStaysIntThroughDump) {
+  Json j = Json::object();
+  j.set("qubits", 102);
+  j.set("energy", -4.25);
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.at("qubits").as_int(), 102);
+  EXPECT_DOUBLE_EQ(back.at("energy").as_double(), -4.25);
+}
+
+TEST(Json, NestedDocumentRoundTrip) {
+  Json doc = Json::object();
+  doc.set("id", "4jpy");
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("x");
+  Json inner = Json::object();
+  inner.set("ok", true);
+  arr.push_back(std::move(inner));
+  doc.set("items", std::move(arr));
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.at("id").as_string(), "4jpy");
+  const auto& items = back.at("items").as_array();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(items[1].as_double(), 2.5);
+  EXPECT_EQ(items[2].as_string(), "x");
+  EXPECT_TRUE(items[3].at("ok").as_bool());
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", 1);
+  j.set("apple", 2);
+  const std::string s = j.dump(-1);
+  EXPECT_LT(s.find("zebra"), s.find("apple"));
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json j = Json::object();
+  j.set("k", 1);
+  j.set("k", 2);
+  EXPECT_EQ(j.at("k").as_int(), 2);
+  EXPECT_EQ(j.as_object().size(), 1u);
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("12 34"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), ParseError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.as_array(), Error);
+  EXPECT_THROW(j.at("missing"), Error);
+  EXPECT_THROW(j.at("a").as_string(), Error);
+}
+
+TEST(Json, EscapedStringsRoundTrip) {
+  Json j = Json::object();
+  j.set("s", "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(j.dump()).at("s").as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, UnicodeEscapeDecodes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/qdb_json_test/doc.json";
+  Json j = Json::object();
+  j.set("v", 7);
+  write_file(path, j.dump());
+  EXPECT_EQ(Json::parse(read_file(path)).at("v").as_int(), 7);
+}
+
+TEST(Strings, FormatBasics) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_upper("4jpy"), "4JPY");
+  EXPECT_EQ(to_lower("GLY"), "gly");
+  EXPECT_TRUE(starts_with("ATOM  123", "ATOM"));
+  EXPECT_FALSE(starts_with("AT", "ATOM"));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"PDB ID", "Qubits"});
+  t.add_row({"4jpy", "102"});
+  t.add_row({"3ckz", "12"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("PDB ID"), std::string::npos);
+  EXPECT_NE(s.find("4jpy"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(ErrorHelpers, RequireThrowsWithMessage) {
+  try {
+    QDB_REQUIRE(false, "boom");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qdb

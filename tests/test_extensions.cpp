@@ -1,0 +1,153 @@
+// Tests for the extension modules: secondary-structure assignment, ligand
+// PDBQT export, and batch device-time accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "data/batch.h"
+#include "dock/ligand_gen.h"
+#include "dock/ligand_pdbqt.h"
+#include "structure/secondary.h"
+
+namespace qdb {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<Vec3> ideal_helix(int n) {
+  // 3.6 residues/turn, 1.5 A rise, 2.3 A radius.
+  std::vector<Vec3> out;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * kPi * i / 3.6;
+    out.push_back(Vec3{2.3 * std::cos(a), 2.3 * std::sin(a), 1.5 * i});
+  }
+  return out;
+}
+
+std::vector<Vec3> ideal_strand(int n) {
+  // Extended zig-zag, ~3.4 A rise with alternating offset.
+  std::vector<Vec3> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Vec3{3.35 * i, (i % 2) ? 0.9 : -0.9, 0.0});
+  }
+  return out;
+}
+
+TEST(SecondaryStructure, RecognisesIdealHelix) {
+  const auto ss = assign_ss(ideal_helix(10));
+  int helix = 0;
+  for (SsState s : ss) helix += (s == SsState::Helix);
+  EXPECT_GE(helix, 8);
+  EXPECT_GT(ss_composition(ss).helix, 0.7);
+}
+
+TEST(SecondaryStructure, RecognisesIdealStrand) {
+  const auto ss = assign_ss(ideal_strand(10));
+  int strand = 0;
+  for (SsState s : ss) strand += (s == SsState::Strand);
+  EXPECT_GE(strand, 8);
+}
+
+TEST(SecondaryStructure, RandomCoilStaysCoil) {
+  // A tight random coil: fresh random direction each step (no persistence),
+  // so neither the helix nor the strand distance signature can hold.
+  Rng rng(11);
+  std::vector<Vec3> trace{{0, 0, 0}};
+  for (int i = 0; i < 12; ++i) {
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    // Reject steps that would collide with the previous-previous residue.
+    while (trace.size() >= 2 &&
+           (trace.back() + dir.normalized() * 3.8).distance(trace[trace.size() - 2]) < 4.2) {
+      dir = Vec3{rng.normal(), rng.normal(), rng.normal()};
+    }
+    trace.push_back(trace.back() + dir.normalized() * 3.8);
+  }
+  const auto ss = assign_ss(trace);
+  EXPECT_GT(ss_composition(ss).coil, 0.3);
+}
+
+TEST(SecondaryStructure, StringAndLetters) {
+  EXPECT_EQ(ss_letter(SsState::Helix), 'H');
+  EXPECT_EQ(ss_letter(SsState::Strand), 'E');
+  EXPECT_EQ(ss_letter(SsState::Coil), 'C');
+  const auto ss = assign_ss(ideal_helix(6));
+  EXPECT_EQ(ss_string(ss).size(), 6u);
+  EXPECT_THROW(assign_ss(std::vector<Vec3>{{0, 0, 0}}), PreconditionError);
+}
+
+TEST(LigandPdbqt, DocumentStructure) {
+  const Ligand lig = generate_ligand("2bok");
+  const std::string text = ligand_to_pdbqt(lig);
+  EXPECT_NE(text.find("ROOT"), std::string::npos);
+  EXPECT_NE(text.find("ENDROOT"), std::string::npos);
+  EXPECT_NE(text.find(format("TORSDOF %d", lig.num_torsions())), std::string::npos);
+
+  // One BRANCH/ENDBRANCH pair per torsion; one ATOM per atom.
+  int atoms = 0, branches = 0, endbranches = 0;
+  for (const auto& line : split(text, '\n')) {
+    atoms += starts_with(line, "ATOM");
+    branches += starts_with(line, "BRANCH");
+    endbranches += starts_with(line, "ENDBRANCH");
+  }
+  EXPECT_EQ(atoms, lig.num_atoms());
+  EXPECT_EQ(branches, lig.num_torsions());
+  EXPECT_EQ(endbranches, lig.num_torsions());
+}
+
+TEST(LigandPdbqt, ChargesAndTypesPresent) {
+  const Ligand lig = generate_ligand("4jpy");
+  const std::string text = ligand_to_pdbqt(lig);
+  bool saw_polar = false;
+  for (const auto& line : split(text, '\n')) {
+    if (!starts_with(line, "ATOM")) continue;
+    ASSERT_GE(line.size(), 78u);
+    const std::string type(trim(line.substr(77)));
+    EXPECT_FALSE(type.empty());
+    saw_polar |= (type == "NA" || type == "OA" || type == "N");
+  }
+  EXPECT_TRUE(saw_polar);
+}
+
+TEST(Batch, PublishedAccountingReproducesHeadlines) {
+  BatchOptions opt;
+  opt.run_vqe = false;
+  const BatchReport r = run_batch_all(opt);
+  ASSERT_EQ(r.jobs.size(), 55u);
+  // The abstract's claims: > 60 hours of processor time, > $1M at $1.60/s.
+  EXPECT_GT(r.total_device_hours(), 60.0);
+  EXPECT_GT(r.total_cost_usd, 1e6);
+  // Jobs are scheduled back to back.
+  for (std::size_t i = 1; i < r.jobs.size(); ++i) {
+    EXPECT_NEAR(r.jobs[i].queue_start_s,
+                r.jobs[i - 1].queue_start_s + r.jobs[i - 1].device_time_s, 1e-6);
+  }
+}
+
+TEST(Batch, SubsetAccountingIsAdditive) {
+  BatchOptions opt;
+  opt.run_vqe = false;
+  std::vector<const DatasetEntry*> subset = {&entry_by_id("3ckz"), &entry_by_id("3eax")};
+  const BatchReport r = run_batch(subset, opt);
+  EXPECT_NEAR(r.total_device_time_s,
+              entry_by_id("3ckz").exec_time_s + entry_by_id("3eax").exec_time_s, 1e-6);
+  EXPECT_NEAR(r.total_cost_usd, r.total_device_time_s * 1.6, 1e-6);
+}
+
+TEST(Batch, SimulatedModeRunsVqe) {
+  BatchOptions opt;
+  opt.run_vqe = true;
+  opt.vqe.max_evaluations = 10;
+  opt.vqe.shots_per_eval = 64;
+  opt.vqe.final_shots = 500;
+  std::vector<const DatasetEntry*> subset = {&entry_by_id("3ckz")};
+  const BatchReport r = run_batch(subset, opt);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_GT(r.jobs[0].shots, 0u);
+  EXPECT_GT(r.jobs[0].device_time_s, 0.0);
+  EXPECT_GT(r.jobs[0].lowest_energy, 0.0);
+}
+
+}  // namespace
+}  // namespace qdb

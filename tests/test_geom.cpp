@@ -1,0 +1,199 @@
+// Tests for src/geom: vector algebra, rotations, the symmetric eigen-solver,
+// Kabsch superposition, and RMSD properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geom/kabsch.h"
+#include "geom/mat3.h"
+#include "geom/vec3.h"
+
+namespace qdb {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_EQ(Vec3(1, 0, 0).cross(Vec3(0, 1, 0)), Vec3(0, 0, 1));
+}
+
+TEST(Vec3, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 1, 1).distance2(Vec3(2, 2, 2)), 3.0);
+  EXPECT_NEAR(Vec3(2, 0, 0).normalized().norm(), 1.0, 1e-15);
+  // Zero vector does not produce NaN.
+  const Vec3 z = Vec3(0, 0, 0).normalized();
+  EXPECT_FALSE(std::isnan(z.x));
+}
+
+TEST(Mat3, RotationPreservesLengthAndOrientation) {
+  const Mat3 r = Mat3::rotation(Vec3(0, 0, 1), kPi / 2.0);
+  const Vec3 v = r * Vec3(1, 0, 0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+  EXPECT_NEAR(r.determinant(), 1.0, 1e-12);
+}
+
+TEST(Mat3, RotationComposition) {
+  const Mat3 r1 = Mat3::rotation(Vec3(1, 2, 3), 0.7);
+  const Mat3 r2 = Mat3::rotation(Vec3(-1, 0, 2), 1.1);
+  const Vec3 v{0.3, -1.2, 2.0};
+  const Vec3 lhs = (r1 * r2) * v;
+  const Vec3 rhs = r1 * (r2 * v);
+  EXPECT_NEAR(lhs.distance(rhs), 0.0, 1e-12);
+}
+
+TEST(Mat3, TransposeIsInverseForRotations) {
+  const Mat3 r = Mat3::rotation(Vec3(1, 1, 0), 0.9);
+  const Mat3 should_be_identity = r * r.transposed();
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(should_be_identity(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(EigenSymmetric, DiagonalMatrix) {
+  Mat3 a;
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const SymmetricEigen e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(EigenSymmetric, ReconstructsMatrix) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mat3 a;
+    for (int i = 0; i < 3; ++i)
+      for (int j = i; j < 3; ++j) a(i, j) = a(j, i) = rng.uniform(-2, 2);
+    const SymmetricEigen e = eigen_symmetric(a);
+    // A == V diag(values) V^T
+    Mat3 d;
+    for (int i = 0; i < 3; ++i) d(i, i) = e.values[static_cast<std::size_t>(i)];
+    const Mat3 rec = e.vectors * d * e.vectors.transposed();
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) EXPECT_NEAR(rec(i, j), a(i, j), 1e-9);
+    EXPECT_GE(e.values[0], e.values[1]);
+    EXPECT_GE(e.values[1], e.values[2]);
+  }
+}
+
+TEST(Quat, AxisAngleMatchesMatrix) {
+  const Vec3 axis{0.3, -0.8, 0.5};
+  const double angle = 1.234;
+  const Mat3 via_quat = Quat::from_axis_angle(axis, angle).to_matrix();
+  const Mat3 direct = Mat3::rotation(axis, angle);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(via_quat(i, j), direct(i, j), 1e-12);
+}
+
+TEST(Quat, RandomQuaternionsAreUnitRotations) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const Quat q = Quat::random(rng.uniform(), rng.uniform(), rng.uniform());
+    const Mat3 m = q.to_matrix();
+    EXPECT_NEAR(m.determinant(), 1.0, 1e-9);
+  }
+}
+
+std::vector<Vec3> random_points(Rng& rng, std::size_t n) {
+  std::vector<Vec3> pts(n);
+  for (auto& p : pts) p = Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+  return pts;
+}
+
+TEST(Kabsch, RecoversKnownRigidTransform) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto moving = random_points(rng, 12);
+    const Mat3 r = Mat3::rotation(
+        Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)}, rng.uniform(0, kPi));
+    const Vec3 t{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    std::vector<Vec3> target(moving.size());
+    for (std::size_t i = 0; i < moving.size(); ++i) target[i] = r * moving[i] + t;
+
+    const Superposition sp = superpose(moving, target);
+    EXPECT_NEAR(sp.rmsd, 0.0, 1e-9);
+    for (std::size_t i = 0; i < moving.size(); ++i)
+      EXPECT_NEAR(sp.apply(moving[i]).distance(target[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Kabsch, RotationIsProper) {
+  Rng rng(37);
+  // Include a mirrored target, which must NOT be matched by a reflection.
+  const auto moving = random_points(rng, 8);
+  std::vector<Vec3> mirrored(moving.size());
+  for (std::size_t i = 0; i < moving.size(); ++i)
+    mirrored[i] = Vec3{-moving[i].x, moving[i].y, moving[i].z};
+  const Superposition sp = superpose(moving, mirrored);
+  EXPECT_NEAR(sp.rotation.determinant(), 1.0, 1e-9);
+  EXPECT_GT(sp.rmsd, 0.1);  // a reflection cannot be undone by a rotation
+}
+
+TEST(Kabsch, HandlesCollinearPoints) {
+  std::vector<Vec3> line{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+  std::vector<Vec3> rotated{{0, 0, 0}, {0, 1, 0}, {0, 2, 0}, {0, 3, 0}};
+  const Superposition sp = superpose(line, rotated);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-9);
+  EXPECT_NEAR(sp.rotation.determinant(), 1.0, 1e-9);
+}
+
+TEST(Kabsch, NoisyCorrespondenceGivesSmallRmsd) {
+  Rng rng(41);
+  const auto moving = random_points(rng, 20);
+  const Mat3 r = Mat3::rotation(Vec3{1, 1, 1}, 0.8);
+  std::vector<Vec3> target(moving.size());
+  for (std::size_t i = 0; i < moving.size(); ++i) {
+    target[i] = r * moving[i] + Vec3{1, 2, 3} +
+                Vec3{rng.normal(0, 0.05), rng.normal(0, 0.05), rng.normal(0, 0.05)};
+  }
+  const double d = rmsd_superposed(moving, target);
+  EXPECT_LT(d, 0.15);
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(Rmsd, DirectVsSuperposed) {
+  // Superposed RMSD is never larger than direct RMSD.
+  Rng rng(43);
+  const auto a = random_points(rng, 15);
+  auto b = a;
+  const Mat3 r = Mat3::rotation(Vec3{0, 1, 0}, 0.3);
+  for (auto& p : b) p = r * p + Vec3{4, 0, 0};
+  EXPECT_LE(rmsd_superposed(a, b), rmsd_direct(a, b) + 1e-12);
+  EXPECT_NEAR(rmsd_superposed(a, b), 0.0, 1e-9);
+  EXPECT_GT(rmsd_direct(a, b), 1.0);
+}
+
+TEST(Rmsd, IdenticalSetsGiveZero) {
+  Rng rng(47);
+  const auto a = random_points(rng, 6);
+  EXPECT_DOUBLE_EQ(rmsd_direct(a, a), 0.0);
+  EXPECT_NEAR(rmsd_superposed(a, a), 0.0, 1e-12);
+}
+
+TEST(Rmsd, MismatchedSizesThrow) {
+  std::vector<Vec3> a(3), b(4);
+  EXPECT_THROW(rmsd_direct(a, b), PreconditionError);
+  EXPECT_THROW(superpose(a, b), PreconditionError);
+  EXPECT_THROW(rmsd_direct({}, {}), PreconditionError);
+}
+
+TEST(Centroid, AverageOfPoints) {
+  const Vec3 c = centroid({{0, 0, 0}, {2, 0, 0}, {1, 3, 0}});
+  EXPECT_NEAR(c.x, 1.0, 1e-15);
+  EXPECT_NEAR(c.y, 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace qdb

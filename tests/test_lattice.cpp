@@ -1,0 +1,262 @@
+// Tests for src/lattice: amino-acid tables, the MJ-style contact matrix,
+// tetrahedral lattice geometry, the turn encoding, the four-term
+// Hamiltonian, and the exact / annealing solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "lattice/amino_acid.h"
+#include "lattice/hamiltonian.h"
+#include "lattice/lattice.h"
+#include "lattice/mj_matrix.h"
+#include "lattice/solver.h"
+
+namespace qdb {
+namespace {
+
+TEST(AminoAcids, LetterRoundTrip) {
+  for (int i = 0; i < kNumAminoAcids; ++i) {
+    const auto aa = static_cast<AminoAcid>(i);
+    EXPECT_EQ(aa_from_letter(aa_letter(aa)), aa);
+    EXPECT_EQ(aa_from_three_letter(aa_three_letter(aa)), aa);
+  }
+  EXPECT_THROW(aa_from_letter('B'), ParseError);
+  EXPECT_THROW(aa_from_three_letter("XXX"), ParseError);
+}
+
+TEST(AminoAcids, SequenceParsing) {
+  // 4jpy's L-group fragment from Table 1.
+  const auto seq = parse_sequence("DYLEAYGKGGVKAK");
+  ASSERT_EQ(seq.size(), 14u);
+  EXPECT_EQ(seq[0], AminoAcid::Asp);
+  EXPECT_EQ(seq[13], AminoAcid::Lys);
+  EXPECT_EQ(sequence_to_string(seq), "DYLEAYGKGGVKAK");
+  EXPECT_THROW(parse_sequence(""), PreconditionError);
+  EXPECT_THROW(parse_sequence("AXZ"), ParseError);
+}
+
+TEST(AminoAcids, PropertiesAreSane) {
+  EXPECT_GT(aa_hydropathy(AminoAcid::Ile), 0.0);
+  EXPECT_LT(aa_hydropathy(AminoAcid::Arg), 0.0);
+  EXPECT_EQ(aa_charge(AminoAcid::Lys), 1);
+  EXPECT_EQ(aa_charge(AminoAcid::Asp), -1);
+  EXPECT_EQ(aa_charge(AminoAcid::Ser), 0);
+  EXPECT_EQ(aa_sidechain_heavy_atoms(AminoAcid::Gly), 0);
+  EXPECT_GT(aa_sidechain_heavy_atoms(AminoAcid::Trp), 8);
+  EXPECT_EQ(aa_class(AminoAcid::Leu), ResidueClass::Hydrophobic);
+  EXPECT_EQ(aa_class(AminoAcid::Glu), ResidueClass::Negative);
+}
+
+TEST(MjMatrix, SymmetricAndFullyDefined) {
+  const MjMatrix& mj = MjMatrix::standard();
+  for (int i = 0; i < kNumAminoAcids; ++i) {
+    for (int j = 0; j < kNumAminoAcids; ++j) {
+      const double e = mj.energy(static_cast<AminoAcid>(i), static_cast<AminoAcid>(j));
+      EXPECT_TRUE(std::isfinite(e));
+      EXPECT_DOUBLE_EQ(e, mj.energy(static_cast<AminoAcid>(j), static_cast<AminoAcid>(i)));
+    }
+  }
+}
+
+TEST(MjMatrix, HydrophobicPairsAreStrongest) {
+  const MjMatrix& mj = MjMatrix::standard();
+  const double ii = mj.energy(AminoAcid::Ile, AminoAcid::Ile);
+  const double ff = mj.energy(AminoAcid::Phe, AminoAcid::Phe);
+  const double kk = mj.energy(AminoAcid::Lys, AminoAcid::Lys);
+  EXPECT_LT(ii, -6.0);  // MJ(1996) scale: I-I ~ -7 RT
+  EXPECT_LT(ff, -4.0);
+  EXPECT_GT(kk, -1.0);  // charged-charged contacts are weak
+  EXPECT_LT(ii, kk);
+  EXPECT_NEAR(mj.min_energy(), ii, 1e-9);
+}
+
+TEST(MjMatrix, SaltBridgesBeatLikeCharges) {
+  const MjMatrix& mj = MjMatrix::standard();
+  EXPECT_LT(mj.energy(AminoAcid::Arg, AminoAcid::Asp),
+            mj.energy(AminoAcid::Arg, AminoAcid::Lys));
+}
+
+TEST(Lattice, DirectionsFormTetrahedralAngles) {
+  const auto& dirs = tetra_directions();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const int dot = dirs[i].x * dirs[j].x + dirs[i].y * dirs[j].y + dirs[i].z * dirs[j].z;
+      EXPECT_EQ(dot, -1);  // cos(109.47 deg) * 3 = -1
+    }
+  }
+}
+
+TEST(Lattice, BondLengthIsCaCa) {
+  const auto pos = walk_positions({0, 1, 2});
+  for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+    const double d = lattice_to_cartesian(pos[i]).distance(lattice_to_cartesian(pos[i + 1]));
+    EXPECT_NEAR(d, kCaCaBondLength, 1e-12);
+  }
+}
+
+TEST(Lattice, BondAngleIs109) {
+  const auto pos = walk_positions({0, 1});
+  const Vec3 a = lattice_to_cartesian(pos[0]);
+  const Vec3 b = lattice_to_cartesian(pos[1]);
+  const Vec3 c = lattice_to_cartesian(pos[2]);
+  const Vec3 u = (a - b).normalized();
+  const Vec3 v = (c - b).normalized();
+  EXPECT_NEAR(std::acos(u.dot(v)) * 180.0 / 3.14159265358979, 109.47, 0.01);
+}
+
+TEST(Lattice, RepeatedTurnBacktracks) {
+  const auto pos = walk_positions({0, 0});
+  EXPECT_EQ(pos[2], pos[0]);
+  EXPECT_FALSE(is_self_avoiding(pos));
+}
+
+TEST(Lattice, EncodingRoundTrip) {
+  const int length = 9;
+  for (std::uint64_t x : {0ull, 1ull, 0b101101ull, (1ull << 12) - 1}) {
+    const auto turns = decode_turns(x, length);
+    ASSERT_EQ(turns.size(), 8u);
+    EXPECT_EQ(turns[0], 0);
+    EXPECT_EQ(turns[1], 1);
+    EXPECT_EQ(encode_turns(turns), x);
+  }
+  EXPECT_EQ(encoding_qubits(14), 22);
+  EXPECT_EQ(encoding_qubits(5), 4);
+  EXPECT_THROW(num_free_turns(3), PreconditionError);
+}
+
+TEST(Lattice, ContactDetection) {
+  EXPECT_TRUE(is_contact({0, 0, 0}, {1, 1, 1}));
+  EXPECT_FALSE(is_contact({0, 0, 0}, {2, 0, 0}));
+  EXPECT_FALSE(is_contact({0, 0, 0}, {0, 0, 0}));
+}
+
+FoldingHamiltonian make_h(const std::string& seq) {
+  auto s = parse_sequence(seq);
+  return FoldingHamiltonian(s, HamiltonianWeights::standard(static_cast<int>(s.size())));
+}
+
+TEST(Hamiltonian, BacktrackIsPenalised) {
+  const auto h = make_h("VKDRS");  // 3ckz, S group
+  // turns: {0,1,t2,t3}; t2 == t1 means backtrack.
+  const auto no_bt = h.terms_of_turns({0, 1, 2, 3});
+  const auto bt = h.terms_of_turns({0, 1, 1, 3});
+  EXPECT_EQ(no_bt.geometry, 0.0);
+  EXPECT_GT(bt.geometry, 0.0);
+  EXPECT_GT(bt.total(), no_bt.total());
+}
+
+TEST(Hamiltonian, OverlapDominatesEverything) {
+  const auto h = make_h("LLDTGADDTV");
+  // A backtracking walk creates overlaps; its distance term must exceed a
+  // non-overlapping walk's.
+  const auto collide = h.terms_of_turns({0, 1, 1, 1, 1, 1, 1, 1, 1});
+  const auto saw = h.terms_of_turns({0, 1, 2, 3, 0, 1, 2, 3, 0});
+  EXPECT_GT(collide.distance, saw.distance);
+}
+
+TEST(Hamiltonian, InteractionRequiresContact) {
+  const auto h = make_h("IIIII");  // max hydrophobic
+  // An extended zig-zag has no contacts.
+  const auto ext = h.terms_of_turns({0, 1, 0, 1});
+  EXPECT_EQ(ext.interaction, 0.0);
+}
+
+TEST(Hamiltonian, EnergyMatchesBitstringDecoding) {
+  const auto h = make_h("PWWERYQP");
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    EXPECT_DOUBLE_EQ(h.energy(x), h.energy_of_turns(decode_turns(x, 8)));
+  }
+}
+
+TEST(Hamiltonian, LambdaWeightsScaleTerms) {
+  auto seq = parse_sequence("VKDRS");
+  auto w = HamiltonianWeights::standard(5);
+  w.lambda_g = 2.0;
+  const FoldingHamiltonian h2(seq, w);
+  const FoldingHamiltonian h1(seq, HamiltonianWeights::standard(5));
+  const std::vector<int> bt{0, 1, 1, 3};
+  EXPECT_NEAR(h2.terms_of_turns(bt).geometry, 2.0 * h1.terms_of_turns(bt).geometry, 1e-12);
+}
+
+TEST(Hamiltonian, ContactPairCount) {
+  // L=5: pairs (0,3),(1,4) -> 2; L=6 adds (2,5),(0,5)? (0,5) is even gap 5 -> odd, yes.
+  EXPECT_EQ(make_h("VKDRS").contact_pair_count(), 2);
+  EXPECT_GT(make_h("DYLEAYGKGGVKAK").contact_pair_count(), 10);
+}
+
+TEST(Hamiltonian, RejectsBadInput) {
+  EXPECT_THROW(make_h("AAA"), PreconditionError);
+  const auto h = make_h("VKDRS");
+  EXPECT_THROW(h.energy_of_turns({0, 1}), PreconditionError);
+}
+
+TEST(ExactSolver, FindsSelfAvoidingGroundState) {
+  const auto h = make_h("PWWERYQP");
+  const SolveResult r = ExactSolver().solve(h);
+  const auto pos = walk_positions(r.turns);
+  EXPECT_TRUE(is_self_avoiding(pos));
+  // Ground state of a hydrophobic-rich 8-mer must have at least one contact.
+  const auto terms = h.terms_of_turns(r.turns);
+  EXPECT_LT(terms.interaction, 0.0);
+  EXPECT_EQ(terms.geometry, 0.0);
+}
+
+TEST(ExactSolver, BeatsOrMatchesExhaustiveEnumeration) {
+  const auto h = make_h("VKDRS");  // 4 qubits: 16 conformations, checkable
+  const SolveResult r = ExactSolver().solve(h);
+  double brute = 1e18;
+  for (std::uint64_t x = 0; x < 16; ++x) brute = std::min(brute, h.energy(x));
+  EXPECT_NEAR(r.energy, brute, 1e-9);
+}
+
+TEST(ExactSolver, MatchesEnumerationOnMediumFragment) {
+  const auto h = make_h("AQITMGMPY");  // 1e2l, 12 free-turn bits
+  const SolveResult r = ExactSolver().solve(h);
+  double brute = 1e18;
+  for (std::uint64_t x = 0; x < (1ull << 12); ++x) brute = std::min(brute, h.energy(x));
+  EXPECT_NEAR(r.energy, brute, 1e-9);
+}
+
+TEST(ExactSolver, DeterministicAcrossRuns) {
+  const auto h = make_h("LLDTGADDTV");
+  const SolveResult a = ExactSolver().solve(h);
+  const SolveResult b = ExactSolver().solve(h);
+  EXPECT_EQ(a.bitstring, b.bitstring);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(AnnealingSolver, ApproachesExactOptimum) {
+  const auto h = make_h("EDACQGDSGG");  // 2bok, M group
+  const SolveResult exact = ExactSolver().solve(h);
+  AnnealingSolver::Options o;
+  o.seed = 7;
+  const SolveResult sa = AnnealingSolver(o).solve(h);
+  EXPECT_GE(sa.energy, exact.energy - 1e-9);
+  // Within 2% of the optimum (the floor dominates, so this is meaningful
+  // only because both include the same floor).
+  EXPECT_LT(sa.energy, exact.energy * 1.02 + 10.0);
+}
+
+TEST(AnnealingSolver, SeedDeterminism) {
+  const auto h = make_h("VKDRS");
+  AnnealingSolver::Options o;
+  o.seed = 3;
+  const SolveResult a = AnnealingSolver(o).solve(h);
+  const SolveResult b = AnnealingSolver(o).solve(h);
+  EXPECT_EQ(a.bitstring, b.bitstring);
+}
+
+TEST(EnergyScale, GrowsSteeplyWithLength) {
+  // The published Tables 1-3 show lowest energies of ~10 (L=5), ~4e3 (L=10)
+  // and ~2.3e4 (L=14).  Our calibrated floor must reproduce the steep
+  // growth: each jump of 4-5 residues multiplies the floor by >= 5.
+  const double e5 = ExactSolver().solve(make_h("VKDRS")).energy;
+  const double e10 = ExactSolver().solve(make_h("LLDTGADDTV")).energy;
+  EXPECT_GT(e10, 5.0 * e5);
+  EXPECT_GT(e5, 0.0);  // the positive repulsion floor dominates interactions
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,140 @@
+// Tests for src/optimize: convergence of each optimizer on standard test
+// functions (convex, ill-conditioned, noisy, multimodal) plus interface
+// contracts (budgets, history, determinism).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "optimize/cobyla.h"
+#include "optimize/nelder_mead.h"
+#include "optimize/random_search.h"
+#include "optimize/spsa.h"
+
+namespace qdb {
+namespace {
+
+double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double shifted_quadratic(const std::vector<double>& x) {
+  // Minimum 1.5 at (1, -2, 0.5).
+  const double t[3] = {1.0, -2.0, 0.5};
+  double s = 1.5;
+  for (std::size_t i = 0; i < x.size(); ++i) s += (x[i] - t[i]) * (x[i] - t[i]);
+  return s;
+}
+
+double rosenbrock2(const std::vector<double>& x) {
+  return 100.0 * std::pow(x[1] - x[0] * x[0], 2) + std::pow(1.0 - x[0], 2);
+}
+
+std::vector<std::unique_ptr<Optimizer>> all_optimizers() {
+  std::vector<std::unique_ptr<Optimizer>> out;
+  out.push_back(std::make_unique<Cobyla>());
+  out.push_back(std::make_unique<NelderMead>());
+  out.push_back(std::make_unique<Spsa>());
+  out.push_back(std::make_unique<RandomSearch>());
+  return out;
+}
+
+TEST(Optimizers, AllConvergeOnSphere) {
+  for (const auto& opt : all_optimizers()) {
+    const OptimResult r = opt->minimize(sphere, {1.2, -0.7, 0.4}, 400);
+    EXPECT_LT(r.fx, 0.05) << opt->name();
+    EXPECT_LE(r.evaluations, 400) << opt->name();
+  }
+}
+
+TEST(Optimizers, AllFindShiftedMinimum) {
+  for (const auto& opt : all_optimizers()) {
+    const OptimResult r = opt->minimize(shifted_quadratic, {0.0, 0.0, 0.0}, 600);
+    EXPECT_LT(r.fx, 1.8) << opt->name();  // minimum value is 1.5
+  }
+}
+
+TEST(Optimizers, HistoryIsMonotoneBestSoFar) {
+  for (const auto& opt : all_optimizers()) {
+    const OptimResult r = opt->minimize(sphere, {2.0, 2.0}, 120);
+    ASSERT_EQ(static_cast<int>(r.history.size()), r.evaluations) << opt->name();
+    for (std::size_t i = 1; i < r.history.size(); ++i) {
+      EXPECT_LE(r.history[i], r.history[i - 1] + 1e-15) << opt->name();
+    }
+    EXPECT_DOUBLE_EQ(r.history.back(), r.fx) << opt->name();
+  }
+}
+
+TEST(Optimizers, RespectEvaluationBudget) {
+  for (const auto& opt : all_optimizers()) {
+    const OptimResult r = opt->minimize(sphere, {1.0, 1.0, 1.0, 1.0}, 25);
+    EXPECT_LE(r.evaluations, 25) << opt->name();
+    EXPECT_GE(r.evaluations, 1) << opt->name();
+  }
+}
+
+TEST(Optimizers, RejectBadArguments) {
+  for (const auto& opt : all_optimizers()) {
+    EXPECT_THROW(opt->minimize(sphere, {}, 10), PreconditionError) << opt->name();
+    EXPECT_THROW(opt->minimize(sphere, {1.0}, 0), PreconditionError) << opt->name();
+  }
+}
+
+TEST(Cobyla, DescendsRosenbrockValley) {
+  // Rosenbrock is hard for linear models; require solid progress, not
+  // convergence to the optimum.
+  const OptimResult r = Cobyla().minimize(rosenbrock2, {-1.2, 1.0}, 2000);
+  EXPECT_LT(r.fx, 2.0);  // from 24.2 at the start point
+}
+
+TEST(Cobyla, ToleratesNoisyObjective) {
+  // Shot-noise regime: the observed minimum can dip below the true value, so
+  // judge quality by the true objective at the returned point.
+  Rng noise(123);
+  auto noisy = [&](const std::vector<double>& x) { return sphere(x) + noise.normal(0.0, 0.05); };
+  const OptimResult r = Cobyla().minimize(noisy, {1.5, -1.0}, 300);
+  EXPECT_LT(sphere(r.x), 0.4);
+}
+
+TEST(Cobyla, HonoursRhoEndAsStopCriterion) {
+  Cobyla::Options o;
+  o.rho_begin = 0.5;
+  o.rho_end = 0.2;  // coarse: should stop early
+  const OptimResult coarse = Cobyla(o).minimize(sphere, {1.0, 1.0}, 10000);
+  EXPECT_LT(coarse.evaluations, 200);
+}
+
+TEST(Spsa, DeterministicPerSeed) {
+  Spsa::Options o;
+  o.seed = 42;
+  const OptimResult a = Spsa(o).minimize(sphere, {1.0, -1.0}, 100);
+  const OptimResult b = Spsa(o).minimize(sphere, {1.0, -1.0}, 100);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.fx, b.fx);
+}
+
+TEST(Spsa, HandlesHighDimension) {
+  // SPSA's cost per step is dimension-independent: 2 evals regardless of n.
+  std::vector<double> x0(40, 0.8);
+  const OptimResult r = Spsa().minimize(sphere, x0, 400);
+  EXPECT_LT(r.fx, sphere(x0) * 0.2);
+}
+
+TEST(RandomSearch, ImprovesOverInitialPoint) {
+  RandomSearch::Options o;
+  o.seed = 9;
+  const OptimResult r = RandomSearch(o).minimize(sphere, {2.0, 2.0}, 200);
+  EXPECT_LT(r.fx, sphere({2.0, 2.0}));
+}
+
+TEST(NelderMead, ConvergesOnRosenbrock) {
+  const OptimResult r = NelderMead().minimize(rosenbrock2, {-1.2, 1.0}, 800);
+  EXPECT_LT(r.fx, 0.1);
+}
+
+}  // namespace
+}  // namespace qdb

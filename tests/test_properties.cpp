@@ -1,0 +1,243 @@
+// Parameterized property tests: invariants swept across every dataset entry,
+// every fragment length, and every prediction method (gtest TEST_P).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/qdockbank.h"
+#include "geom/kabsch.h"
+#include "lattice/solver.h"
+
+namespace qdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-entry invariants across all 55 registry entries.
+
+class EntryProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EntryProperties, ReferenceStructureIsWellFormed) {
+  const DatasetEntry& e = entry_by_id(GetParam());
+  const Structure ref = reference_structure(e);
+  ASSERT_EQ(ref.num_residues(), e.length());
+  EXPECT_EQ(ref.sequence(), e.sequence);
+  EXPECT_EQ(ref.residues.front().seq_number, e.residue_start);
+  EXPECT_EQ(ref.residues.back().seq_number, e.residue_end);
+  EXPECT_NEAR(ref.center().norm(), 0.0, 1e-9);
+
+  // Virtual Calpha bonds stay in the clamped crystal-like range.
+  const auto cas = ref.ca_positions();
+  for (std::size_t i = 0; i + 1 < cas.size(); ++i) {
+    const double d = cas[i].distance(cas[i + 1]);
+    EXPECT_GT(d, 3.3) << "bond " << i;
+    EXPECT_LT(d, 4.3) << "bond " << i;
+  }
+  // No Calpha collisions.
+  for (std::size_t i = 0; i < cas.size(); ++i) {
+    for (std::size_t j = i + 2; j < cas.size(); ++j) {
+      EXPECT_GT(cas[i].distance(cas[j]), 2.0) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(EntryProperties, GroundStateBeatsHeuristicsAndFloor) {
+  const DatasetEntry& e = entry_by_id(GetParam());
+  const FoldingHamiltonian h = entry_hamiltonian(e);
+  const SolveResult exact = ExactSolver().solve(h);
+
+  // The certified minimum is a valid self-avoiding walk ...
+  EXPECT_TRUE(is_self_avoiding(walk_positions(exact.turns)));
+  // ... sits above the identity floor minus the best possible interaction ...
+  EXPECT_GT(exact.energy, h.weights().energy_offset - 7.2 * h.contact_pair_count());
+  // ... and below (or at) any heuristic solution.
+  AnnealingSolver::Options o;
+  o.sweeps = 300;
+  o.seed = fnv1a(e.pdb_id);
+  EXPECT_GE(AnnealingSolver(o).solve(h).energy, exact.energy - 1e-9);
+}
+
+TEST_P(EntryProperties, LigandIsDeterministicAndDrugLike) {
+  const DatasetEntry& e = entry_by_id(GetParam());
+  const Ligand a = generate_ligand(e.pdb_id);
+  const Ligand b = generate_ligand(e.pdb_id);
+  ASSERT_EQ(a.num_atoms(), b.num_atoms());
+  EXPECT_GE(a.num_atoms(), 8);
+  EXPECT_LE(a.num_atoms(), 30);
+  EXPECT_GE(a.num_torsions(), 1);
+  EXPECT_LT(a.radius(), 12.0);
+  for (int i = 0; i < a.num_atoms(); ++i) {
+    EXPECT_NEAR(a.atoms()[static_cast<std::size_t>(i)].local_pos.distance(
+                    b.atoms()[static_cast<std::size_t>(i)].local_pos), 0.0, 1e-12);
+  }
+}
+
+TEST_P(EntryProperties, PublishedAllocationMatchesLengthProfile) {
+  const DatasetEntry& e = entry_by_id(GetParam());
+  const EagleAllocation a = published_eagle_allocation(e.length());
+  EXPECT_EQ(a.qubits, e.qubits);
+  EXPECT_EQ(a.depth, e.depth);
+  EXPECT_EQ(encoding_qubits(e.length()), 2 * (e.length() - 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, EntryProperties, ::testing::Values(
+    "1yc4", "3d7z", "4aoi", "4cig", "4clj", "4fp1", "4jpx", "4jpy", "4tmk", "5cqu",
+    "5nkb", "6udv", "1e2l", "1gx8", "1m7y", "1zsf", "2avo", "2bfq", "2bok", "2qbs",
+    "2vwo", "2xxx", "3b26", "3d83", "3vf7", "4f5y", "4mc1", "4y79", "5cxa", "5kqx",
+    "5kr2", "5nkc", "5nkd", "6ezq", "6g98", "1e2k", "1hdq", "1ppi", "1qin", "2v25",
+    "3ckz", "3dx3", "3eax", "3ibi", "3nxq", "3s0b", "3tcg", "4mo4", "4q87", "4xaq",
+    "4zb8", "5c28", "5tya", "6czf", "6p86"));
+
+// ---------------------------------------------------------------------------
+// Encoding properties swept over every fragment length.
+
+class LengthProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(LengthProperties, EncodingRoundTripsRandomBitstrings) {
+  const int length = GetParam();
+  Rng rng(static_cast<std::uint64_t>(length) * 77);
+  const int bits = encoding_qubits(length);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t x = rng() & ((std::uint64_t{1} << bits) - 1);
+    const auto turns = decode_turns(x, length);
+    ASSERT_EQ(static_cast<int>(turns.size()), length - 1);
+    EXPECT_EQ(turns[0], 0);
+    EXPECT_EQ(turns[1], 1);
+    EXPECT_EQ(encode_turns(turns), x);
+    // Walks always have exact bond geometry regardless of the bitstring.
+    const auto pos = walk_positions(turns);
+    for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+      const IVec3 d = pos[i + 1] - pos[i];
+      EXPECT_EQ(d.x * d.x + d.y * d.y + d.z * d.z, 3);
+    }
+  }
+}
+
+TEST_P(LengthProperties, HamiltonianTermsHaveCorrectSigns) {
+  const int length = GetParam();
+  // A neutral poly-alanine probe isolates the term structure.
+  const std::vector<AminoAcid> seq(static_cast<std::size_t>(length), AminoAcid::Ala);
+  const FoldingHamiltonian h(seq, HamiltonianWeights::standard(length));
+  Rng rng(static_cast<std::uint64_t>(length) * 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t x = rng() & ((std::uint64_t{1} << h.num_qubits()) - 1);
+    const auto t = h.terms_of_turns(decode_turns(x, length));
+    EXPECT_GE(t.chirality, 0.0);
+    EXPECT_GE(t.geometry, 0.0);
+    EXPECT_GE(t.distance, 0.0);
+    EXPECT_LE(t.interaction, 0.0);  // MJ contacts only stabilise
+    EXPECT_DOUBLE_EQ(t.offset, h.weights().energy_offset);
+  }
+}
+
+TEST_P(LengthProperties, OffsetGrowsMonotonicallyWithLength) {
+  const int length = GetParam();
+  if (length >= 14) return;
+  EXPECT_LT(HamiltonianWeights::standard(length).energy_offset,
+            HamiltonianWeights::standard(length + 1).energy_offset);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths5to14, LengthProperties, ::testing::Range(5, 15));
+
+// ---------------------------------------------------------------------------
+// Method-level invariants on a fixed small entry (cheap enough per method).
+
+class MethodProperties : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MethodProperties, PredictionsAreValidAndDeterministic) {
+  const Method m = GetParam();
+  PipelineOptions opt = PipelineOptions::bench_profile();
+  opt.vqe.max_evaluations = 25;
+  opt.vqe.final_shots = 1500;
+  const Pipeline pipeline(opt);
+  const DatasetEntry& e = entry_by_id("1e2k");
+
+  const Prediction a = pipeline.predict(e, m);
+  const Prediction b = pipeline.predict(e, m);
+  EXPECT_EQ(a.structure.sequence(), "DGPHGM");
+  EXPECT_NEAR(ca_rmsd(a.structure, b.structure), 0.0, 1e-9) << method_name(m);
+
+  // Every prediction is docking-ready: protonated and charged.
+  EXPECT_NE(a.structure.residues[0].find("HN"), nullptr) << method_name(m);
+  double qsum = 0.0;
+  for (const Residue& r : a.structure.residues) {
+    for (const Atom& atom : r.atoms) qsum += std::abs(atom.partial_charge);
+  }
+  EXPECT_GT(qsum, 0.5) << method_name(m);
+
+  // Virtual bonds stay physical.
+  const auto cas = a.structure.ca_positions();
+  for (std::size_t i = 0; i + 1 < cas.size(); ++i) {
+    EXPECT_GT(cas[i].distance(cas[i + 1]), 3.0) << method_name(m);
+    EXPECT_LT(cas[i].distance(cas[i + 1]), 4.5) << method_name(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodProperties,
+                         ::testing::Values(Method::QDock, Method::AF2, Method::AF3,
+                                           Method::Annealing, Method::Greedy,
+                                           Method::Exact));
+
+// ---------------------------------------------------------------------------
+// Cross-module integration: dataset build -> files -> parse back.
+
+TEST(Integration, DatasetRoundTripMatchesEvaluation) {
+  PipelineOptions opt = PipelineOptions::bench_profile();
+  opt.vqe.max_evaluations = 25;
+  opt.vqe.final_shots = 1500;
+  opt.docking.num_runs = 3;
+  opt.docking.mc_steps = 300;
+  const Pipeline pipeline(opt);
+  const DatasetEntry& e = entry_by_id("3eax");
+
+  const Prediction pred = pipeline.predict(e, Method::QDock);
+  const DockingResult docking = pipeline.dock_prediction(e, pred);
+  const double rmsd = ca_rmsd(pred.structure, pipeline.reference(e));
+
+  const std::string root = testing::TempDir() + "/qdb_prop_roundtrip";
+  write_entry_files(root, e, pred.structure, *pred.vqe, docking, rmsd);
+
+  // PDB file parses back to the identical fragment geometry (to 1e-3 A).
+  const Structure back = read_pdb_file(entry_directory(root, e) + "/structure.pdb");
+  EXPECT_LT(ca_rmsd(back, pred.structure), 2e-3);
+
+  // JSON documents carry the same numbers we computed.
+  const Json meta = Json::parse(read_file(entry_directory(root, e) + "/metadata.json"));
+  EXPECT_EQ(meta.at("measured").at("qubits").as_int(), pred.vqe->allocation.qubits);
+  EXPECT_NEAR(meta.at("measured").at("lowest_energy").as_double(),
+              pred.vqe->lowest_energy, 1e-6);
+  const Json dockj = Json::parse(read_file(entry_directory(root, e) + "/docking.json"));
+  EXPECT_NEAR(dockj.at("best_affinity").as_double(), docking.best_affinity, 1e-6);
+  EXPECT_NEAR(dockj.at("ca_rmsd_vs_reference").as_double(), rmsd, 1e-6);
+}
+
+TEST(Integration, RmsdIsInvariantUnderRigidMotionOfPredictions) {
+  const Pipeline pipeline(PipelineOptions::bench_profile());
+  const DatasetEntry& e = entry_by_id("4mo4");
+  Prediction pred = pipeline.predict(e, Method::Exact);
+  const double before = ca_rmsd(pred.structure, pipeline.reference(e));
+  pred.structure.translate(Vec3{12.0, -5.0, 3.0});
+  const double after = ca_rmsd(pred.structure, pipeline.reference(e));
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(Integration, WinRatesAreAntisymmetric) {
+  PipelineOptions opt = PipelineOptions::bench_profile();
+  opt.vqe.max_evaluations = 25;
+  opt.vqe.final_shots = 1500;
+  opt.docking.num_runs = 3;
+  opt.docking.mc_steps = 300;
+  const Pipeline pipeline(opt);
+  std::vector<const DatasetEntry*> subset = {&entry_by_id("3eax"), &entry_by_id("1e2k"),
+                                             &entry_by_id("6czf")};
+  const auto qd = pipeline.evaluate_entries(subset, Method::QDock);
+  const auto af = pipeline.evaluate_entries(subset, Method::AF2);
+  const WinRates forward = win_rates(qd, af);
+  const WinRates backward = win_rates(af, qd);
+  // Strict inequalities: wins from both directions can't exceed the total.
+  EXPECT_LE(forward.rmsd_wins + backward.rmsd_wins, forward.entries);
+  EXPECT_LE(forward.affinity_wins + backward.affinity_wins, forward.entries);
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,444 @@
+// Tests for src/quantum: gate unitarity, circuit accounting, dense
+// statevector correctness, MPS-vs-dense equivalence, sampling statistics,
+// the noise model, and the EfficientSU2 ansatz.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "quantum/ansatz.h"
+#include "quantum/circuit.h"
+#include "quantum/gate.h"
+#include "quantum/mps.h"
+#include "quantum/noise.h"
+#include "quantum/statevector.h"
+
+namespace qdb {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool matrix_is_unitary_1q(GateKind k, double angle) {
+  const auto u = gate_matrix_1q(k, angle);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      cplx acc{};
+      for (int m = 0; m < 2; ++m) acc += std::conj(u[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)]) * u[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)];
+      const double want = i == j ? 1.0 : 0.0;
+      if (std::abs(acc - cplx{want, 0.0}) > 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+bool matrix_is_unitary_2q(GateKind k) {
+  const auto u = gate_matrix_2q(k);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      cplx acc{};
+      for (int m = 0; m < 4; ++m) acc += std::conj(u[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)]) * u[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)];
+      const double want = i == j ? 1.0 : 0.0;
+      if (std::abs(acc - cplx{want, 0.0}) > 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Gates, AllOneQubitGatesAreUnitary) {
+  for (GateKind k : {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+                     GateKind::S, GateKind::Sdg, GateKind::SX, GateKind::SXdg}) {
+    EXPECT_TRUE(matrix_is_unitary_1q(k, 0.0)) << gate_name(k);
+  }
+  for (GateKind k : {GateKind::RX, GateKind::RY, GateKind::RZ}) {
+    for (double a : {0.0, 0.3, kPi, -2.1}) EXPECT_TRUE(matrix_is_unitary_1q(k, a)) << gate_name(k);
+  }
+}
+
+TEST(Gates, AllTwoQubitGatesAreUnitary) {
+  for (GateKind k : {GateKind::CX, GateKind::CZ, GateKind::SWAP, GateKind::ECR}) {
+    EXPECT_TRUE(matrix_is_unitary_2q(k)) << gate_name(k);
+  }
+}
+
+TEST(Gates, SxSquaredIsX) {
+  const auto sx = gate_matrix_1q(GateKind::SX, 0);
+  const auto x = gate_matrix_1q(GateKind::X, 0);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      cplx acc{};
+      for (int m = 0; m < 2; ++m) acc += sx[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] * sx[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)];
+      EXPECT_NEAR(std::abs(acc - x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]), 0.0, 1e-12);
+    }
+}
+
+TEST(Gates, TwoQubitQueriesOnOneQubitGateThrow) {
+  EXPECT_THROW(gate_matrix_2q(GateKind::X), PreconditionError);
+  EXPECT_THROW(gate_matrix_1q(GateKind::CX, 0), PreconditionError);
+}
+
+TEST(Circuit, DepthCountsLongestChain) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);      // depth 1: parallel layer
+  EXPECT_EQ(c.depth(), 1);
+  c.cx(0, 1);            // depth 2
+  c.cx(1, 2);            // depth 3
+  c.x(0);                // fits in layer 3 (qubit 0 free after layer 2)
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, CountOpsAndTwoQubitCount) {
+  Circuit c(2);
+  c.ry(0.1, 0).rz(0.2, 1).cx(0, 1).cx(1, 0);
+  const auto ops = c.count_ops();
+  EXPECT_EQ(ops.at("ry"), 1u);
+  EXPECT_EQ(ops.at("rz"), 1u);
+  EXPECT_EQ(ops.at("cx"), 2u);
+  EXPECT_EQ(c.two_qubit_count(), 2u);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Circuit, RejectsBadQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.x(2), PreconditionError);
+  EXPECT_THROW(c.cx(0, 0), PreconditionError);
+  EXPECT_THROW(c.cx(0, 5), PreconditionError);
+  EXPECT_THROW(Circuit(0), PreconditionError);
+}
+
+TEST(Statevector, InitialState) {
+  Statevector sv(3);
+  EXPECT_DOUBLE_EQ(sv.probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(sv.probability(5), 0.0);
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  Statevector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply(c);
+  EXPECT_NEAR(sv.probability(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability(0b01), 0.0, 1e-12);
+  EXPECT_NEAR(sv.probability(0b10), 0.0, 1e-12);
+}
+
+TEST(Statevector, GhzOnFiveQubits) {
+  Statevector sv(5);
+  Circuit c(5);
+  c.h(0);
+  for (int q = 0; q + 1 < 5; ++q) c.cx(q, q + 1);
+  sv.apply(c);
+  EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability(31), 0.5, 1e-12);
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-12);
+}
+
+TEST(Statevector, CxControlTargetOrientation) {
+  // CX(control=1, target=0) on |q1=1,q0=0> must give |11>.
+  Statevector sv(2);
+  Circuit c(2);
+  c.x(1).cx(1, 0);
+  sv.apply(c);
+  EXPECT_NEAR(sv.probability(0b11), 1.0, 1e-12);
+}
+
+TEST(Statevector, RotationAngleConvention) {
+  // RY(pi) |0> = |1> (up to phase); RY(pi/2) gives equal weights.
+  Statevector sv(1);
+  sv.apply(Gate::one(GateKind::RY, 0, kPi));
+  EXPECT_NEAR(sv.probability(1), 1.0, 1e-12);
+  sv.reset();
+  sv.apply(Gate::one(GateKind::RY, 0, kPi / 2));
+  EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+}
+
+TEST(Statevector, NormPreservedByRandomCircuit) {
+  Rng rng(3);
+  Circuit c(6);
+  for (int i = 0; i < 120; ++i) {
+    const int q = static_cast<int>(rng.below(6));
+    switch (rng.below(4)) {
+      case 0: c.ry(rng.uniform(-kPi, kPi), q); break;
+      case 1: c.rz(rng.uniform(-kPi, kPi), q); break;
+      case 2: c.h(q); break;
+      default: {
+        int q2 = static_cast<int>(rng.below(6));
+        if (q2 == q) q2 = (q + 1) % 6;
+        c.cx(q, q2);
+      }
+    }
+  }
+  Statevector sv(6);
+  sv.apply(c);
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-10);
+}
+
+TEST(Statevector, ExpectationDiagonalMatchesManualSum) {
+  Statevector sv(2);
+  Circuit c(2);
+  c.h(0);
+  sv.apply(c);
+  // f(x) = x as a number: <f> = 0.5*0 + 0.5*1 = 0.5
+  const double e = sv.expectation_diagonal([](std::uint64_t x) { return static_cast<double>(x); });
+  EXPECT_NEAR(e, 0.5, 1e-12);
+}
+
+TEST(Statevector, SamplingMatchesProbabilities) {
+  Statevector sv(3);
+  Circuit c(3);
+  c.h(0).h(1).h(2);
+  sv.apply(c);
+  Rng rng(77);
+  const auto shots = sv.sample(16000, rng);
+  std::map<std::uint64_t, int> counts;
+  for (auto s : shots) ++counts[s];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [k, v] : counts) {
+    (void)k;
+    EXPECT_NEAR(static_cast<double>(v) / 16000.0, 0.125, 0.02);
+  }
+}
+
+TEST(Statevector, SamplingIsDeterministicPerSeed) {
+  Statevector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply(c);
+  Rng r1(5), r2(5);
+  EXPECT_EQ(sv.sample(100, r1), sv.sample(100, r2));
+}
+
+TEST(Statevector, FidelityOfIdenticalStatesIsOne) {
+  Statevector a(3), b(3);
+  Circuit c(3);
+  c.h(0).cx(0, 1).ry(0.7, 2);
+  a.apply(c);
+  b.apply(c);
+  EXPECT_NEAR(Statevector::fidelity(a, b), 1.0, 1e-12);
+}
+
+Circuit random_linear_circuit(int nq, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(nq);
+  for (int i = 0; i < gates; ++i) {
+    const int q = static_cast<int>(rng.below(static_cast<std::uint64_t>(nq)));
+    switch (rng.below(5)) {
+      case 0: c.ry(rng.uniform(-kPi, kPi), q); break;
+      case 1: c.rz(rng.uniform(-kPi, kPi), q); break;
+      case 2: c.h(q); break;
+      case 3: c.sx(q); break;
+      default:
+        if (q + 1 < nq) c.cx(q, q + 1);
+        else c.cx(q - 1, q);
+    }
+  }
+  return c;
+}
+
+TEST(Mps, MatchesDenseOnRandomCircuits) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const int nq = 6;
+    const Circuit c = random_linear_circuit(nq, 80, seed);
+    Statevector sv(nq);
+    sv.apply(c);
+    MpsSimulator mps(nq, /*max_bond=*/64);
+    mps.apply(c);
+    for (std::uint64_t x = 0; x < (1u << nq); ++x) {
+      EXPECT_NEAR(std::abs(mps.amplitude(x) - sv.amplitudes()[x]), 0.0, 1e-8)
+          << "seed " << seed << " x " << x;
+    }
+    EXPECT_NEAR(mps.norm2(), 1.0, 1e-8);
+    EXPECT_LT(mps.truncation_weight(), 1e-12);
+  }
+}
+
+TEST(Mps, HandlesNonAdjacentGates) {
+  const int nq = 5;
+  Circuit c(nq);
+  c.h(0).cx(0, 4).cx(4, 1).ry(0.3, 2).cx(3, 0);
+  Statevector sv(nq);
+  sv.apply(c);
+  MpsSimulator mps(nq);
+  mps.apply(c);
+  for (std::uint64_t x = 0; x < (1u << nq); ++x) {
+    EXPECT_NEAR(std::abs(mps.amplitude(x) - sv.amplitudes()[x]), 0.0, 1e-8);
+  }
+}
+
+TEST(Mps, GhzStateAmplitudesAndSampling) {
+  const int nq = 10;
+  Circuit c(nq);
+  c.h(0);
+  for (int q = 0; q + 1 < nq; ++q) c.cx(q, q + 1);
+  MpsSimulator mps(nq);
+  mps.apply(c);
+  const std::uint64_t all_ones = (std::uint64_t{1} << nq) - 1;
+  EXPECT_NEAR(std::abs(mps.amplitude(0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::abs(mps.amplitude(all_ones)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::abs(mps.amplitude(1)), 0.0, 1e-10);
+  EXPECT_EQ(mps.max_bond_reached(), 2);
+
+  Rng rng(123);
+  const auto shots = mps.sample(4000, rng);
+  int zeros = 0, ones = 0, other = 0;
+  for (auto s : shots) {
+    if (s == 0) ++zeros;
+    else if (s == all_ones) ++ones;
+    else ++other;
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_NEAR(static_cast<double>(zeros) / 4000.0, 0.5, 0.04);
+  EXPECT_NEAR(static_cast<double>(ones) / 4000.0, 0.5, 0.04);
+}
+
+TEST(Mps, SamplingDistributionMatchesDense) {
+  const int nq = 4;
+  const Circuit c = random_linear_circuit(nq, 40, 9);
+  Statevector sv(nq);
+  sv.apply(c);
+  MpsSimulator mps(nq);
+  mps.apply(c);
+  Rng rng(55);
+  const auto shots = mps.sample(30000, rng);
+  std::vector<int> counts(1 << nq, 0);
+  for (auto s : shots) ++counts[s];
+  for (std::uint64_t x = 0; x < (1u << nq); ++x) {
+    EXPECT_NEAR(static_cast<double>(counts[x]) / 30000.0, sv.probability(x), 0.02);
+  }
+}
+
+TEST(Mps, TruncationIsTrackedUnderTightBond) {
+  // A deep entangling circuit with max_bond=2 must truncate and renormalise.
+  const int nq = 8;
+  Circuit c(nq);
+  Rng rng(21);
+  for (int layer = 0; layer < 6; ++layer) {
+    for (int q = 0; q < nq; ++q) c.ry(rng.uniform(-kPi, kPi), q);
+    for (int q = 0; q + 1 < nq; ++q) c.cx(q, q + 1);
+  }
+  MpsSimulator mps(nq, /*max_bond=*/2);
+  mps.apply(c);
+  EXPECT_GT(mps.truncation_weight(), 0.0);
+  // Local renormalisation keeps the norm close to 1 but (without canonical
+  // form) not exact; normalize() makes it exact.
+  EXPECT_NEAR(mps.norm2(), 1.0, 0.1);
+  mps.normalize();
+  EXPECT_NEAR(mps.norm2(), 1.0, 1e-10);
+}
+
+TEST(Mps, ExpectationSampledConvergesToDense) {
+  const int nq = 5;
+  const Circuit c = random_linear_circuit(nq, 60, 17);
+  Statevector sv(nq);
+  sv.apply(c);
+  auto f = [](std::uint64_t x) { return static_cast<double>(__builtin_popcountll(x)); };
+  const double exact = sv.expectation_diagonal(f);
+  MpsSimulator mps(nq);
+  mps.apply(c);
+  Rng rng(31);
+  const double est = mps.expectation_diagonal_sampled(f, 20000, rng);
+  EXPECT_NEAR(est, exact, 0.06);
+}
+
+TEST(Noise, IdealModelIsIdentity) {
+  const NoiseModel m = NoiseModel::ideal();
+  EXPECT_TRUE(m.is_ideal());
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  Rng rng(1);
+  const Circuit noisy = noise_trajectory(c, m, rng);
+  EXPECT_EQ(noisy.size(), c.size());
+}
+
+TEST(Noise, TrajectoriesInsertErrorsAtExpectedRate) {
+  NoiseModel m;
+  m.p_depol_1q = 0.5;
+  Circuit c(1);
+  for (int i = 0; i < 200; ++i) c.ry(0.1, 0);
+  Rng rng(2);
+  const Circuit noisy = noise_trajectory(c, m, rng);
+  const std::size_t inserted = noisy.size() - c.size();
+  EXPECT_NEAR(static_cast<double>(inserted), 100.0, 25.0);
+}
+
+TEST(Noise, ReadoutErrorFlipsBitsAtConfiguredRate) {
+  NoiseModel m;
+  m.p_readout_01 = 0.25;
+  std::vector<std::uint64_t> shots(20000, 0);  // all zeros, 1 qubit
+  Rng rng(3);
+  apply_readout_error(shots, 1, m, rng);
+  int flipped = 0;
+  for (auto s : shots) flipped += (s == 1);
+  EXPECT_NEAR(static_cast<double>(flipped) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Noise, EagleModelIsCalibratedAndScalable) {
+  const NoiseModel m = NoiseModel::eagle_r3();
+  EXPECT_GT(m.p_depol_2q, m.p_depol_1q);
+  EXPECT_FALSE(m.is_ideal());
+  const NoiseModel doubled = m.scaled(2.0);
+  EXPECT_NEAR(doubled.p_depol_2q, 2 * m.p_depol_2q, 1e-12);
+  const NoiseModel off = m.scaled(0.0);
+  EXPECT_TRUE(off.is_ideal());
+  // Scaling clamps at probability 1.
+  EXPECT_LE(m.scaled(1e6).p_readout_01, 1.0);
+}
+
+TEST(Noise, CircuitDurationGrowsWithDepth) {
+  const NoiseModel m = NoiseModel::eagle_r3();
+  Circuit shallow(2);
+  shallow.h(0);
+  Circuit deep(2);
+  for (int i = 0; i < 100; ++i) deep.cx(0, 1);
+  EXPECT_GT(circuit_duration_s(deep, m), circuit_duration_s(shallow, m));
+  EXPECT_GT(circuit_duration_s(shallow, m), 0.0);
+}
+
+TEST(Ansatz, ParameterCountMatchesQiskit) {
+  // Qiskit EfficientSU2(n, reps=r, ['ry','rz']): 2*n*(r+1) parameters.
+  EXPECT_EQ(EfficientSU2(4, 1).num_parameters(), 16);
+  EXPECT_EQ(EfficientSU2(22, 3).num_parameters(), 176);
+}
+
+TEST(Ansatz, BuildStructure) {
+  const EfficientSU2 ansatz(4, 2);
+  std::vector<double> params(static_cast<std::size_t>(ansatz.num_parameters()), 0.1);
+  const Circuit c = ansatz.build(params);
+  const auto ops = c.count_ops();
+  EXPECT_EQ(ops.at("ry"), 12u);  // 3 rotation blocks x 4 qubits
+  EXPECT_EQ(ops.at("rz"), 12u);
+  EXPECT_EQ(ops.at("cx"), 6u);  // 2 reps x 3 adjacent pairs
+  EXPECT_THROW(ansatz.build({0.0}), PreconditionError);
+}
+
+TEST(Ansatz, ZeroParametersGiveZeroState) {
+  const EfficientSU2 ansatz(5, 1);
+  std::vector<double> zeros(static_cast<std::size_t>(ansatz.num_parameters()), 0.0);
+  Statevector sv(5);
+  sv.apply(ansatz.build(zeros));
+  EXPECT_NEAR(sv.probability(0), 1.0, 1e-12);
+}
+
+TEST(Ansatz, LowEntanglementUnderMps) {
+  // reps=2 linear entanglement stays at tiny bond dimension: that is why the
+  // MPS simulator handles the 22-qubit L-group circuits instantly.
+  const EfficientSU2 ansatz(22, 2);
+  Rng rng(5);
+  const auto p = ansatz.initial_point(rng, 0.8);
+  MpsSimulator mps(22);
+  mps.apply(ansatz.build(p));
+  EXPECT_LE(mps.max_bond_reached(), 4);
+  EXPECT_NEAR(mps.norm2(), 1.0, 1e-9);
+}
+
+TEST(Ansatz, InitialPointIsDeterministicPerSeed) {
+  const EfficientSU2 ansatz(3, 1);
+  Rng r1(9), r2(9);
+  EXPECT_EQ(ansatz.initial_point(r1), ansatz.initial_point(r2));
+}
+
+}  // namespace
+}  // namespace qdb

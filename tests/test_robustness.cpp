@@ -1,0 +1,185 @@
+// Failure-injection and robustness tests: malformed inputs, boundary sizes,
+// and degenerate geometry must fail loudly (typed exceptions) or degrade
+// gracefully — never crash or return garbage silently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "dock/dock.h"
+#include "dock/ligand_gen.h"
+#include "lattice/hamiltonian.h"
+#include "lattice/solver.h"
+#include "quantum/mps.h"
+#include "quantum/statevector.h"
+#include "structure/pdb.h"
+#include "structure/reconstruct.h"
+
+namespace qdb {
+namespace {
+
+TEST(Robustness, TruncatedPdbRecordsThrowParseError) {
+  // Truncated coordinate field.
+  EXPECT_THROW(parse_pdb("ATOM      1  CA  ALA A   1      0.000   0.0"), ParseError);
+  // Garbage in a numeric column.
+  EXPECT_THROW(
+      parse_pdb("ATOM      1  CA  ALA A   1      xx.xxx   0.000   0.000  1.00  0.00"),
+      ParseError);
+  // Unknown residue type.
+  EXPECT_THROW(
+      parse_pdb("ATOM      1  CA  QQQ A   1      0.000   0.000   0.000  1.00  0.00"),
+      ParseError);
+}
+
+TEST(Robustness, PdbIgnoresNonAtomRecords) {
+  const std::string text =
+      "HEADER    test\n"
+      "REMARK    anything at all\n"
+      "ATOM      1  CA  ALA A   1      1.000   2.000   3.000  1.00  0.00           C\n"
+      "TER\nEND\n";
+  const Structure s = parse_pdb(text);
+  EXPECT_EQ(s.num_residues(), 1);
+  EXPECT_NEAR(s.residues[0].atoms[0].pos.y, 2.0, 1e-9);
+}
+
+TEST(Robustness, MissingBackboneAtomsThrow) {
+  Structure s;
+  Residue r;
+  r.type = AminoAcid::Ala;
+  r.atoms.push_back(Atom{"CB", 'C', {0, 0, 0}, 0.0});
+  s.residues.push_back(r);
+  EXPECT_THROW(s.ca_positions(), PreconditionError);
+  EXPECT_THROW(s.backbone_positions(), PreconditionError);
+}
+
+TEST(Robustness, JsonDeepNestingParses) {
+  std::string doc;
+  for (int i = 0; i < 60; ++i) doc += "[";
+  doc += "1";
+  for (int i = 0; i < 60; ++i) doc += "]";
+  EXPECT_NO_THROW(Json::parse(doc));
+}
+
+TEST(Robustness, JsonNanDumpsAsNull) {
+  Json j = Json::object();
+  j.set("v", std::nan(""));
+  EXPECT_NE(j.dump().find("null"), std::string::npos);
+}
+
+TEST(Robustness, EncodeTurnsRejectsBrokenGauge) {
+  EXPECT_THROW(encode_turns({1, 1, 2, 3}), PreconditionError);   // t0 != 0
+  EXPECT_THROW(encode_turns({0, 0, 2, 3}), PreconditionError);   // t1 != 1
+  EXPECT_THROW(encode_turns({0, 1, 7, 3}), PreconditionError);   // bad index
+  EXPECT_THROW(encode_turns({0, 1}), PreconditionError);         // too short
+}
+
+TEST(Robustness, HamiltonianBoundarySizes) {
+  // Smallest legal fragment: 4 residues, one free turn.
+  const FoldingHamiltonian tiny(parse_sequence("AAAA"), HamiltonianWeights::standard(4));
+  EXPECT_EQ(tiny.num_qubits(), 2);
+  for (std::uint64_t x = 0; x < 4; ++x) EXPECT_TRUE(std::isfinite(tiny.energy(x)));
+  // Over the 64-bit encoding limit.
+  const std::vector<AminoAcid> too_long(40, AminoAcid::Ala);
+  EXPECT_THROW(FoldingHamiltonian(too_long, HamiltonianWeights::standard(14)),
+               PreconditionError);
+}
+
+TEST(Robustness, ExactSolverOnHomopolymerTies) {
+  // Fully degenerate sequence: many ties; the solver must stay deterministic.
+  const FoldingHamiltonian h(parse_sequence("GGGGGGG"), HamiltonianWeights::standard(7));
+  const SolveResult a = ExactSolver().solve(h);
+  const SolveResult b = ExactSolver().solve(h);
+  EXPECT_EQ(a.bitstring, b.bitstring);
+  EXPECT_TRUE(is_self_avoiding(walk_positions(a.turns)));
+}
+
+TEST(Robustness, ReconstructCollinearTrace) {
+  // A perfectly straight Calpha trace exercises the degenerate-frame path.
+  std::vector<Vec3> line;
+  for (int i = 0; i < 6; ++i) line.push_back(Vec3{3.8 * i, 0, 0});
+  const Structure s = reconstruct_backbone(line, parse_sequence("AAAAAA"), "line");
+  ASSERT_EQ(s.num_residues(), 6);
+  for (const Residue& r : s.residues) {
+    for (const Atom& a : r.atoms) {
+      EXPECT_TRUE(std::isfinite(a.pos.x) && std::isfinite(a.pos.y) && std::isfinite(a.pos.z));
+    }
+  }
+}
+
+TEST(Robustness, MpsLongRangeGateViaSwapChain) {
+  // A CX spanning the whole register routes through adjacent swaps.
+  const int nq = 8;
+  Circuit c(nq);
+  c.h(0).cx(0, 7);
+  Statevector sv(nq);
+  sv.apply(c);
+  MpsSimulator mps(nq);
+  mps.apply(c);
+  for (std::uint64_t x : {0ull, 129ull, 1ull, 128ull}) {
+    EXPECT_NEAR(std::abs(mps.amplitude(x) - sv.amplitudes()[x]), 0.0, 1e-9) << x;
+  }
+}
+
+TEST(Robustness, MpsWideRegister) {
+  // 40 qubits: far beyond dense reach; product + neighbour entanglement.
+  MpsSimulator mps(40);
+  Circuit c(40);
+  for (int q = 0; q < 40; ++q) c.ry(0.1 * q, q);
+  for (int q = 0; q + 1 < 40; ++q) c.cx(q, q + 1);
+  mps.apply(c);
+  EXPECT_NEAR(mps.norm2(), 1.0, 1e-8);
+  Rng rng(5);
+  EXPECT_EQ(mps.sample(32, rng).size(), 32u);
+}
+
+TEST(Robustness, DockingDegenerateLigandAndTinyBox) {
+  // Single-atom rigid ligand in a minimal box still produces a pose.
+  std::vector<LigandAtom> one(1);
+  one[0].name = "C1";
+  one[0].element = 'C';
+  one[0].hydrophobic = true;
+  const Ligand lig({one.begin(), one.end()}, {}, "atom");
+
+  const auto seq = parse_sequence("VKDRS");
+  const FoldingHamiltonian h(seq, HamiltonianWeights::standard(5));
+  const SolveResult g = ExactSolver().solve(h);
+  std::vector<Vec3> trace;
+  for (const IVec3& p : walk_positions(g.turns)) trace.push_back(lattice_to_cartesian(p));
+  Structure rec = reconstruct_backbone(trace, seq, "tiny");
+  rec.center_on_origin();
+
+  DockingParams params;
+  params.num_runs = 2;
+  params.mc_steps = 50;
+  params.box_center = Vec3{0, 0, 0};
+  params.box_size = 2.0;
+  const DockingResult r = dock(rec, lig, params);
+  EXPECT_FALSE(r.poses.empty());
+  EXPECT_TRUE(std::isfinite(r.best_affinity));
+}
+
+TEST(Robustness, LigandGeneratorExtremeOptions) {
+  LigandGenOptions opt;
+  opt.min_chains = opt.max_chains = 1;
+  opt.min_chain_length = opt.max_chain_length = 1;
+  const Ligand minimal = generate_ligand("xxxx", opt);
+  EXPECT_GE(minimal.num_atoms(), 7);  // ring + 1
+  // A 1-atom chain has no rotatable bond.
+  EXPECT_EQ(minimal.num_torsions(), 0);
+
+  opt.min_chains = opt.max_chains = 6;
+  opt.min_chain_length = opt.max_chain_length = 6;
+  const Ligand big = generate_ligand("yyyy", opt);
+  EXPECT_GE(big.num_atoms(), 30);
+  EXPECT_GE(big.num_torsions(), 10);
+}
+
+TEST(Robustness, StatevectorQubitLimitEnforced) {
+  EXPECT_THROW(Statevector(0), PreconditionError);
+  EXPECT_THROW(Statevector(31), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qdb

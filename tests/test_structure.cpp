@@ -1,0 +1,259 @@
+// Tests for src/structure: the molecular model, reconstruction geometry,
+// protonation/charges, PDB round-trips, and PDBQT output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "lattice/lattice.h"
+#include "structure/molecule.h"
+#include "structure/pdb.h"
+#include "structure/pdbqt.h"
+#include "structure/protonate.h"
+#include "structure/reconstruct.h"
+
+namespace qdb {
+namespace {
+
+/// A realistic test trace: the lattice walk of a valid conformation.
+std::vector<Vec3> lattice_trace(const std::vector<int>& turns) {
+  std::vector<Vec3> out;
+  for (const IVec3& p : walk_positions(turns)) out.push_back(lattice_to_cartesian(p));
+  return out;
+}
+
+Structure make_structure(const std::string& seq_str, const std::vector<int>& turns,
+                         int first_number = 1) {
+  const auto seq = parse_sequence(seq_str);
+  return reconstruct_backbone(lattice_trace(turns), seq, "test", first_number);
+}
+
+TEST(Reconstruct, EveryResidueHasFullBackbone) {
+  const Structure s = make_structure("DYLEAY", {0, 1, 2, 3, 2});
+  ASSERT_EQ(s.num_residues(), 6);
+  for (const Residue& r : s.residues) {
+    EXPECT_NE(r.find("N"), nullptr);
+    EXPECT_NE(r.find("CA"), nullptr);
+    EXPECT_NE(r.find("C"), nullptr);
+    EXPECT_NE(r.find("O"), nullptr);
+  }
+}
+
+TEST(Reconstruct, CaPositionsMatchInputTrace) {
+  const auto trace = lattice_trace({0, 1, 2, 3});
+  const Structure s = reconstruct_backbone(trace, parse_sequence("VKDRS"), "3ckz", 149);
+  const auto cas = s.ca_positions();
+  ASSERT_EQ(cas.size(), trace.size());
+  for (std::size_t i = 0; i < cas.size(); ++i) {
+    EXPECT_NEAR(cas[i].distance(trace[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Reconstruct, BondLengthsAreIdeal) {
+  const Structure s = make_structure("AQITM", {0, 1, 2, 3});
+  for (const Residue& r : s.residues) {
+    EXPECT_NEAR(r.find("N")->pos.distance(r.find("CA")->pos), 1.46, 1e-9);
+    EXPECT_NEAR(r.find("CA")->pos.distance(r.find("C")->pos), 1.52, 1e-9);
+    EXPECT_NEAR(r.find("C")->pos.distance(r.find("O")->pos), 1.23, 1e-9);
+    if (r.type != AminoAcid::Gly) {
+      EXPECT_NEAR(r.find("CA")->pos.distance(r.find("CB")->pos), 1.53, 1e-9);
+    }
+  }
+}
+
+TEST(Reconstruct, GlycineHasNoSideChain) {
+  const Structure s = make_structure("GGGGG", {0, 1, 2, 3});
+  for (const Residue& r : s.residues) {
+    EXPECT_EQ(r.find("CB"), nullptr);
+    EXPECT_EQ(r.atoms.size(), 4u);  // backbone only
+  }
+}
+
+TEST(Reconstruct, SideChainSizeTracksResidue) {
+  const Structure s = make_structure("WAGWA", {0, 1, 2, 3});
+  // Trp gets CB + extensions; Ala only CB; Gly nothing.
+  EXPECT_GE(s.residues[0].atoms.size(), 6u);
+  EXPECT_EQ(s.residues[1].atoms.size(), 5u);  // backbone + CB
+  EXPECT_EQ(s.residues[2].atoms.size(), 4u);
+}
+
+TEST(Reconstruct, TerminalSideChainChemistry) {
+  // Lys (positive) ends in N; Asp (negative) ends in O; Cys ends in S.
+  const Structure s = make_structure("KDCAA", {0, 1, 2, 3});
+  auto tip_element = [&](const Residue& r) {
+    for (const char* tip : {"CE", "CD", "CG", "CB"}) {
+      if (const Atom* a = r.find(tip)) return a->element;
+    }
+    return ' ';
+  };
+  EXPECT_EQ(tip_element(s.residues[0]), 'N');
+  EXPECT_EQ(tip_element(s.residues[1]), 'O');
+  EXPECT_EQ(tip_element(s.residues[2]), 'S');
+}
+
+TEST(Reconstruct, NoAtomCollisions) {
+  const Structure s = make_structure("DYLEAYGKGG", {0, 1, 2, 3, 0, 2, 1, 3, 0});
+  const auto heavy = s.heavy_positions();
+  for (std::size_t i = 0; i < heavy.size(); ++i) {
+    for (std::size_t j = i + 1; j < heavy.size(); ++j) {
+      EXPECT_GT(heavy[i].distance(heavy[j]), 0.8) << i << "," << j;
+    }
+  }
+}
+
+TEST(Reconstruct, ResidueNumberingFollowsOrigin) {
+  const Structure s = make_structure("VKDRS", {0, 1, 2, 3}, 149);  // 3ckz 149-153
+  EXPECT_EQ(s.residues.front().seq_number, 149);
+  EXPECT_EQ(s.residues.back().seq_number, 153);
+}
+
+TEST(Reconstruct, RejectsBadInput) {
+  EXPECT_THROW(reconstruct_backbone({{0, 0, 0}}, parse_sequence("A"), "x"),
+               PreconditionError);
+  EXPECT_THROW(
+      reconstruct_backbone({{0, 0, 0}, {3.8, 0, 0}}, parse_sequence("AAA"), "x"),
+      PreconditionError);
+}
+
+TEST(Molecule, SequenceAndCentering) {
+  Structure s = make_structure("VKDRS", {0, 1, 2, 3});
+  EXPECT_EQ(s.sequence(), "VKDRS");
+  s.center_on_origin();
+  EXPECT_NEAR(s.center().norm(), 0.0, 1e-9);
+}
+
+TEST(Molecule, RmsdOfTransformedCopyIsZero) {
+  const Structure a = make_structure("AQITMGMPY", {0, 1, 2, 3, 0, 1, 3, 2});
+  Structure b = a;
+  b.translate(Vec3{10, -3, 7});
+  EXPECT_NEAR(ca_rmsd(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(backbone_rmsd(a, b), 0.0, 1e-9);
+}
+
+TEST(Molecule, RmsdDetectsDifferentFolds) {
+  const Structure a = make_structure("AQITMGMPY", {0, 1, 2, 3, 0, 1, 3, 2});
+  const Structure b = make_structure("AQITMGMPY", {0, 1, 0, 1, 0, 1, 0, 1});
+  EXPECT_GT(ca_rmsd(a, b), 1.0);
+}
+
+TEST(Protonate, AddsAmideHydrogens) {
+  Structure s = make_structure("VKDRS", {0, 1, 2, 3});
+  add_polar_hydrogens(s);
+  for (const Residue& r : s.residues) {
+    const Atom* hn = r.find("HN");
+    ASSERT_NE(hn, nullptr);
+    EXPECT_EQ(hn->element, 'H');
+    EXPECT_NEAR(hn->pos.distance(r.find("N")->pos), 1.01, 1e-9);
+  }
+  // Idempotent.
+  const std::size_t before = s.num_atoms();
+  add_polar_hydrogens(s);
+  EXPECT_EQ(s.num_atoms(), before);
+}
+
+TEST(Protonate, ChargesAreAssignedAndBalanced) {
+  Structure s = make_structure("VKDRS", {0, 1, 2, 3});
+  add_polar_hydrogens(s);
+  assign_partial_charges(s);
+  for (const Residue& r : s.residues) {
+    for (const Atom& a : r.atoms) {
+      EXPECT_NE(a.partial_charge, 0.0) << a.name;
+      EXPECT_LT(std::abs(a.partial_charge), 1.0);
+    }
+  }
+  // Formal charge ordering: a Lys-rich fragment carries more positive
+  // charge than an Asp-rich one of equal length.
+  Structure lys = make_structure("KKKKK", {0, 1, 2, 3});
+  Structure asp = make_structure("DDDDD", {0, 1, 2, 3});
+  for (Structure* frag : {&lys, &asp}) {
+    add_polar_hydrogens(*frag);
+    assign_partial_charges(*frag);
+  }
+  EXPECT_GT(total_charge(lys), total_charge(asp) + 2.0);
+}
+
+TEST(Pdb, RoundTripPreservesEverything) {
+  Structure s = make_structure("DYLEAYGKGGVKAK", {0, 1, 2, 3, 0, 2, 1, 3, 0, 2, 3, 1, 2}, 154);
+  s.id = "4jpy";
+  const std::string text = to_pdb(s);
+  const Structure back = parse_pdb(text);
+  ASSERT_EQ(back.num_residues(), s.num_residues());
+  EXPECT_EQ(back.sequence(), s.sequence());
+  EXPECT_EQ(back.residues.front().seq_number, 154);
+  for (int i = 0; i < s.num_residues(); ++i) {
+    const Residue& ra = s.residues[static_cast<std::size_t>(i)];
+    const Residue& rb = back.residues[static_cast<std::size_t>(i)];
+    ASSERT_EQ(ra.atoms.size(), rb.atoms.size());
+    for (std::size_t j = 0; j < ra.atoms.size(); ++j) {
+      EXPECT_EQ(ra.atoms[j].name, rb.atoms[j].name);
+      EXPECT_EQ(ra.atoms[j].element, rb.atoms[j].element);
+      // PDB stores 3 decimals.
+      EXPECT_NEAR(ra.atoms[j].pos.distance(rb.atoms[j].pos), 0.0, 2e-3);
+    }
+  }
+}
+
+TEST(Pdb, RecordLayoutIsColumnExact) {
+  Structure s = make_structure("VKDRS", {0, 1, 2, 3});
+  const std::string text = to_pdb(s);
+  const auto lines = split(text, '\n');
+  bool found_atom = false;
+  for (const auto& line : lines) {
+    if (!starts_with(line, "ATOM")) continue;
+    found_atom = true;
+    ASSERT_GE(line.size(), 78u);
+    // Column 22 (0-based 21) is the chain id; 31-38 the x coordinate.
+    EXPECT_EQ(line[21], 'A');
+    EXPECT_NO_THROW((void)std::stod(std::string(line.substr(30, 8))));
+  }
+  EXPECT_TRUE(found_atom);
+  EXPECT_NE(text.find("TER"), std::string::npos);
+  EXPECT_NE(text.find("END"), std::string::npos);
+}
+
+TEST(Pdb, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_pdb("nothing here"), PreconditionError);
+  EXPECT_THROW(parse_pdb("ATOM  tooshort"), ParseError);
+  // Unknown residue name.
+  EXPECT_THROW(
+      parse_pdb("ATOM      1  CA  XYZ A   1      0.000   0.000   0.000  1.00  0.00"),
+      ParseError);
+}
+
+TEST(Pdb, FileRoundTrip) {
+  Structure s = make_structure("VKDRS", {0, 1, 2, 3});
+  const std::string path = testing::TempDir() + "/qdb_pdb_test/frag.pdb";
+  write_pdb_file(s, path);
+  const Structure back = read_pdb_file(path);
+  EXPECT_EQ(back.sequence(), "VKDRS");
+}
+
+TEST(Pdbqt, TypesFollowChemistry) {
+  EXPECT_EQ(autodock_type(Atom{"HN", 'H', {}, 0.16}), "HD");
+  EXPECT_EQ(autodock_type(Atom{"N", 'N', {}, -0.35}), "N");
+  EXPECT_EQ(autodock_type(Atom{"CE", 'N', {}, 0.1}), "NA");
+  EXPECT_EQ(autodock_type(Atom{"O", 'O', {}, -0.27}), "OA");
+  EXPECT_EQ(autodock_type(Atom{"CG", 'S', {}, -0.1}), "SA");
+  EXPECT_EQ(autodock_type(Atom{"CB", 'C', {}, 0.02}), "C");
+}
+
+TEST(Pdbqt, RigidReceptorDocument) {
+  Structure s = make_structure("VKDRS", {0, 1, 2, 3});
+  add_polar_hydrogens(s);
+  assign_partial_charges(s);
+  const std::string text = to_pdbqt_rigid(s);
+  EXPECT_NE(text.find("ROOT"), std::string::npos);
+  EXPECT_NE(text.find("ENDROOT"), std::string::npos);
+  EXPECT_NE(text.find("TORSDOF 0"), std::string::npos);
+  // Every ATOM line ends with an AutoDock type.
+  for (const auto& line : split(text, '\n')) {
+    if (!starts_with(line, "ATOM")) continue;
+    const auto type = trim(line.substr(line.size() - 2));
+    EXPECT_FALSE(type.empty());
+  }
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,234 @@
+// Tests for src/vqe: the CVaR estimator, two-stage VQE runs on real dataset
+// fragments (S/M/L groups), noise behaviour, determinism, metadata, and the
+// execution-time model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "lattice/solver.h"
+#include "vqe/exec_time.h"
+#include "vqe/vqe.h"
+
+namespace qdb {
+namespace {
+
+FoldingHamiltonian make_h(const std::string& seq) {
+  auto s = parse_sequence(seq);
+  return FoldingHamiltonian(s, HamiltonianWeights::standard(static_cast<int>(s.size())));
+}
+
+VqeOptions fast_options(std::uint64_t seed = 1) {
+  VqeOptions o;
+  o.max_evaluations = 60;
+  o.shots_per_eval = 256;
+  o.final_shots = 4000;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Cvar, TailMeanOfSamples) {
+  // alpha=0.5 of {1..4} keeps {1,2}; alpha=0.25 keeps {1}.
+  EXPECT_DOUBLE_EQ(VqeDriver::cvar({4, 2, 3, 1}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(VqeDriver::cvar({4, 2, 3, 1}, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(VqeDriver::cvar({4, 2, 3, 1}, 1.0), 2.5);  // plain mean
+  EXPECT_DOUBLE_EQ(VqeDriver::cvar({7.0}, 0.01), 7.0);
+  EXPECT_THROW(VqeDriver::cvar({}, 0.5), PreconditionError);
+  EXPECT_THROW(VqeDriver::cvar({1.0}, 0.0), PreconditionError);
+}
+
+TEST(Vqe, ReachesNearGroundStateOnSmallFragment) {
+  // 3ckz "VKDRS": 4 qubits, 16 conformations — VQE must find the optimum.
+  const auto h = make_h("VKDRS");
+  const SolveResult exact = ExactSolver().solve(h);
+  const VqeResult r = VqeDriver(h, fast_options()).run();
+  EXPECT_NEAR(r.sampled_min_energy, exact.energy, 1e-9)
+      << "stage-2 sampling must hit the 4-qubit ground state";
+  EXPECT_EQ(r.best_bitstring, exact.bitstring);
+}
+
+TEST(Vqe, ApproximationRatioOnMediumFragment) {
+  // 2bok "EDACQGDSGG": 14 qubits.  The sampled minimum should land within a
+  // few percent of the exact optimum (the offset floor dominates, so compare
+  // the conformational part).
+  const auto h = make_h("EDACQGDSGG");
+  const SolveResult exact = ExactSolver().solve(h);
+  VqeOptions o = fast_options(3);
+  o.max_evaluations = 80;
+  const VqeResult r = VqeDriver(h, o).run();
+  const double floor = h.weights().energy_offset;
+  const double exact_conf = exact.energy - floor;
+  const double vqe_conf = r.sampled_min_energy - floor;
+  EXPECT_LT(vqe_conf, exact_conf + 0.5 * std::abs(exact_conf) + 5.0);
+  EXPECT_GE(r.sampled_min_energy, exact.energy - 1e-9);  // cannot beat the optimum
+}
+
+TEST(Vqe, MpsEngineHandlesLGroupFragment) {
+  // 4jpy "DYLEAYGKGGVKAK": 22 qubits — must run through the MPS engine.
+  const auto h = make_h("DYLEAYGKGGVKAK");
+  VqeOptions o = fast_options(5);
+  o.max_evaluations = 25;
+  o.shots_per_eval = 128;
+  o.final_shots = 2000;
+  const VqeResult r = VqeDriver(h, o).run();
+  EXPECT_EQ(r.logical_qubits, 22);
+  EXPECT_EQ(r.allocation.qubits, 102);  // published L-group allocation
+  EXPECT_EQ(r.allocation.depth, 413);
+  EXPECT_GT(r.lowest_energy, 0.0);      // offset floor
+  EXPECT_LT(r.lowest_energy, r.highest_energy);
+}
+
+TEST(Vqe, DeterministicPerSeed) {
+  const auto h = make_h("VKDRS");
+  const VqeResult a = VqeDriver(h, fast_options(7)).run();
+  const VqeResult b = VqeDriver(h, fast_options(7)).run();
+  EXPECT_EQ(a.best_bitstring, b.best_bitstring);
+  EXPECT_DOUBLE_EQ(a.lowest_energy, b.lowest_energy);
+  EXPECT_DOUBLE_EQ(a.best_cvar, b.best_cvar);
+}
+
+TEST(Vqe, SeedsChangeTrajectories) {
+  const auto h = make_h("PWWERYQP");
+  const VqeResult a = VqeDriver(h, fast_options(11)).run();
+  const VqeResult b = VqeDriver(h, fast_options(12)).run();
+  // Histories differ even if both converge to the same optimum.
+  EXPECT_NE(a.history, b.history);
+}
+
+TEST(Vqe, HistoryIsMonotone) {
+  const auto h = make_h("VKDRS");
+  const VqeResult r = VqeDriver(h, fast_options(13)).run();
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-12);
+  }
+}
+
+TEST(Vqe, EnergyRangeMatchesPaperShape) {
+  // The paper's Tables report energy ranges of roughly 20-40% of the lowest
+  // energy.  Noisy sampling of penalty states must produce a positive range.
+  const auto h = make_h("LLDTGADDTV");
+  VqeOptions o = fast_options(17);
+  const VqeResult r = VqeDriver(h, o).run();
+  EXPECT_GT(r.energy_range, 0.0);
+  EXPECT_GT(r.highest_energy, r.lowest_energy);
+  EXPECT_GE(r.mean_energy, r.lowest_energy);
+  EXPECT_LE(r.mean_energy, r.highest_energy);
+}
+
+TEST(Vqe, IdealNoiseFindsLowerOrEqualEnergy) {
+  const auto h = make_h("PWWERYQP");
+  VqeOptions noisy = fast_options(19);
+  VqeOptions ideal = fast_options(19);
+  ideal.noise = NoiseModel::ideal();
+  const VqeResult rn = VqeDriver(h, noisy).run();
+  const VqeResult ri = VqeDriver(h, ideal).run();
+  // Both must sample valid low-energy states; the sampled minimum can only
+  // be at or above the global optimum.
+  const double exact = ExactSolver().solve(h).energy;
+  EXPECT_GE(rn.lowest_energy, exact - 1e-9);
+  EXPECT_GE(ri.lowest_energy, exact - 1e-9);
+}
+
+TEST(Vqe, MetadataIsComplete) {
+  const auto h = make_h("GIKAVM");  // 3s0b, S group, 6 residues
+  VqeOptions o = fast_options(23);
+  o.run_id = "3s0b";
+  const VqeResult r = VqeDriver(h, o).run();
+  EXPECT_EQ(r.logical_qubits, 6);
+  EXPECT_EQ(r.allocation.qubits, 23);  // published 6-residue allocation
+  EXPECT_EQ(r.allocation.depth, 97);
+  EXPECT_EQ(r.total_shots, static_cast<std::size_t>(r.evaluations) * 256 + 4000);
+  EXPECT_GT(r.modeled_exec_time_s, 0.0);
+  EXPECT_GT(r.sim_wall_time_s, 0.0);
+  EXPECT_LE(r.evaluations, 60);
+}
+
+TEST(Vqe, RejectsBadOptions) {
+  const auto h = make_h("VKDRS");
+  VqeOptions o;
+  o.max_evaluations = 0;
+  EXPECT_THROW(VqeDriver(h, o), PreconditionError);
+  o = VqeOptions{};
+  o.cvar_alpha = 0.0;
+  EXPECT_THROW(VqeDriver(h, o), PreconditionError);
+  o = VqeOptions{};
+  o.final_shots = 0;
+  EXPECT_THROW(VqeDriver(h, o), PreconditionError);
+}
+
+
+TEST(CvarWeighted, MatchesUnweightedOnUnitWeights) {
+  const double a = VqeDriver::cvar({4, 2, 3, 1}, 0.5);
+  const double b = VqeDriver::cvar_weighted({{4, 1}, {2, 1}, {3, 1}, {1, 1}}, 0.5);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CvarWeighted, HandlesFractionalTailAndNegativeWeights) {
+  // Tail = 0.3 of total weight 2: takes all of (1, w=0.5) and 0.1 of (2, ...).
+  const double v = VqeDriver::cvar_weighted({{2, 1.5}, {1, 0.5}}, 0.3);
+  EXPECT_NEAR(v, (1.0 * 0.5 + 2.0 * 0.1) / 0.6, 1e-12);
+  // Negative quasi-probabilities are clamped.
+  EXPECT_NO_THROW(VqeDriver::cvar_weighted({{1, -0.2}, {2, 1.0}}, 0.5));
+  EXPECT_THROW(VqeDriver::cvar_weighted({}, 0.5), PreconditionError);
+  EXPECT_THROW(VqeDriver::cvar_weighted({{1, -1.0}}, 0.5), PreconditionError);
+}
+
+TEST(Vqe, ReadoutMitigationImprovesEstimates) {
+  // Under strong readout errors, mitigated CVaR estimates should sit closer
+  // to the noise-free estimates than the unmitigated ones do.
+  const auto h = make_h("GIKAVM");
+  VqeOptions base = fast_options(29);
+  base.max_evaluations = 20;
+  base.noise = NoiseModel::ideal();
+  const VqeResult ideal = VqeDriver(h, base).run();
+
+  VqeOptions noisy = base;
+  noisy.noise = NoiseModel::eagle_r3();
+  noisy.noise.p_readout_01 = 0.08;
+  noisy.noise.p_readout_10 = 0.12;
+  const VqeResult raw = VqeDriver(h, noisy).run();
+
+  VqeOptions mitigated = noisy;
+  mitigated.readout_mitigation = true;
+  const VqeResult fixed = VqeDriver(h, mitigated).run();
+
+  // Mitigation cannot make things worse on the best-estimate metric by a
+  // large margin and is deterministic.
+  EXPECT_LT(std::abs(fixed.best_cvar - ideal.best_cvar),
+            std::abs(raw.best_cvar - ideal.best_cvar) + 50.0);
+  const VqeResult fixed2 = VqeDriver(h, mitigated).run();
+  EXPECT_DOUBLE_EQ(fixed.best_cvar, fixed2.best_cvar);
+}
+
+TEST(ExecTime, ScalesWithShotsAndDepth) {
+  const ExecTimeModel m;
+  const NoiseModel n = NoiseModel::eagle_r3();
+  const double t_small = m.total_time_s(53, n, 10000, 50, "a");
+  const double t_more_shots = m.total_time_s(53, n, 200000, 50, "a");
+  const double t_deeper = m.total_time_s(413, n, 10000, 50, "a");
+  EXPECT_GT(t_more_shots, t_small);
+  EXPECT_GT(t_deeper, t_small);
+}
+
+TEST(ExecTime, QueueFactorIsPerIdDeterministicAndHeavyTailed) {
+  const ExecTimeModel m;
+  const NoiseModel n = NoiseModel::eagle_r3();
+  EXPECT_DOUBLE_EQ(m.total_time_s(221, n, 100000, 200, "4y79"),
+                   m.total_time_s(221, n, 100000, 200, "4y79"));
+  // Different fragments see different queue factors.
+  EXPECT_NE(m.total_time_s(221, n, 100000, 200, "4y79"),
+            m.total_time_s(221, n, 100000, 200, "1e2l"));
+  // The modelled times land in the paper's order of magnitude (10^3..10^5 s).
+  double lo = 1e18, hi = 0.0;
+  for (const char* id : {"a", "b", "c", "d", "e", "f", "g", "h"}) {
+    const double t = m.total_time_s(257, n, 202400, 200, id);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(lo, 1e3);
+  EXPECT_LT(hi, 1e6);
+}
+
+}  // namespace
+}  // namespace qdb
