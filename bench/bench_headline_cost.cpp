@@ -56,5 +56,12 @@ int main() {
                format("%.0f%%", 100.0 * hours / paper.total_device_hours())});
   }
   std::printf("\n%s", t.to_string().c_str());
+
+  bench::emit_bench_json("headline_cost",
+                         {{"published_device_hours", paper.total_device_hours()},
+                          {"published_cost_usd", paper.total_cost_usd},
+                          {"modeled_device_hours", ours.total_device_hours()},
+                          {"modeled_cost_usd", ours.total_cost_usd},
+                          {"modeled_total_shots", static_cast<double>(total_shots)}});
   return 0;
 }

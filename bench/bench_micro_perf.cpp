@@ -1,16 +1,69 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical kernels:
 // statevector gate application, MPS circuit simulation and sampling,
-// Hamiltonian energy evaluation, exact solving, Vina scoring, and docking.
+// Hamiltonian energy evaluation (per-shot vs histogram+scratch), the batch
+// executor, exact solving, Vina scoring, and docking.  main() additionally
+// runs a direct A/B of the stage-2 evaluation pipeline and writes the
+// numbers to BENCH_micro_perf.json so the perf trajectory is tracked across
+// PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 #include "core/qdockbank.h"
+#include "data/batch.h"
 #include "quantum/ansatz.h"
+#include "quantum/histogram.h"
 #include "quantum/mps.h"
 #include "quantum/statevector.h"
 
 namespace {
 
 using namespace qdb;
+
+/// Synthetic stage-2 shot stream on the 14-residue / 22-qubit 4jpy register:
+/// `shots` draws concentrated on `distinct` bitstrings — the shape a frozen
+/// circuit's measurement distribution actually has.
+std::vector<std::uint64_t> synthetic_shots(const FoldingHamiltonian& h,
+                                           std::size_t shots, std::size_t distinct) {
+  Rng rng(fnv1a("stage2-shots"));
+  const std::uint64_t dim = std::uint64_t{1} << h.num_qubits();
+  std::vector<std::uint64_t> pool(distinct);
+  for (auto& x : pool) x = rng.below(dim);
+  std::vector<std::uint64_t> out(shots);
+  // Zipf-ish concentration: low pool indices dominate, like a trained ansatz.
+  for (auto& x : out) {
+    const double u = rng.uniform();
+    const auto idx = static_cast<std::size_t>(static_cast<double>(distinct) * u * u);
+    x = pool[std::min(idx, distinct - 1)];
+  }
+  return out;
+}
+
+/// The pre-optimization evaluation loop: one heap-allocating energy
+/// evaluation per *shot* (the old FoldingHamiltonian::energy path).
+double eval_per_shot_naive(const FoldingHamiltonian& h,
+                           const std::vector<std::uint64_t>& shots) {
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::uint64_t x : shots) {
+    lo = std::min(lo, h.energy_of_turns(decode_turns(x, h.length())));
+  }
+  return lo;
+}
+
+/// The histogram + scratch-kernel pipeline: collapse to distinct bitstrings,
+/// score each once through the batched allocation-free kernel.
+double eval_histogram(const FoldingHamiltonian& h,
+                      const std::vector<std::uint64_t>& shots) {
+  const auto entries = sorted_entries(histogram_from_shots(shots));
+  std::vector<std::uint64_t> distinct(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) distinct[i] = entries[i].first;
+  std::vector<double> energies(distinct.size());
+  h.energies(distinct, energies);
+  return *std::min_element(energies.begin(), energies.end());
+}
 
 void BM_StatevectorGates(benchmark::State& state) {
   const int nq = static_cast<int>(state.range(0));
@@ -66,6 +119,63 @@ void BM_HamiltonianEnergy(benchmark::State& state) {
 }
 BENCHMARK(BM_HamiltonianEnergy);
 
+void BM_HamiltonianEnergyScratch(benchmark::State& state) {
+  const FoldingHamiltonian h = entry_hamiltonian(entry_by_id("4jpy"));
+  FoldingHamiltonian::Scratch scratch;
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.energy_scratch(x, scratch));
+    x = (x + 0x9e3779b9ULL) & ((1ULL << 22) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HamiltonianEnergyScratch);
+
+// Stage-2 evaluation A/B: 100k shots on the 22-qubit 4jpy register drawn
+// from `range(0)` distinct bitstrings.  PerShot is the pre-optimization
+// loop; Batch is the histogram + scratch-kernel pipeline.
+void BM_HamiltonianEnergyPerShot(benchmark::State& state) {
+  const FoldingHamiltonian h = entry_hamiltonian(entry_by_id("4jpy"));
+  const auto shots = synthetic_shots(h, 100000, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_per_shot_naive(h, shots));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(shots.size()));
+}
+BENCHMARK(BM_HamiltonianEnergyPerShot)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_HamiltonianEnergyBatch(benchmark::State& state) {
+  const FoldingHamiltonian h = entry_hamiltonian(entry_by_id("4jpy"));
+  const auto shots = synthetic_shots(h, 100000, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_histogram(h, shots));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(shots.size()));
+}
+BENCHMARK(BM_HamiltonianEnergyBatch)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Dataset batch executor: four S-group fragments with a small VQE budget,
+// 1 thread vs all hardware threads.  Reports are byte-identical either way
+// (tests/test_perf.cpp); only the wall time changes.
+void BM_BatchExecutor(benchmark::State& state) {
+  std::vector<const DatasetEntry*> subset;
+  for (const DatasetEntry* e : entries_in_group(Group::S)) {
+    subset.push_back(e);
+    if (subset.size() == 4) break;
+  }
+  BatchOptions opt;
+  opt.run_vqe = true;
+  opt.vqe.max_evaluations = 8;
+  opt.vqe.shots_per_eval = 64;
+  opt.vqe.final_shots = 1000;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch(subset, opt).total_device_time_s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(subset.size()));
+}
+BENCHMARK(BM_BatchExecutor)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 void BM_ExactSolver(benchmark::State& state) {
   const DatasetEntry& e = entry_by_id(state.range(0) == 0 ? "2bok" : "4jpy");
   const FoldingHamiltonian h = entry_hamiltonian(e);
@@ -104,6 +214,54 @@ void BM_DockingRun(benchmark::State& state) {
 }
 BENCHMARK(BM_DockingRun);
 
+/// Direct A/B of the stage-2 evaluation pipeline (the acceptance-criterion
+/// workload: 100k shots, 14-residue / 22-qubit fragment) with the results
+/// written to BENCH_micro_perf.json.
+void stage2_speedup_summary() {
+  const FoldingHamiltonian h = entry_hamiltonian(entry_by_id("4jpy"));
+  const std::size_t kShots = 100000;
+  const std::size_t kDistinct = 4096;
+  const auto shots = synthetic_shots(h, kShots, kDistinct);
+  const std::size_t distinct = histogram_from_shots(shots).size();
+
+  // Warm up, then time the best of three runs of each path.
+  double naive_best = 1e300, hist_best = 1e300;
+  double naive_lo = 0.0, hist_lo = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t1;
+    naive_lo = eval_per_shot_naive(h, shots);
+    naive_best = std::min(naive_best, t1.seconds());
+    Timer t2;
+    hist_lo = eval_histogram(h, shots);
+    hist_best = std::min(hist_best, t2.seconds());
+  }
+  const double speedup = naive_best / hist_best;
+  std::printf("\nstage-2 evaluation A/B (4jpy, %zu shots, %zu distinct):\n",
+              kShots, distinct);
+  std::printf("  per-shot naive path  %8.2f ms\n", naive_best * 1e3);
+  std::printf("  histogram + scratch  %8.2f ms\n", hist_best * 1e3);
+  std::printf("  speedup              %8.1fx  (acceptance: >= 5x)\n", speedup);
+  if (naive_lo != hist_lo) {
+    std::printf("  WARNING: paths disagree (%.12g vs %.12g)\n", naive_lo, hist_lo);
+  }
+  bench::emit_bench_json(
+      "micro_perf",
+      {{"stage2_shots", static_cast<double>(kShots)},
+       {"stage2_distinct", static_cast<double>(distinct)},
+       {"per_shot_naive_ms", naive_best * 1e3},
+       {"histogram_scratch_ms", hist_best * 1e3},
+       {"stage2_speedup", speedup},
+       {"paths_agree", naive_lo == hist_lo ? 1.0 : 0.0},
+       {"hardware_threads", static_cast<double>(hardware_threads())}});
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  stage2_speedup_summary();
+  return 0;
+}

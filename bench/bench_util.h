@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -17,6 +19,27 @@
 #include "core/qdockbank.h"
 
 namespace qdb::bench {
+
+/// Machine-readable bench output: writes BENCH_<name>.json with a flat
+/// metric map so the perf trajectory can be tracked (diffed, plotted)
+/// across PRs.  Values are emitted at full double precision.
+inline void emit_bench_json(const std::string& name,
+                            const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "emit_bench_json: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unix_time\": %lld",
+               name.c_str(), static_cast<long long>(std::time(nullptr)));
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 inline void header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -34,6 +35,27 @@ void parallel_for(std::int64_t n, Body&& body) {
 #endif
 }
 
+/// Parallel for over [0, n) with an explicit thread-count cap.  threads <= 0
+/// means "use the OpenMP default" (OMP_NUM_THREADS); threads == 1 runs the
+/// loop serially on the calling thread.  Used where callers expose a
+/// parallelism knob (e.g. the batch executor).
+template <typename Body>
+void parallel_for_threads(std::int64_t n, int threads, Body&& body) {
+#ifdef _OPENMP
+  if (threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+  } else if (threads <= 0) {
+    parallel_for(n, body);
+  } else {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+  }
+#else
+  (void)threads;
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
 /// Parallel for with a static schedule and a caller-chosen chunk size; use
 /// for uniform, fine-grained work (e.g. amplitude loops).
 template <typename Body>
@@ -57,6 +79,29 @@ double parallel_reduce(std::int64_t n, Body&& body) {
   for (std::int64_t i = 0; i < n; ++i) total += body(i);
 #endif
   return total;
+}
+
+/// Parallel reduction of a pair of accumulators: body(i) returns
+/// {a_i, b_i}; the result is {sum a_i, sum b_i}.  Used for complex-valued
+/// inner products (real/imag) without two passes over the data.
+template <typename Body>
+std::pair<double, double> parallel_reduce_pair(std::int64_t n, Body&& body) {
+  double a = 0.0, b = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : a, b)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto [x, y] = body(i);
+    a += x;
+    b += y;
+  }
+#else
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto [x, y] = body(i);
+    a += x;
+    b += y;
+  }
+#endif
+  return {a, b};
 }
 
 }  // namespace qdb

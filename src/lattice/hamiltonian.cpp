@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "lattice/allocation.h"
 
 namespace qdb {
@@ -36,22 +37,21 @@ FoldingHamiltonian::FoldingHamiltonian(std::vector<AminoAcid> sequence,
   QDB_REQUIRE(seq_.size() <= 32, "fragment too long for the 64-bit encoding");
 }
 
-FoldingHamiltonian::Terms FoldingHamiltonian::terms_of_turns(
-    const std::vector<int>& turns) const {
-  QDB_REQUIRE(turns.size() + 1 == seq_.size(), "turn count must be L-1");
+FoldingHamiltonian::Terms FoldingHamiltonian::terms_from_walk(const int* turns,
+                                                              const IVec3* pos) const {
   Terms t;
-  const std::vector<IVec3> pos = walk_positions(turns);
+  const std::size_t num_turns = seq_.size() - 1;
   const auto& dirs = tetra_directions();
 
   // Hg: repeated turn index = backtrack.
-  for (std::size_t k = 0; k + 1 < turns.size(); ++k) {
+  for (std::size_t k = 0; k + 1 < num_turns; ++k) {
     if (turns[k] == turns[k + 1]) t.geometry += weights_.backtrack_penalty;
   }
 
   // Hc: left-handed step triples.  Step k = +-dirs[t_k]; the sign cancels in
   // the determinant parity for consecutive triples (s * -s * s = -s), so use
   // the signed steps directly.
-  for (std::size_t k = 0; k + 2 < turns.size(); ++k) {
+  for (std::size_t k = 0; k + 2 < num_turns; ++k) {
     IVec3 s[3];
     for (int j = 0; j < 3; ++j) {
       const IVec3& d = dirs[static_cast<std::size_t>(turns[k + static_cast<std::size_t>(j)])];
@@ -65,7 +65,7 @@ FoldingHamiltonian::Terms FoldingHamiltonian::terms_of_turns(
   }
 
   // Hd and Hi over non-bonded pairs.
-  const std::size_t n = pos.size();
+  const std::size_t n = seq_.size();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 2; j < n; ++j) {
       const IVec3 d = pos[i] - pos[j];
@@ -90,12 +90,38 @@ FoldingHamiltonian::Terms FoldingHamiltonian::terms_of_turns(
   return t;
 }
 
+FoldingHamiltonian::Terms FoldingHamiltonian::terms_of_turns(
+    const std::vector<int>& turns) const {
+  QDB_REQUIRE(turns.size() + 1 == seq_.size(), "turn count must be L-1");
+  const std::vector<IVec3> pos = walk_positions(turns);
+  return terms_from_walk(turns.data(), pos.data());
+}
+
 double FoldingHamiltonian::energy_of_turns(const std::vector<int>& turns) const {
   return terms_of_turns(turns).total();
 }
 
+double FoldingHamiltonian::energy_scratch(std::uint64_t bitstring, Scratch& scratch) const {
+  const int len = length();
+  decode_turns_into(bitstring, len, scratch.turns.data());
+  walk_positions_into(scratch.turns.data(), static_cast<std::size_t>(len - 1),
+                      scratch.pos.data());
+  return terms_from_walk(scratch.turns.data(), scratch.pos.data()).total();
+}
+
+void FoldingHamiltonian::energies(std::span<const std::uint64_t> bitstrings,
+                                  std::span<double> out) const {
+  QDB_REQUIRE(bitstrings.size() == out.size(), "energies: size mismatch");
+  parallel_for(static_cast<std::int64_t>(bitstrings.size()), [&](std::int64_t i) {
+    Scratch scratch;  // fixed-capacity stack buffers: construction is free
+    out[static_cast<std::size_t>(i)] =
+        energy_scratch(bitstrings[static_cast<std::size_t>(i)], scratch);
+  });
+}
+
 double FoldingHamiltonian::energy(std::uint64_t bitstring) const {
-  return energy_of_turns(decode_turns(bitstring, length()));
+  Scratch scratch;
+  return energy_scratch(bitstring, scratch);
 }
 
 int FoldingHamiltonian::contact_pair_count() const {

@@ -20,7 +20,9 @@
 // grow with fragment length so penalties always dominate interaction gains.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "lattice/amino_acid.h"
@@ -80,13 +82,37 @@ class FoldingHamiltonian {
   Terms terms_of_turns(const std::vector<int>& turns) const;
   double energy_of_turns(const std::vector<int>& turns) const;
 
+  /// Caller-owned reusable buffers for allocation-free evaluation.  The
+  /// 64-bit encoding caps fragments at L <= 32, so fixed-capacity
+  /// std::array storage always suffices; a Scratch lives on the stack (or in
+  /// a per-thread slot) and is reused across millions of evaluations.
+  struct Scratch {
+    std::array<int, 31> turns;   // L - 1 turn indices
+    std::array<IVec3, 32> pos;   // L walked lattice positions
+  };
+
+  /// Allocation-free energy kernel: decodes and walks into `scratch` instead
+  /// of heap-allocating per call.  Bit-identical to energy() — both paths
+  /// share the same term-accumulation routine.
+  double energy_scratch(std::uint64_t bitstring, Scratch& scratch) const;
+
+  /// Batched entry point: out[i] = energy(bitstrings[i]).  Evaluates in
+  /// parallel (one scratch per loop body); out.size() must match.
+  void energies(std::span<const std::uint64_t> bitstrings, std::span<double> out) const;
+
   /// Energy of an encoded conformation (the VQE objective's diagonal).
+  /// Thin wrapper over energy_scratch with a stack-local scratch.
   double energy(std::uint64_t bitstring) const;
 
   /// Number of residue pairs eligible for a contact (|i-j| >= 3, odd).
   int contact_pair_count() const;
 
  private:
+  /// Shared term accumulation over a decoded walk: `turns` has length()-1
+  /// entries and `pos` has length() entries.  Every evaluation path funnels
+  /// through here so results are bit-identical regardless of entry point.
+  Terms terms_from_walk(const int* turns, const IVec3* pos) const;
+
   std::vector<AminoAcid> seq_;
   HamiltonianWeights weights_;
   const MjMatrix& mj_;

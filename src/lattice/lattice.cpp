@@ -16,18 +16,21 @@ Vec3 lattice_to_cartesian(const IVec3& p) {
   return Vec3{p.x * scale, p.y * scale, p.z * scale};
 }
 
-std::vector<IVec3> walk_positions(const std::vector<int>& turns) {
-  std::vector<IVec3> pos;
-  pos.reserve(turns.size() + 1);
-  pos.push_back({0, 0, 0});
+void walk_positions_into(const int* turns, std::size_t num_turns, IVec3* pos) {
+  pos[0] = IVec3{0, 0, 0};
   const auto& dirs = tetra_directions();
-  for (std::size_t k = 0; k < turns.size(); ++k) {
+  for (std::size_t k = 0; k < num_turns; ++k) {
     QDB_REQUIRE(turns[k] >= 0 && turns[k] < 4, "turn index out of range");
     const IVec3& d = dirs[static_cast<std::size_t>(turns[k])];
     // Even sites (A sublattice) step along +d, odd sites along -d.
     const int sign = (k % 2 == 0) ? 1 : -1;
-    pos.push_back(pos.back() + IVec3{sign * d.x, sign * d.y, sign * d.z});
+    pos[k + 1] = pos[k] + IVec3{sign * d.x, sign * d.y, sign * d.z};
   }
+}
+
+std::vector<IVec3> walk_positions(const std::vector<int>& turns) {
+  std::vector<IVec3> pos(turns.size() + 1);
+  walk_positions_into(turns.data(), turns.size(), pos.data());
   return pos;
 }
 
@@ -38,14 +41,18 @@ int num_free_turns(int length) {
 
 int encoding_qubits(int length) { return 2 * num_free_turns(length); }
 
-std::vector<int> decode_turns(std::uint64_t x, int length) {
+void decode_turns_into(std::uint64_t x, int length, int* turns) {
   const int free_turns = num_free_turns(length);
-  std::vector<int> turns(static_cast<std::size_t>(length - 1));
   turns[0] = 0;
   turns[1] = 1;
   for (int k = 0; k < free_turns; ++k) {
-    turns[static_cast<std::size_t>(k) + 2] = static_cast<int>((x >> (2 * k)) & 3);
+    turns[k + 2] = static_cast<int>((x >> (2 * k)) & 3);
   }
+}
+
+std::vector<int> decode_turns(std::uint64_t x, int length) {
+  std::vector<int> turns(static_cast<std::size_t>(length - 1));
+  decode_turns_into(x, length, turns.data());
   return turns;
 }
 

@@ -46,6 +46,11 @@ Vec3 lattice_to_cartesian(const IVec3& p);
 /// sits at the origin (an A site).  Returns L = turns.size()+1 positions.
 std::vector<IVec3> walk_positions(const std::vector<int>& turns);
 
+/// Allocation-free variant: writes num_turns + 1 positions into `pos`
+/// (caller-owned, capacity >= num_turns + 1).  Bit-identical to
+/// walk_positions on the same turn sequence.
+void walk_positions_into(const int* turns, std::size_t num_turns, IVec3* pos);
+
 /// Number of free (encoded) turns for an L-residue fragment: L-3.
 int num_free_turns(int length);
 
@@ -55,6 +60,10 @@ int encoding_qubits(int length);
 /// Decode a bitstring x (qubit 0 = LSB) into the full turn sequence,
 /// restoring the fixed gauge turns t0 = 0, t1 = 1.
 std::vector<int> decode_turns(std::uint64_t x, int length);
+
+/// Allocation-free variant: writes length - 1 turns into `turns`
+/// (caller-owned, capacity >= length - 1).
+void decode_turns_into(std::uint64_t x, int length, int* turns);
 
 /// Inverse of decode_turns; requires turns[0] == 0 and turns[1] == 1.
 std::uint64_t encode_turns(const std::vector<int>& turns);

@@ -1,0 +1,30 @@
+#include "quantum/histogram.h"
+
+#include <algorithm>
+
+namespace qdb {
+
+Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots) {
+  Histogram h;
+  h.reserve(shots.size() / 8 + 1);
+  for (std::uint64_t x : shots) h[x] += 1.0;
+  return h;
+}
+
+std::vector<std::pair<std::uint64_t, double>> sorted_entries(const Histogram& h) {
+  std::vector<std::pair<std::uint64_t, double>> entries(h.begin(), h.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+double histogram_total(const Histogram& h) {
+  double total = 0.0;
+  for (const auto& [x, w] : h) {
+    (void)x;
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace qdb

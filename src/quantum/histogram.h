@@ -1,0 +1,33 @@
+// Measurement histograms: the bridge between raw shots and evaluation.
+//
+// Sampling 100,000 stage-2 shots of a <= 22-qubit register concentrates the
+// probability mass on a few hundred to a few thousand *distinct* bitstrings;
+// collapsing shots into a histogram before any per-bitstring work (energy
+// evaluation, CVaR estimation, mitigation, refinement seeding) turns an
+// O(shots) inner loop into an O(distinct) one.  These helpers keep that
+// collapse deterministic: iteration over an unordered_map is
+// platform-defined, so consumers that must be reproducible walk
+// sorted_entries() instead.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace qdb {
+
+/// A measured histogram: counts (or quasi-probability weights) per bitstring.
+using Histogram = std::unordered_map<std::uint64_t, double>;
+
+/// Build a histogram from raw shots.
+Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots);
+
+/// Deterministic view of a histogram: entries sorted by bitstring value.
+/// Use whenever downstream arithmetic must not depend on hash-map order.
+std::vector<std::pair<std::uint64_t, double>> sorted_entries(const Histogram& h);
+
+/// Total weight (shot count for unmitigated histograms).
+double histogram_total(const Histogram& h);
+
+}  // namespace qdb

@@ -6,12 +6,6 @@
 
 namespace qdb {
 
-Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots) {
-  Histogram h;
-  for (std::uint64_t x : shots) h[x] += 1.0;
-  return h;
-}
-
 ReadoutMitigator::ReadoutMitigator(int num_qubits, const NoiseModel& noise)
     : num_qubits_(num_qubits) {
   QDB_REQUIRE(num_qubits >= 1 && num_qubits <= 63, "mitigator supports 1..63 qubits");

@@ -12,18 +12,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "quantum/histogram.h"
 #include "quantum/noise.h"
 
 namespace qdb {
-
-/// A measured histogram: counts per bitstring.
-using Histogram = std::unordered_map<std::uint64_t, double>;
-
-/// Build a histogram from raw shots.
-Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots);
 
 class ReadoutMitigator {
  public:

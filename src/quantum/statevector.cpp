@@ -44,13 +44,15 @@ void Statevector::apply_2q(const std::array<std::array<cplx, 4>, 4>& u, int q0, 
   const int hi = std::max(q0, q1);
   const auto n = static_cast<std::int64_t>(dimension() >> 2);
   cplx* amps = amps_.data();
+  // Loop-invariant bit masks hoisted out of the per-index body.
+  const std::uint64_t lo_mask = (std::uint64_t{1} << lo) - 1;
+  const std::uint64_t mid_mask = (std::uint64_t{1} << (hi - 1)) - 1;
+  const std::uint64_t mid_only = mid_mask & ~lo_mask;
   parallel_for_static(n, [&](std::int64_t k) {
     // Insert 0 bits at positions lo and hi.
-    auto idx = static_cast<std::uint64_t>(k);
-    const std::uint64_t lo_mask = (std::uint64_t{1} << lo) - 1;
-    const std::uint64_t mid_mask = (std::uint64_t{1} << (hi - 1)) - 1;
-    std::uint64_t i = (idx & lo_mask) | ((idx & (mid_mask & ~lo_mask)) << 1) |
-                      ((idx & ~mid_mask) << 2);
+    const auto idx = static_cast<std::uint64_t>(k);
+    const std::uint64_t i = (idx & lo_mask) | ((idx & mid_only) << 1) |
+                            ((idx & ~mid_mask) << 2);
     const std::uint64_t i00 = i;
     const std::uint64_t i01 = i | b0;  // q0 set
     const std::uint64_t i10 = i | b1;  // q1 set
@@ -103,8 +105,11 @@ double Statevector::norm2() const {
 
 std::vector<std::uint64_t> Statevector::sample(std::size_t shots, Rng& rng) const {
   // Inverse-CDF sampling over sorted uniforms: build the CDF once, then walk
-  // it with the sorted draws — O(dim + shots log shots).
-  std::vector<double> cdf(amps_.size());
+  // it with the sorted draws — O(dim + shots log shots).  The CDF and draw
+  // buffers are reusable members so repeated sampling (one call per noise
+  // trajectory per COBYLA iteration) does not re-allocate.
+  std::vector<double>& cdf = cdf_scratch_;
+  cdf.resize(amps_.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < amps_.size(); ++i) {
     acc += std::norm(amps_[i]);
@@ -112,14 +117,27 @@ std::vector<std::uint64_t> Statevector::sample(std::size_t shots, Rng& rng) cons
   }
   const double total = acc > 0.0 ? acc : 1.0;
 
-  std::vector<double> draws(shots);
+  std::vector<double>& draws = draw_scratch_;
+  draws.resize(shots);
   for (double& d : draws) d = rng.uniform() * total;
   std::sort(draws.begin(), draws.end());
 
   std::vector<std::uint64_t> out(shots);
+  // With shots ≪ dim the linear walk touches every CDF entry between
+  // consecutive draws; a binary search over the remaining tail is far
+  // cheaper.  Both strategies locate the first index with cdf[idx] >= draw
+  // (the draws are sorted, so the search start is monotone) and therefore
+  // produce identical outcomes.
+  const bool sparse = shots < cdf.size() / 64;
   std::size_t idx = 0;
   for (std::size_t s = 0; s < shots; ++s) {
-    while (idx + 1 < cdf.size() && cdf[idx] < draws[s]) ++idx;
+    if (sparse) {
+      const auto it = std::lower_bound(cdf.begin() + static_cast<std::ptrdiff_t>(idx),
+                                       cdf.end(), draws[s]);
+      idx = std::min(static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
+    } else {
+      while (idx + 1 < cdf.size() && cdf[idx] < draws[s]) ++idx;
+    }
     out[s] = idx;
   }
   // Sorted outcomes would bias consumers that stream shots; shuffle back.
@@ -131,11 +149,14 @@ std::vector<std::uint64_t> Statevector::sample(std::size_t shots, Rng& rng) cons
 
 double Statevector::fidelity(const Statevector& a, const Statevector& b) {
   QDB_REQUIRE(a.dimension() == b.dimension(), "fidelity: dimension mismatch");
-  cplx inner{0.0, 0.0};
-  for (std::size_t i = 0; i < a.amps_.size(); ++i) {
-    inner += std::conj(a.amps_[i]) * b.amps_[i];
-  }
-  return std::norm(inner);
+  const cplx* pa = a.amps_.data();
+  const cplx* pb = b.amps_.data();
+  const auto [re, im] = parallel_reduce_pair(
+      static_cast<std::int64_t>(a.amps_.size()), [&](std::int64_t i) {
+        const cplx term = std::conj(pa[i]) * pb[i];
+        return std::pair<double, double>{term.real(), term.imag()};
+      });
+  return std::norm(cplx{re, im});
 }
 
 }  // namespace qdb

@@ -53,6 +53,11 @@ class Statevector {
 
   int num_qubits_;
   std::vector<cplx> amps_;
+  // Reusable sampling buffers (see sample()).  Logically const scratch: the
+  // simulator state is unchanged by sampling.  sample() already mutates the
+  // caller's Rng, so it was never safe to call concurrently on one instance.
+  mutable std::vector<double> cdf_scratch_;
+  mutable std::vector<double> draw_scratch_;
 };
 
 }  // namespace qdb

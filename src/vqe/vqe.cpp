@@ -4,9 +4,11 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "optimize/cobyla.h"
 #include "quantum/ansatz.h"
+#include "quantum/histogram.h"
 #include "quantum/mitigation.h"
 #include "quantum/mps.h"
 #include "quantum/statevector.h"
@@ -103,6 +105,45 @@ VqeResult VqeDriver::run() const {
 
   VqeResult result;
 
+  // Histogram-first evaluation: collapse shots to distinct bitstrings, score
+  // each distinct bitstring once (memoised across COBYLA iterations that
+  // revisit basins, batched through the allocation-free scratch kernel), and
+  // let the weights carry the multiplicity into the CVaR estimator.
+  BoundedEnergyCache cache(opt_.energy_cache_capacity);
+  struct ScoredBit {
+    std::uint64_t x;
+    double energy;
+    double weight;
+  };
+  std::vector<std::uint64_t> uncached_xs;      // reused across iterations
+  std::vector<double> uncached_es;
+  std::vector<const double*> cached;
+  auto score_histogram = [&](const Histogram& hist) {
+    // Sorted entries: deterministic arithmetic order regardless of the
+    // unordered_map's layout.
+    std::vector<ScoredBit> scored;
+    scored.reserve(hist.size());
+    for (const auto& [x, w] : sorted_entries(hist)) scored.push_back({x, 0.0, w});
+    uncached_xs.clear();
+    cached.assign(scored.size(), nullptr);
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      cached[i] = cache.find(scored[i].x);  // value pointers survive inserts
+      if (cached[i] == nullptr) uncached_xs.push_back(scored[i].x);
+    }
+    uncached_es.resize(uncached_xs.size());
+    h_.energies(uncached_xs, uncached_es);  // parallel scratch-kernel batch
+    std::size_t next_uncached = 0;
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      if (cached[i] != nullptr) {
+        scored[i].energy = *cached[i];
+      } else {
+        scored[i].energy = uncached_es[next_uncached++];
+        cache.insert(scored[i].x, scored[i].energy);
+      }
+    }
+    return scored;
+  };
+
   // Stage 1: CVaR-VQE with COBYLA.  Raw per-iteration estimates are kept:
   // the paper's "lowest/highest energy of each quantum system during
   // optimization" are their extrema.
@@ -111,18 +152,15 @@ VqeResult VqeDriver::run() const {
   const ReadoutMitigator mitigator(nq, mitigate ? opt_.noise : NoiseModel::ideal());
   const Objective objective = [&](const std::vector<double>& params) {
     const auto xs = sample_bitstrings(params, opt_.shots_per_eval, opt_.noise_trajectories);
-    double estimate;
-    if (mitigate) {
-      const Histogram corrected = mitigator.mitigate(histogram_from_shots(xs));
-      std::vector<std::pair<double, double>> samples;
-      samples.reserve(corrected.size());
-      for (const auto& [x, w] : corrected) samples.emplace_back(h_.energy(x), w);
-      estimate = cvar_weighted(std::move(samples), opt_.cvar_alpha);
-    } else {
-      std::vector<double> energies(xs.size());
-      for (std::size_t i = 0; i < xs.size(); ++i) energies[i] = h_.energy(xs[i]);
-      estimate = cvar(std::move(energies), opt_.cvar_alpha);
-    }
+    Histogram hist = histogram_from_shots(xs);
+    if (mitigate) hist = mitigator.mitigate(hist);
+    // Both the mitigated (quasi-probability) and the raw (integer-count)
+    // paths run through the weighted CVaR: one estimator, one code path.
+    const auto scored = score_histogram(hist);
+    std::vector<std::pair<double, double>> samples;
+    samples.reserve(scored.size());
+    for (const ScoredBit& s : scored) samples.emplace_back(s.energy, s.weight);
+    const double estimate = cvar_weighted(std::move(samples), opt_.cvar_alpha);
     estimates.push_back(estimate);
     return estimate;
   };
@@ -151,36 +189,37 @@ VqeResult VqeDriver::run() const {
   result.energy_range = est_hi - est_lo;
   result.mean_energy = est_sum / static_cast<double>(estimates.size());
 
-  // Stage 2: freeze the circuit, sample heavily, map bitstrings to energies.
+  // Stage 2: freeze the circuit, sample heavily, collapse the shots into a
+  // histogram and score each *distinct* bitstring once (100k shots on a
+  // <= 22-qubit register concentrate on a few hundred distinct outcomes).
   const auto final_samples =
       sample_bitstrings(result.best_params, opt_.final_shots, 2 * opt_.noise_trajectories);
   QDB_REQUIRE(!final_samples.empty(), "stage-2 sampling produced no shots");
+  const auto final_scored = score_histogram(histogram_from_shots(final_samples));
+  result.stage2_distinct = final_scored.size();
   double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  double sum = 0.0;
-  std::uint64_t best_x = final_samples.front();
-  for (std::uint64_t x : final_samples) {
-    const double e = h_.energy(x);
-    sum += e;
-    if (e < lo) {
-      lo = e;
-      best_x = x;
+  std::uint64_t best_x = final_scored.front().x;
+  for (const ScoredBit& s : final_scored) {
+    // Deterministic argmin: strict less over ascending-x order picks the
+    // smallest bitstring among exact energy ties.
+    if (s.energy < lo) {
+      lo = s.energy;
+      best_x = s.x;
     }
-    hi = std::max(hi, e);
   }
   result.sampled_min_energy = lo;
-  (void)hi;
-  (void)sum;
 
   // Classical refinement: greedy descent over one- and two-turn changes,
   // started from the lowest-energy distinct samples of the measured
-  // distribution (the quantum stage supplies the starting basins).
+  // distribution (the quantum stage supplies the starting basins).  Every
+  // candidate flip is scored through the allocation-free scratch kernel, and
+  // the independent descents fan out across threads.
   double best_e = lo;
   if (opt_.refine_bitstring) {
     const int free_turns = h_.length() - 3;
 
-    auto descend = [&](std::uint64_t x) {
-      double e = h_.energy(x);
+    auto descend = [&](std::uint64_t x, double e) {
+      FoldingHamiltonian::Scratch scratch;
       bool improved = true;
       while (improved) {
         improved = false;
@@ -189,7 +228,7 @@ VqeResult VqeDriver::run() const {
           for (std::uint64_t t = 0; t < 4; ++t) {
             const std::uint64_t cand = (x & ~(std::uint64_t{3} << (2 * k))) | (t << (2 * k));
             if (cand == x) continue;
-            const double ce = h_.energy(cand);
+            const double ce = h_.energy_scratch(cand, scratch);
             if (ce < e - 1e-12) {
               e = ce;
               x = cand;
@@ -207,7 +246,7 @@ VqeResult VqeDriver::run() const {
                 std::uint64_t cand = (x & ~(std::uint64_t{3} << (2 * k1))) | (t1 << (2 * k1));
                 cand = (cand & ~(std::uint64_t{3} << (2 * k2))) | (t2 << (2 * k2));
                 if (cand == x) continue;
-                const double ce = h_.energy(cand);
+                const double ce = h_.energy_scratch(cand, scratch);
                 if (ce < e - 1e-12) {
                   e = ce;
                   x = cand;
@@ -222,15 +261,22 @@ VqeResult VqeDriver::run() const {
       return std::pair<std::uint64_t, double>{x, e};
     };
 
-    // Pick the lowest-energy distinct starting samples.
+    // Pick the lowest-energy distinct starting samples (the histogram scores
+    // are reused — no re-evaluation of the stage-2 shots).
     std::vector<std::pair<double, std::uint64_t>> ranked;
-    ranked.reserve(final_samples.size());
-    for (std::uint64_t x : final_samples) ranked.emplace_back(h_.energy(x), x);
+    ranked.reserve(final_scored.size());
+    for (const ScoredBit& s : final_scored) ranked.emplace_back(s.energy, s.x);
     std::sort(ranked.begin(), ranked.end());
-    ranked.erase(std::unique(ranked.begin(), ranked.end()), ranked.end());
     const std::size_t starts = std::min<std::size_t>(48, ranked.size());
+    // Independent descents run in parallel; the winner is reduced serially
+    // in start order so the result is identical to the serial loop.
+    std::vector<std::pair<std::uint64_t, double>> descended(starts);
+    parallel_for(static_cast<std::int64_t>(starts), [&](std::int64_t s) {
+      const auto idx = static_cast<std::size_t>(s);
+      descended[idx] = descend(ranked[idx].second, ranked[idx].first);
+    });
     for (std::size_t s = 0; s < starts; ++s) {
-      const auto [x, e] = descend(ranked[s].second);
+      const auto [x, e] = descended[s];
       if (e < best_e) {
         best_e = e;
         best_x = x;
@@ -239,6 +285,7 @@ VqeResult VqeDriver::run() const {
   }
   result.best_bitstring = best_x;
   result.best_energy = best_e;
+  result.energy_cache_hits = cache.hits();
 
   // Resource metadata.
   result.logical_qubits = nq;

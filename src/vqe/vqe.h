@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,48 @@ struct VqeOptions {
 
   enum class Engine { Auto, Dense, Mps };
   Engine engine = Engine::Auto;    // Auto: dense <= 14 qubits, MPS above
+
+  // Bound on the per-driver bitstring -> energy memo.  COBYLA iterations
+  // revisit the same basins, so distinct bitstrings scored in earlier
+  // iterations are reused for free.  0 disables caching.
+  std::size_t energy_cache_capacity = std::size_t{1} << 18;
+};
+
+/// Bounded bitstring -> energy memo used by the histogram evaluation path.
+/// Insertions stop once the capacity is reached (the hot basins are scored
+/// in the earliest iterations, so a simple stop-inserting policy keeps the
+/// memo effective without eviction bookkeeping).  Not thread-safe; callers
+/// batch uncached lookups through FoldingHamiltonian::energies instead of
+/// sharing the cache across threads.
+class BoundedEnergyCache {
+ public:
+  explicit BoundedEnergyCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Pointer to the cached energy, or nullptr on a miss.
+  const double* find(std::uint64_t x) const {
+    const auto it = map_.find(x);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  void insert(std::uint64_t x, double e) {
+    if (map_.size() < capacity_) map_.emplace(x, e);
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, double> map_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
 };
 
 struct VqeResult {
@@ -78,6 +121,12 @@ struct VqeResult {
   std::size_t total_shots = 0;
   double modeled_exec_time_s = 0.0;  // execution-time model (see exec_time.h)
   double sim_wall_time_s = 0.0;      // actual simulator wall time
+
+  // Evaluation-pipeline telemetry: how hard the histogram collapse and the
+  // energy memo worked (stage-2 shots / distinct is the per-shot-loop
+  // speedup factor the histogram path realises).
+  std::size_t stage2_distinct = 0;    // distinct bitstrings in stage-2 shots
+  std::size_t energy_cache_hits = 0;  // memo hits across both stages
 };
 
 class VqeDriver {
