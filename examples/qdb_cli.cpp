@@ -7,14 +7,32 @@
 //   qdb evaluate <pdb_id> [method] RMSD + docking metrics for one entry
 //   qdb reference <pdb_id> <out.pdb>
 //                                  write the reference structure
+//   qdb batch [S|M|L|all] [flags]  resilient batch execution (ISSUE 2):
+//       --account               use published exec times (no simulation)
+//       --threads N             host-side parallelism (0 = all)
+//       --evals N --shots N --final-shots N
+//                               per-job VQE budgets (simulation mode)
+//       --resume <path>         checkpoint file: written crash-consistently
+//                               after every job; if it already exists,
+//                               completed pdb_ids are skipped
+//       --checkpoint <path>     alias for --resume
+//       --max-attempts K        retries per degradation rung (default 3)
+//       --fail-fast             abort after the batch drains if any job failed
+//       --fault-rate P          inject transient faults with probability P
+//                               per evaluation (deterministic per seed)
+//       --fault-seed S          fault stream seed (default: $QDB_FAULT_SEED)
 //
 // Methods: qdock (default), af2, af3, annealing, greedy, exact.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "core/qdockbank.h"
+#include "data/batch.h"
 #include "structure/pdb.h"
 
 namespace {
@@ -86,6 +104,87 @@ int cmd_evaluate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_batch(int argc, char** argv) {
+  BatchOptions opt;
+  opt.run_vqe = true;
+  opt.vqe.max_evaluations = 12;
+  opt.vqe.shots_per_eval = 128;
+  opt.vqe.final_shots = 1000;
+  std::string group = "all";
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = fault_seed_from_env(1);
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--account") opt.run_vqe = false;
+    else if (arg == "--threads") opt.threads = std::atoi(next("--threads"));
+    else if (arg == "--evals") opt.vqe.max_evaluations = std::atoi(next("--evals"));
+    else if (arg == "--shots") opt.vqe.shots_per_eval =
+        static_cast<std::size_t>(std::atoll(next("--shots")));
+    else if (arg == "--final-shots") opt.vqe.final_shots =
+        static_cast<std::size_t>(std::atoll(next("--final-shots")));
+    else if (arg == "--resume" || arg == "--checkpoint") opt.checkpoint_path = next("--resume");
+    else if (arg == "--max-attempts") opt.retry.max_attempts = std::atoi(next("--max-attempts"));
+    else if (arg == "--fail-fast") opt.fail_fast = true;
+    else if (arg == "--fault-rate") fault_rate = std::atof(next("--fault-rate"));
+    else if (arg == "--fault-seed") fault_seed =
+        static_cast<std::uint64_t>(std::atoll(next("--fault-seed")));
+    else if (arg == "S" || arg == "M" || arg == "L" || arg == "all") group = arg;
+    else throw Error("unknown batch flag '" + arg + "'");
+  }
+
+  if (fault_rate > 0.0) {
+    FaultInjector& fi = FaultInjector::instance();
+    fi.set_seed(fault_seed);
+    FaultSiteConfig cfg;
+    cfg.probability = fault_rate;
+    cfg.kind = FaultKind::Transient;
+    if (opt.run_vqe) {
+      fi.configure("vqe.stage1.evaluate", cfg);
+      fi.configure("vqe.stage2.sample", cfg);
+    } else {
+      fi.configure("batch.account", cfg);
+    }
+  }
+
+  std::vector<const DatasetEntry*> entries;
+  for (const DatasetEntry& e : qdockbank_entries()) {
+    if (group == "all" || group == group_name(e.group())) entries.push_back(&e);
+  }
+  const BatchReport r = run_batch(entries, opt);
+
+  std::printf("%-6s %-9s %-9s %-8s %-15s %12s %10s\n", "PDB", "Status", "Attempts",
+              "Engine", "Degradation", "Device(s)", "Wait(s)");
+  for (const BatchJobRecord& j : r.jobs) {
+    std::printf("%-6s %-9s %-9d %-8s %-15s %12.1f %10.1f\n", j.pdb_id.c_str(),
+                job_status_name(j.status), j.attempts,
+                j.engine_used.empty() ? "-" : j.engine_used.c_str(),
+                j.degradation.empty() ? "-" : j.degradation.c_str(), j.device_time_s,
+                j.retry_wait_s);
+    for (const std::string& line : j.failure_log) {
+      std::printf("       | %s\n", line.c_str());
+    }
+  }
+  std::printf("\n%zu jobs: %d ok, %d retried, %d degraded, %d failed "
+              "(completion %.1f%%)\n",
+              r.jobs.size(), r.count(JobStatus::Ok), r.count(JobStatus::Retried),
+              r.count(JobStatus::Degraded), r.count(JobStatus::Failed),
+              100.0 * r.completion_rate());
+  std::printf("device time %.1f h, retry wait %.1f h, cost %.0f USD\n",
+              r.total_device_hours(), r.total_retry_wait_s / 3600.0, r.total_cost_usd);
+  for (const std::string& warn : r.checkpoint_warnings) {
+    std::printf("warning: %s\n", warn.c_str());
+  }
+  if (!opt.checkpoint_path.empty()) {
+    std::printf("checkpoint: %s\n", opt.checkpoint_path.c_str());
+  }
+  return r.count(JobStatus::Failed) == 0 ? 0 : 3;
+}
+
 int cmd_reference(char** argv) {
   const DatasetEntry& e = entry_by_id(argv[2]);
   const Structure ref = reference_structure(e);
@@ -101,12 +200,14 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: qdb list [S|M|L] | info <id> | predict <id> [method] [out.pdb] "
-                 "| evaluate <id> [method] | reference <id> <out.pdb>\n");
+                 "| evaluate <id> [method] | reference <id> <out.pdb> "
+                 "| batch [S|M|L|all] [--account] [--resume <checkpoint>] [flags]\n");
     return 2;
   }
   try {
     const std::string cmd = argv[1];
     if (cmd == "list") return cmd_list(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
     if (argc >= 3 && cmd == "info") return cmd_info(argv[2]);
     if (argc >= 3 && cmd == "predict") return cmd_predict(argc, argv);
     if (argc >= 3 && cmd == "evaluate") return cmd_evaluate(argc, argv);

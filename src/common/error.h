@@ -29,6 +29,53 @@ class PreconditionError : public Error {
       : Error("precondition violated: " + what) {}
 };
 
+/// A filesystem operation failed (open / write / fsync / rename).  Typed so
+/// callers can distinguish "the disk is unhappy" from logic errors.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+// ---------------------------------------------------------------------------
+// Transient device-queue failures (ISSUE 2).  Utility-scale hardware batches
+// fail in characteristic, *retryable* ways; the batch executor's RetryPolicy
+// keys off these types.  All three are raised by the deterministic fault
+// injector (common/fault.h) and by real overload conditions (e.g. MPS
+// bond-cap overflow models a job the device-side simulator cannot honour).
+
+/// A transient device-side failure (readout spike, brief decoherence storm,
+/// dropped job).  Retrying the same job is expected to succeed.
+class TransientDeviceError : public Error {
+ public:
+  explicit TransientDeviceError(const std::string& what)
+      : Error("transient device error: " + what) {}
+};
+
+/// The shared device's scheduler evicted the job mid-queue in favour of a
+/// higher-priority tenant.  Retryable after a backoff.
+class QueuePreemptedError : public Error {
+ public:
+  explicit QueuePreemptedError(const std::string& what)
+      : Error("queue preempted: " + what) {}
+};
+
+/// Device calibration drifted past tolerance between jobs; results from this
+/// attempt are untrustworthy.  Retryable (the device recalibrates).
+class CalibrationDriftError : public Error {
+ public:
+  explicit CalibrationDriftError(const std::string& what)
+      : Error("calibration drift: " + what) {}
+};
+
+/// True for failures the batch executor may retry (the three transient
+/// device-queue errors above); false for everything else (parse errors,
+/// precondition violations, IO failures, unknown exceptions).
+inline bool is_retryable_fault(const std::exception& e) {
+  return dynamic_cast<const TransientDeviceError*>(&e) != nullptr ||
+         dynamic_cast<const QueuePreemptedError*>(&e) != nullptr ||
+         dynamic_cast<const CalibrationDriftError*>(&e) != nullptr;
+}
+
 }  // namespace qdb
 
 /// Check a precondition on public-API input; throws qdb::PreconditionError.

@@ -1,6 +1,7 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cstring>
 #include <cmath>
@@ -9,7 +10,13 @@
 #include <fstream>
 #include <sstream>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/error.h"
+#include "common/fault.h"
 
 namespace qdb {
 
@@ -362,22 +369,93 @@ class Parser {
 
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
-void write_file(const std::string& path, const std::string& contents) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-    if (ec) throw Error("cannot create directory " + p.parent_path().string() + ": " + ec.message());
+namespace {
+
+void ensure_parent_directories(const std::filesystem::path& p) {
+  if (!p.has_parent_path()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(p.parent_path(), ec);
+  if (ec) {
+    throw IoError("cannot create directory " + p.parent_path().string() + ": " + ec.message());
   }
+}
+
+}  // namespace
+
+void write_file(const std::string& path, const std::string& contents) {
+  fault_site("io.write");
+  ensure_parent_directories(std::filesystem::path(path));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot open for write: " + path);
+  if (!out) throw IoError("cannot open for write: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) throw Error("write failed: " + path);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  fault_site("io.write");
+  ensure_parent_directories(std::filesystem::path(path));
+  const std::string tmp = path + ".tmp";
+#if defined(_WIN32)
+  // No fsync portability on Windows; fall back to write + rename.
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open for write: " + tmp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) throw IoError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw IoError("rename failed: " + tmp + " -> " + path);
+  }
+#else
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw IoError("cannot open for write: " + tmp + ": " + std::strerror(errno));
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw IoError("write failed: " + tmp + ": " + why);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw IoError("fsync failed: " + tmp + ": " + why);
+  }
+  if (::close(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw IoError("close failed: " + tmp + ": " + why);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw IoError("rename failed: " + tmp + " -> " + path + ": " + why);
+  }
+  // Durability of the rename itself: fsync the containing directory
+  // (best-effort — some filesystems refuse O_RDONLY directory fds).
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
 }
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open for read: " + path);
+  if (!in) throw IoError("cannot open for read: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();

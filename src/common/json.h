@@ -86,9 +86,18 @@ class Json {
   JsonObject object_;
 };
 
-/// Write text to a file, creating parent directories; throws qdb::Error.
+/// Write text to a file, creating parent directories; throws qdb::IoError.
 void write_file(const std::string& path, const std::string& contents);
-/// Read a whole file; throws qdb::Error if unreadable.
+
+/// Crash-consistent write: the contents land in `path + ".tmp"`, are fsynced,
+/// and are then renamed over `path` (with a best-effort directory fsync).
+/// Readers therefore see either the complete old file or the complete new
+/// file, never a torn write — the guarantee the batch checkpoint and the
+/// dataset entry files rely on.  Throws qdb::IoError on any failure; on
+/// failure the destination file is untouched.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+/// Read a whole file; throws qdb::IoError if unreadable.
 std::string read_file(const std::string& path);
 
 }  // namespace qdb

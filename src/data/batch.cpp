@@ -1,76 +1,302 @@
 #include "data/batch.h"
 
+#include <algorithm>
+#include <cmath>
 #include <exception>
+#include <mutex>
+#include <unordered_map>
 
+#include "common/error.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "data/checkpoint.h"
 #include "data/reference.h"
+#include "lattice/lattice.h"
 
 namespace qdb {
 
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Retried: return "retried";
+    case JobStatus::Degraded: return "degraded";
+    case JobStatus::Failed: return "failed";
+  }
+  return "failed";
+}
+
+JobStatus job_status_from_name(std::string_view name) {
+  if (name == "ok") return JobStatus::Ok;
+  if (name == "retried") return JobStatus::Retried;
+  if (name == "degraded") return JobStatus::Degraded;
+  if (name == "failed") return JobStatus::Failed;
+  throw Error("unknown job status '" + std::string(name) + "'");
+}
+
+double RetryPolicy::backoff_s(int retry_index) const {
+  double wait = backoff_initial_s;
+  for (int i = 0; i < retry_index; ++i) {
+    wait *= backoff_multiplier;
+    if (wait >= backoff_max_s) return backoff_max_s;
+  }
+  return std::min(wait, backoff_max_s);
+}
+
+int BatchReport::count(JobStatus s) const {
+  int n = 0;
+  for (const BatchJobRecord& j : jobs) n += (j.status == s);
+  return n;
+}
+
+int BatchReport::completed() const {
+  return static_cast<int>(jobs.size()) - count(JobStatus::Failed);
+}
+
+double BatchReport::completion_rate() const {
+  if (jobs.empty()) return 1.0;
+  return static_cast<double>(completed()) / static_cast<double>(jobs.size());
+}
+
+namespace {
+
+/// Which engine a VQE configuration resolves to for a register of nq qubits
+/// (mirrors the dispatch in VqeDriver::run).
+const char* resolved_engine(const VqeOptions& vopt, int nq) {
+  const bool mps = vopt.engine == VqeOptions::Engine::Mps ||
+                   (vopt.engine == VqeOptions::Engine::Auto && nq > 14);
+  return mps ? "mps" : "dense";
+}
+
+/// One rung of the graceful-degradation ladder: a VQE configuration plus the
+/// label recorded in the report when a job first succeeds on that rung.
+struct Rung {
+  VqeOptions vqe;
+  const char* label;  // "" for the original configuration
+};
+
+/// Build the ladder for one entry: original config, then (optionally) the
+/// dense engine, then (optionally) the dense engine with a halved budget.
+std::vector<Rung> build_ladder(const DatasetEntry& e, const BatchOptions& options) {
+  VqeOptions base = options.vqe;
+  base.seed = seed_combine(fnv1a(e.pdb_id), fnv1a("batch"));
+  base.run_id = e.pdb_id;
+
+  std::vector<Rung> ladder;
+  ladder.push_back({base, ""});
+
+  const int nq = encoding_qubits(e.length());
+  VqeOptions prev = base;
+  if (options.retry.engine_fallback &&
+      std::string_view(resolved_engine(base, nq)) == "mps" && nq <= 30) {
+    VqeOptions dense = base;
+    dense.engine = VqeOptions::Engine::Dense;
+    ladder.push_back({dense, "dense-engine"});
+    prev = dense;
+  }
+  if (options.retry.budget_reduction) {
+    VqeOptions reduced = prev;
+    reduced.noise_trajectories = std::max(1, reduced.noise_trajectories / 2);
+    reduced.shots_per_eval = std::max<std::size_t>(32, reduced.shots_per_eval / 2);
+    reduced.final_shots = std::max<std::size_t>(256, reduced.final_shots / 2);
+    ladder.push_back({reduced, "reduced-budget"});
+  }
+  return ladder;
+}
+
+/// Execute one entry through the retry/degradation ladder.  Everything that
+/// can fail — including the accounting-only path — funnels through here, so
+/// both the serial and the parallel executors share one failure-log path.
+/// On a terminal failure, *fatal holds the last exception for fail_fast.
+BatchJobRecord run_one_resilient(const DatasetEntry& e, const BatchOptions& options,
+                                 std::exception_ptr* fatal) {
+  BatchJobRecord job;
+  job.pdb_id = e.pdb_id;
+  job.group = e.group();
+  job.qubits = e.qubits;
+
+  const std::vector<Rung> ladder =
+      options.run_vqe ? build_ladder(e, options)
+                      : std::vector<Rung>{{options.vqe, ""}};
+
+  int attempt_no = 0;
+  for (const Rung& rung : ladder) {
+    for (int a = 0; a < std::max(1, options.retry.max_attempts); ++a) {
+      ++attempt_no;
+      if (attempt_no > 1) {
+        // Exponential backoff, modelled into the device-queue clock (the
+        // job waits; the processor bills nothing).
+        job.retry_wait_s += options.retry.backoff_s(attempt_no - 2);
+      }
+      try {
+        // Per-attempt fault stream: deterministic in (seed, pdb_id,
+        // attempt), independent of threads, ordering, and resume.
+        FaultScope scope(e.pdb_id, attempt_no);
+        if (options.run_vqe) {
+          const FoldingHamiltonian h = entry_hamiltonian(e);
+          const VqeResult r = VqeDriver(h, rung.vqe).run();
+          job.evaluations = r.evaluations;
+          job.shots = r.total_shots;
+          job.device_time_s = r.modeled_exec_time_s;
+          job.lowest_energy = r.lowest_energy;
+          job.engine_used = resolved_engine(rung.vqe, h.num_qubits());
+        } else {
+          // The paper's own accounting: published per-fragment times.
+          fault_site("batch.account");
+          job.device_time_s = e.exec_time_s;
+          job.lowest_energy = e.lowest_energy;
+          job.engine_used = "table";
+        }
+        job.attempts = attempt_no;
+        job.degradation = rung.label;
+        job.status = attempt_no == 1 ? JobStatus::Ok
+                     : (*rung.label != '\0' ? JobStatus::Degraded : JobStatus::Retried);
+        return job;
+      } catch (const std::exception& ex) {
+        std::string line = "attempt " + std::to_string(attempt_no);
+        if (*rung.label != '\0') line += std::string(" [") + rung.label + "]";
+        line += ": ";
+        line += ex.what();
+        job.failure_log.push_back(std::move(line));
+        if (fatal != nullptr) *fatal = std::current_exception();
+        if (!is_retryable_fault(ex)) {
+          // Parse errors, precondition violations, IO failures: retrying
+          // cannot help.  Terminal immediately.
+          job.attempts = attempt_no;
+          job.status = JobStatus::Failed;
+          job.failure_log.push_back("non-retryable failure; giving up");
+          return job;
+        }
+      } catch (...) {
+        job.failure_log.push_back("attempt " + std::to_string(attempt_no) +
+                                  ": unknown exception");
+        if (fatal != nullptr) *fatal = std::current_exception();
+        job.attempts = attempt_no;
+        job.status = JobStatus::Failed;
+        return job;
+      }
+    }
+  }
+  job.attempts = attempt_no;
+  job.status = JobStatus::Failed;
+  return job;
+}
+
+/// Model the device queue in stable entry order: the simulated processor
+/// executes jobs back to back, a retried job re-enters the queue after its
+/// modelled backoff, and failed jobs consume only their waiting time.
+/// Deterministic for every thread count and resume pattern because it runs
+/// after all jobs finished, over per-job fields only.
+void finalize_schedule(BatchReport& report, const BatchOptions& options) {
+  report.total_device_time_s = 0.0;
+  report.total_retry_wait_s = 0.0;
+  double clock_s = 0.0;
+  for (BatchJobRecord& job : report.jobs) {
+    job.queue_start_s = clock_s;
+    clock_s += job.retry_wait_s + job.device_time_s;
+    report.total_device_time_s += job.device_time_s;
+    report.total_retry_wait_s += job.retry_wait_s;
+  }
+  report.total_cost_usd = report.total_device_time_s * options.usd_per_second;
+}
+
+}  // namespace
+
 BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
                       const BatchOptions& options) {
-  BatchReport report;
   const auto n = static_cast<std::int64_t>(entries.size());
-  std::vector<BatchJobRecord> jobs(entries.size());
+  const std::uint64_t fingerprint = batch_options_fingerprint(options);
 
-  // Simulate (or account) each entry independently.  Seeds derive from the
-  // entry's pdb_id — not from any shared stream — so the work is
-  // order-independent and safe to fan out.
-  auto run_entry = [&](std::int64_t i) {
-    const DatasetEntry* e = entries[static_cast<std::size_t>(i)];
-    BatchJobRecord job;
-    job.pdb_id = e->pdb_id;
-    job.group = e->group();
-    job.qubits = e->qubits;
-
-    if (options.run_vqe) {
-      const FoldingHamiltonian h = entry_hamiltonian(*e);
-      VqeOptions vopt = options.vqe;
-      vopt.seed = seed_combine(fnv1a(e->pdb_id), fnv1a("batch"));
-      vopt.run_id = e->pdb_id;
-      const VqeResult r = VqeDriver(h, vopt).run();
-      job.evaluations = r.evaluations;
-      job.shots = r.total_shots;
-      job.device_time_s = r.modeled_exec_time_s;
-      job.lowest_energy = r.lowest_energy;
-    } else {
-      // The paper's own accounting: published per-fragment execution times.
-      job.device_time_s = e->exec_time_s;
-      job.lowest_energy = e->lowest_energy;
+  // Resume: reuse records completed by a previous interrupted run.  Jobs
+  // that previously Failed are re-run — the outage may have cleared (and
+  // under a deterministic fault schedule they fail identically, keeping
+  // resumed reports byte-identical).
+  std::unordered_map<std::string, BatchJobRecord> prior;
+  if (!options.checkpoint_path.empty()) {
+    BatchReport previous;
+    if (load_batch_checkpoint(options.checkpoint_path, fingerprint, &previous)) {
+      for (BatchJobRecord& j : previous.jobs) {
+        if (j.status != JobStatus::Failed) prior.emplace(j.pdb_id, std::move(j));
+      }
     }
-    jobs[static_cast<std::size_t>(i)] = std::move(job);
+  }
+
+  std::vector<BatchJobRecord> jobs(entries.size());
+  std::vector<char> finished(entries.size(), 0);
+  std::vector<std::exception_ptr> fatal(entries.size());
+  std::vector<std::int64_t> pending;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto it = prior.find(entries[static_cast<std::size_t>(i)]->pdb_id);
+    if (it != prior.end()) {
+      jobs[static_cast<std::size_t>(i)] = std::move(it->second);
+      finished[static_cast<std::size_t>(i)] = 1;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  // Checkpointing: after each completed job, persist every finished record
+  // (in stable entry order) crash-consistently.  Serialised by a mutex; a
+  // failing write is recorded as a warning and retried on the next
+  // completion rather than killing the batch.
+  std::mutex ckpt_mu;
+  std::vector<std::string> ckpt_warnings;
+  auto checkpoint_locked = [&]() {
+    if (options.checkpoint_path.empty()) return;
+    BatchReport partial;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (finished[static_cast<std::size_t>(i)]) {
+        partial.jobs.push_back(jobs[static_cast<std::size_t>(i)]);
+      }
+    }
+    finalize_schedule(partial, options);
+    try {
+      save_batch_checkpoint(options.checkpoint_path, partial, fingerprint);
+    } catch (const std::exception& ex) {
+      ckpt_warnings.push_back(std::string("checkpoint write failed: ") + ex.what());
+    }
   };
 
+  auto run_index = [&](std::int64_t i) {
+    const DatasetEntry* e = entries[static_cast<std::size_t>(i)];
+    BatchJobRecord job =
+        run_one_resilient(*e, options, &fatal[static_cast<std::size_t>(i)]);
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    jobs[static_cast<std::size_t>(i)] = std::move(job);
+    finished[static_cast<std::size_t>(i)] = 1;
+    // The checkpoint writer is itself a fault site; scope it to the job so
+    // injected IO faults stay deterministic (attempt 0 = persistence).
+    FaultScope scope(e->pdb_id, 0);
+    checkpoint_locked();
+  };
+
+  const auto pending_n = static_cast<std::int64_t>(pending.size());
   if (options.run_vqe) {
-    // Exceptions must not escape an OpenMP region: capture per entry and
-    // rethrow the first (lowest-index) one — same error as the serial walk.
-    std::vector<std::exception_ptr> errors(entries.size());
-    parallel_for_threads(n, options.threads, [&](std::int64_t i) {
-      try {
-        run_entry(i);
-      } catch (...) {
-        errors[static_cast<std::size_t>(i)] = std::current_exception();
-      }
+    // Exceptions never escape the OpenMP region: run_one_resilient captures
+    // every per-job failure into the record (and fatal[] for fail_fast).
+    parallel_for_threads(pending_n, options.threads, [&](std::int64_t k) {
+      run_index(pending[static_cast<std::size_t>(k)]);
     });
-    for (const std::exception_ptr& err : errors) {
-      if (err) std::rethrow_exception(err);
-    }
   } else {
-    for (std::int64_t i = 0; i < n; ++i) run_entry(i);  // trivial table lookups
+    for (std::int64_t k = 0; k < pending_n; ++k) {
+      run_index(pending[static_cast<std::size_t>(k)]);  // cheap table lookups
+    }
   }
 
-  // Model the device queue after the parallel region, in stable entry order:
-  // the simulated processor still executes jobs back to back, so the report
-  // is bit-identical to the serial schedule (and across thread counts).
-  double clock_s = 0.0;
-  for (BatchJobRecord& job : jobs) {
-    job.queue_start_s = clock_s;
-    clock_s += job.device_time_s;
-    report.total_device_time_s += job.device_time_s;
-  }
+  BatchReport report;
   report.jobs = std::move(jobs);
-  report.total_cost_usd = report.total_device_time_s * options.usd_per_second;
+  finalize_schedule(report, options);
+  report.checkpoint_warnings = std::move(ckpt_warnings);
+
+  if (options.fail_fast) {
+    // Legacy semantics: surface the first (lowest-entry-index) failure as
+    // an exception after the batch drains.
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+      if (report.jobs[i].status == JobStatus::Failed && fatal[i]) {
+        std::rethrow_exception(fatal[i]);
+      }
+    }
+  }
   return report;
 }
 

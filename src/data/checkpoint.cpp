@@ -1,0 +1,202 @@
+#include "data/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/rng.h"
+
+namespace qdb {
+
+namespace {
+
+constexpr int kCheckpointVersion = 1;
+
+// --- exact double round-trip ------------------------------------------------
+
+std::int64_t double_bits(double v) {
+  std::int64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double double_from_bits(std::int64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+/// Store `v` readably and exactly (see checkpoint.h).
+void set_exact(Json& obj, const std::string& key, double v) {
+  obj.set(key, v);
+  obj.set(key + "_bits", double_bits(v));
+}
+
+double get_exact(const Json& obj, const std::string& key) {
+  const std::string bits_key = key + "_bits";
+  if (obj.contains(bits_key)) return double_from_bits(obj.at(bits_key).as_int());
+  return obj.at(key).as_double();
+}
+
+Group group_from_name(std::string_view name) {
+  if (name == "S") return Group::S;
+  if (name == "M") return Group::M;
+  if (name == "L") return Group::L;
+  throw IoError("checkpoint: unknown group '" + std::string(name) + "'");
+}
+
+// --- fingerprint ------------------------------------------------------------
+
+void fp_field(std::string& d, const char* name, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s=%.17g;", name, v);
+  d += buf;
+}
+
+void fp_field(std::string& d, const char* name, long long v) {
+  d += name;
+  d += '=';
+  d += std::to_string(v);
+  d += ';';
+}
+
+}  // namespace
+
+std::uint64_t batch_options_fingerprint(const BatchOptions& o) {
+  std::string d = "batch-checkpoint-v" + std::to_string(kCheckpointVersion) + ";";
+  fp_field(d, "run_vqe", static_cast<long long>(o.run_vqe));
+  fp_field(d, "usd_per_second", o.usd_per_second);
+  // VqeOptions fields that shape per-job results (seed and run_id are
+  // derived per pdb_id inside run_batch, so they are not part of the
+  // fingerprint).
+  fp_field(d, "reps", static_cast<long long>(o.vqe.reps));
+  fp_field(d, "max_evaluations", static_cast<long long>(o.vqe.max_evaluations));
+  fp_field(d, "shots_per_eval", static_cast<long long>(o.vqe.shots_per_eval));
+  fp_field(d, "final_shots", static_cast<long long>(o.vqe.final_shots));
+  fp_field(d, "cvar_alpha", o.vqe.cvar_alpha);
+  fp_field(d, "noise_trajectories", static_cast<long long>(o.vqe.noise_trajectories));
+  fp_field(d, "max_bond", static_cast<long long>(o.vqe.max_bond));
+  fp_field(d, "refine", static_cast<long long>(o.vqe.refine_bitstring));
+  fp_field(d, "mitigation", static_cast<long long>(o.vqe.readout_mitigation));
+  fp_field(d, "engine", static_cast<long long>(o.vqe.engine));
+  fp_field(d, "max_truncation_weight", o.vqe.max_truncation_weight);
+  // Retry policy: backoff lands in the report, so it is result-shaping.
+  fp_field(d, "max_attempts", static_cast<long long>(o.retry.max_attempts));
+  fp_field(d, "backoff_initial_s", o.retry.backoff_initial_s);
+  fp_field(d, "backoff_multiplier", o.retry.backoff_multiplier);
+  fp_field(d, "backoff_max_s", o.retry.backoff_max_s);
+  fp_field(d, "engine_fallback", static_cast<long long>(o.retry.engine_fallback));
+  fp_field(d, "budget_reduction", static_cast<long long>(o.retry.budget_reduction));
+  // Fault-injector state: a resumed golden replay must see the same faults.
+  FaultInjector& fi = FaultInjector::instance();
+  fp_field(d, "fault_seed", static_cast<long long>(fi.seed()));
+  d += "fault_sites=";
+  for (const std::string& site : fi.configured_sites()) {
+    d += site;
+    d += ',';
+  }
+  d += ';';
+  return fnv1a(d);
+}
+
+Json batch_checkpoint_json(const BatchReport& report, std::uint64_t fingerprint) {
+  Json doc = Json::object();
+  doc.set("format", "qdockbank-batch-checkpoint");
+  doc.set("version", kCheckpointVersion);
+  doc.set("options_fingerprint", static_cast<std::int64_t>(fingerprint));
+  doc.set("completed_jobs", static_cast<std::int64_t>(report.jobs.size()));
+
+  Json jobs = Json::array();
+  for (const BatchJobRecord& j : report.jobs) {
+    Json job = Json::object();
+    job.set("pdb_id", j.pdb_id);
+    job.set("group", group_name(j.group));
+    job.set("qubits", j.qubits);
+    job.set("evaluations", j.evaluations);
+    job.set("shots", static_cast<std::int64_t>(j.shots));
+    set_exact(job, "device_time_s", j.device_time_s);
+    set_exact(job, "lowest_energy", j.lowest_energy);
+    job.set("status", job_status_name(j.status));
+    job.set("attempts", j.attempts);
+    set_exact(job, "retry_wait_s", j.retry_wait_s);
+    job.set("engine_used", j.engine_used);
+    job.set("degradation", j.degradation);
+    Json log = Json::array();
+    for (const std::string& line : j.failure_log) log.push_back(line);
+    job.set("failure_log", std::move(log));
+    jobs.push_back(std::move(job));
+  }
+  doc.set("jobs", std::move(jobs));
+
+  // Human-readable summary; recomputed on load, never parsed back.
+  Json summary = Json::object();
+  summary.set("total_device_time_s", report.total_device_time_s);
+  summary.set("total_retry_wait_s", report.total_retry_wait_s);
+  summary.set("total_cost_usd", report.total_cost_usd);
+  doc.set("summary", std::move(summary));
+  return doc;
+}
+
+BatchReport batch_checkpoint_from_json(const Json& doc, std::uint64_t fingerprint) {
+  if (!doc.is_object() || !doc.contains("format") ||
+      doc.at("format").as_string() != "qdockbank-batch-checkpoint") {
+    throw IoError("checkpoint: not a qdockbank batch checkpoint document");
+  }
+  if (doc.at("version").as_int() != kCheckpointVersion) {
+    throw IoError("checkpoint: unsupported version " +
+                  std::to_string(doc.at("version").as_int()));
+  }
+  const auto stored =
+      static_cast<std::uint64_t>(doc.at("options_fingerprint").as_int());
+  if (stored != fingerprint) {
+    throw Error(
+        "checkpoint was written with different batch options (fingerprint "
+        "mismatch); refusing to resume — delete the checkpoint to start over");
+  }
+
+  BatchReport report;
+  for (const Json& job : doc.at("jobs").as_array()) {
+    BatchJobRecord j;
+    j.pdb_id = job.at("pdb_id").as_string();
+    j.group = group_from_name(job.at("group").as_string());
+    j.qubits = static_cast<int>(job.at("qubits").as_int());
+    j.evaluations = static_cast<int>(job.at("evaluations").as_int());
+    j.shots = static_cast<std::size_t>(job.at("shots").as_int());
+    j.device_time_s = get_exact(job, "device_time_s");
+    j.lowest_energy = get_exact(job, "lowest_energy");
+    j.status = job_status_from_name(job.at("status").as_string());
+    j.attempts = static_cast<int>(job.at("attempts").as_int());
+    j.retry_wait_s = get_exact(job, "retry_wait_s");
+    j.engine_used = job.at("engine_used").as_string();
+    j.degradation = job.at("degradation").as_string();
+    for (const Json& line : job.at("failure_log").as_array()) {
+      j.failure_log.push_back(line.as_string());
+    }
+    report.jobs.push_back(std::move(j));
+  }
+  return report;
+}
+
+void save_batch_checkpoint(const std::string& path, const BatchReport& report,
+                           std::uint64_t fingerprint) {
+  fault_site("batch.checkpoint");  // deterministic fault injection (ISSUE 2)
+  write_file_atomic(path, batch_checkpoint_json(report, fingerprint).dump());
+}
+
+bool load_batch_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                           BatchReport* out) {
+  if (!std::filesystem::exists(path)) return false;
+  Json doc;
+  try {
+    doc = Json::parse(read_file(path));
+  } catch (const ParseError& ex) {
+    throw IoError("checkpoint " + path + " is corrupt: " + ex.what());
+  }
+  *out = batch_checkpoint_from_json(doc, fingerprint);
+  return true;
+}
+
+}  // namespace qdb

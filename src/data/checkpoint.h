@@ -1,0 +1,50 @@
+// Crash-consistent batch checkpoints (ISSUE 2).
+//
+// After every completed job the batch executor persists the partial
+// BatchReport as JSON via write_file_atomic (tmp + fsync + rename), so a
+// killed run can resume without repeating paid device time.  Two details
+// make resumed reports *byte-identical* to uninterrupted ones:
+//
+//  * Exact doubles.  The human-readable JSON writer rounds doubles to
+//    %.10g, which does not round-trip.  Every double in the checkpoint is
+//    therefore stored twice: once as a readable number and once as its
+//    IEEE-754 bit pattern ("<key>_bits"), and the loader prefers the bits.
+//
+//  * Options fingerprint.  The checkpoint embeds a fingerprint of every
+//    option that influences per-job results (budgets, engine, retry policy,
+//    price, and the fault-injector state).  Resuming with a different
+//    configuration throws instead of silently merging incompatible runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "data/batch.h"
+
+namespace qdb {
+
+/// Fingerprint of everything that influences per-job outcomes, including
+/// the global FaultInjector configuration (so a golden fault-replay run
+/// refuses a checkpoint from a different fault schedule).
+std::uint64_t batch_options_fingerprint(const BatchOptions& options);
+
+/// Serialise a (partial) report.  queue clocks and totals are included for
+/// human inspection but recomputed from per-job fields on load.
+Json batch_checkpoint_json(const BatchReport& report, std::uint64_t fingerprint);
+
+/// Parse a checkpoint document; throws qdb::IoError on malformed input and
+/// qdb::Error when the embedded fingerprint differs from `fingerprint`.
+BatchReport batch_checkpoint_from_json(const Json& doc, std::uint64_t fingerprint);
+
+/// Atomically persist `report` to `path` (tmp + fsync + rename).
+void save_batch_checkpoint(const std::string& path, const BatchReport& report,
+                           std::uint64_t fingerprint);
+
+/// Load a checkpoint if `path` exists.  Returns false (and leaves *out
+/// untouched) when the file is absent; throws qdb::IoError on unreadable or
+/// corrupt files and qdb::Error on a fingerprint mismatch.
+bool load_batch_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                           BatchReport* out);
+
+}  // namespace qdb

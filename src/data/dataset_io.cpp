@@ -72,11 +72,14 @@ std::string entry_directory(const std::string& root, const DatasetEntry& entry) 
 void write_entry_files(const std::string& root, const DatasetEntry& entry,
                        const Structure& predicted, const VqeResult& vqe,
                        const DockingResult& docking, double ca_rmsd_vs_reference) {
+  // Crash-consistent writes (tmp + fsync + rename, throwing qdb::IoError):
+  // a dataset build killed mid-entry leaves each file either absent or
+  // complete — never torn — so an interrupted build can be resumed safely.
   const std::string dir = entry_directory(root, entry);
   write_pdb_file(predicted, dir + "/structure.pdb");
-  write_file(dir + "/metadata.json", prediction_metadata_json(entry, vqe).dump());
-  write_file(dir + "/docking.json",
-             docking_results_json(entry, docking, ca_rmsd_vs_reference).dump());
+  write_file_atomic(dir + "/metadata.json", prediction_metadata_json(entry, vqe).dump());
+  write_file_atomic(dir + "/docking.json",
+                    docking_results_json(entry, docking, ca_rmsd_vs_reference).dump());
 }
 
 }  // namespace qdb

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/fault.h"
 
 namespace qdb {
 
@@ -274,6 +275,7 @@ void MpsSimulator::apply(const Gate& g) {
 
 void MpsSimulator::apply(const Circuit& c) {
   QDB_REQUIRE(c.num_qubits() <= num_qubits_, "circuit wider than mps");
+  fault_site("engine.mps.apply");  // deterministic fault injection (ISSUE 2)
   for (const Gate& g : c.gates()) apply(g);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 
 namespace qdb {
@@ -80,6 +81,7 @@ void Statevector::apply(const Gate& g) {
 
 void Statevector::apply(const Circuit& c) {
   QDB_REQUIRE(c.num_qubits() <= num_qubits_, "circuit wider than statevector");
+  fault_site("engine.dense.apply");  // deterministic fault injection (ISSUE 2)
   for (const Gate& g : c.gates()) apply(g);
 }
 

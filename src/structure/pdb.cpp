@@ -83,7 +83,9 @@ Structure parse_pdb(std::string_view text) {
 }
 
 void write_pdb_file(const Structure& s, const std::string& path) {
-  write_file(path, to_pdb(s));
+  // Atomic (tmp + fsync + rename): dataset builds interrupted mid-write
+  // never leave a truncated structure.pdb behind.
+  write_file_atomic(path, to_pdb(s));
 }
 
 Structure read_pdb_file(const std::string& path) { return parse_pdb(read_file(path)); }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "optimize/cobyla.h"
@@ -91,6 +92,13 @@ VqeResult VqeDriver::run() const {
       if (use_mps) {
         MpsSimulator sim(nq, opt_.max_bond);
         sim.apply(noisy);
+        if (sim.truncation_weight() > opt_.max_truncation_weight) {
+          throw TransientDeviceError(
+              "mps bond-cap overflow: truncation weight " +
+              std::to_string(sim.truncation_weight()) + " exceeds bound " +
+              std::to_string(opt_.max_truncation_weight) + " at max_bond " +
+              std::to_string(opt_.max_bond) + " (retry on the dense engine)");
+        }
         s = sim.sample(want, rng);
       } else {
         Statevector sim(nq);
@@ -151,6 +159,7 @@ VqeResult VqeDriver::run() const {
   const bool mitigate = opt_.readout_mitigation && !opt_.noise.is_ideal();
   const ReadoutMitigator mitigator(nq, mitigate ? opt_.noise : NoiseModel::ideal());
   const Objective objective = [&](const std::vector<double>& params) {
+    fault_site("vqe.stage1.evaluate");  // deterministic fault injection (ISSUE 2)
     const auto xs = sample_bitstrings(params, opt_.shots_per_eval, opt_.noise_trajectories);
     Histogram hist = histogram_from_shots(xs);
     if (mitigate) hist = mitigator.mitigate(hist);
@@ -192,6 +201,7 @@ VqeResult VqeDriver::run() const {
   // Stage 2: freeze the circuit, sample heavily, collapse the shots into a
   // histogram and score each *distinct* bitstring once (100k shots on a
   // <= 22-qubit register concentrate on a few hundred distinct outcomes).
+  fault_site("vqe.stage2.sample");  // deterministic fault injection (ISSUE 2)
   const auto final_samples =
       sample_bitstrings(result.best_params, opt_.final_shots, 2 * opt_.noise_trajectories);
   QDB_REQUIRE(!final_samples.empty(), "stage-2 sampling produced no shots");

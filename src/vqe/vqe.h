@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -57,20 +58,41 @@ struct VqeOptions {
   // revisit the same basins, so distinct bitstrings scored in earlier
   // iterations are reused for free.  0 disables caching.
   std::size_t energy_cache_capacity = std::size_t{1} << 18;
+
+  // MPS fidelity guard (ISSUE 2): if the accumulated truncation weight of an
+  // MPS trajectory exceeds this bound, the run throws TransientDeviceError
+  // ("bond-cap overflow") — the signal the batch executor's degradation
+  // ladder uses to re-run the job on the dense engine.  The default
+  // (infinity) keeps the historical truncate-silently behaviour.
+  double max_truncation_weight = std::numeric_limits<double>::infinity();
 };
 
 /// Bounded bitstring -> energy memo used by the histogram evaluation path.
 /// Insertions stop once the capacity is reached (the hot basins are scored
 /// in the earliest iterations, so a simple stop-inserting policy keeps the
-/// memo effective without eviction bookkeeping).  Not thread-safe; callers
-/// batch uncached lookups through FoldingHamiltonian::energies instead of
-/// sharing the cache across threads.
+/// memo effective without eviction bookkeeping).
+///
+/// Thread-safety and the const find(): find() deliberately mutates the
+/// hit/miss counters through `mutable` members — they are observability
+/// telemetry, not logical state, so lookups stay const for callers.  The
+/// flip side is that *neither* the counters nor the map are synchronised:
+/// the cache must be owned by a single thread.  The VQE driver honours this
+/// by batching uncached lookups through FoldingHamiltonian::energies (which
+/// parallelises internally) instead of sharing the cache across threads.
 class BoundedEnergyCache {
  public:
+  /// A capacity of 0 disables the memo entirely: nothing is ever stored,
+  /// every find() is a (counted) miss, and insert() returns false.
   explicit BoundedEnergyCache(std::size_t capacity) : capacity_(capacity) {}
 
-  /// Pointer to the cached energy, or nullptr on a miss.
+  /// Pointer to the cached energy, or nullptr on a miss.  The returned
+  /// pointer stays valid across insert() calls (std::unordered_map never
+  /// invalidates value references on insertion).
   const double* find(std::uint64_t x) const {
+    if (capacity_ == 0) {
+      ++misses_;
+      return nullptr;
+    }
     const auto it = map_.find(x);
     if (it == map_.end()) {
       ++misses_;
@@ -80,8 +102,12 @@ class BoundedEnergyCache {
     return &it->second;
   }
 
-  void insert(std::uint64_t x, double e) {
-    if (map_.size() < capacity_) map_.emplace(x, e);
+  /// Store the score if there is room.  Returns true iff the entry was
+  /// newly stored (false when at capacity, capacity is 0, or the key was
+  /// already present).
+  bool insert(std::uint64_t x, double e) {
+    if (capacity_ == 0 || map_.size() >= capacity_) return false;
+    return map_.emplace(x, e).second;
   }
 
   std::size_t size() const { return map_.size(); }
@@ -92,6 +118,7 @@ class BoundedEnergyCache {
  private:
   std::size_t capacity_;
   std::unordered_map<std::uint64_t, double> map_;
+  // Mutated by the const find(); see the class comment.
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
 };

@@ -230,5 +230,43 @@ TEST(ExecTime, QueueFactorIsPerIdDeterministicAndHeavyTailed) {
   EXPECT_LT(hi, 1e6);
 }
 
+TEST(BoundedEnergyCache, CapacityZeroDisablesStorage) {
+  BoundedEnergyCache cache(0);
+  EXPECT_FALSE(cache.insert(1, 2.0));
+  EXPECT_FALSE(cache.insert(1, 2.0));  // idempotent, still refused
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  // Lookups against a disabled cache are honest misses, never hits.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BoundedEnergyCache, CountersAndCapacityBound) {
+  BoundedEnergyCache cache(2);
+  EXPECT_TRUE(cache.insert(10, 1.0));
+  EXPECT_FALSE(cache.insert(10, 9.0));  // duplicate key: not newly stored
+  EXPECT_TRUE(cache.insert(20, 2.0));
+  EXPECT_FALSE(cache.insert(30, 3.0));  // over capacity: refused
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  const double* hit = cache.find(10);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1.0);  // first value wins over the duplicate insert
+  EXPECT_NE(cache.find(20), nullptr);
+  EXPECT_EQ(cache.find(30), nullptr);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Cached value pointers survive later inserts (documented contract the
+  // VQE histogram scorer relies on).
+  BoundedEnergyCache big(1024);
+  ASSERT_TRUE(big.insert(1, 1.5));
+  const double* p = big.find(1);
+  for (std::uint64_t x = 2; x < 600; ++x) big.insert(x, static_cast<double>(x));
+  EXPECT_EQ(p, big.find(1));
+  EXPECT_EQ(*p, 1.5);
+}
+
 }  // namespace
 }  // namespace qdb
