@@ -13,7 +13,9 @@ struct Stats {
 
 Stats stats_of(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
-  const auto at = [&](double f) { return xs[static_cast<std::size_t>(f * (xs.size() - 1))]; };
+  const auto at = [&](double f) {
+    return xs[static_cast<std::size_t>(f * static_cast<double>(xs.size() - 1))];
+  };
   Stats s;
   for (double x : xs) s.mean += x;
   s.mean /= static_cast<double>(xs.size());

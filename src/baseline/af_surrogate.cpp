@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "geom/kabsch.h"

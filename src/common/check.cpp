@@ -1,0 +1,107 @@
+#include "common/check.h"
+
+#include <mutex>
+
+namespace qdb::check {
+
+namespace {
+
+/// Registry of violated sites.  Sites are function-local statics constructed
+/// on first violation, so construction (registration) is rare and a mutex is
+/// fine; counting itself is a lock-free atomic increment.
+struct Registry {
+  std::mutex mu;
+  std::vector<Site*> sites;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Require: return "REQUIRE";
+    case Kind::Assert: return "ASSERT";
+    case Kind::Ensure: return "ENSURE";
+    case Kind::Audit: return "AUDIT";
+  }
+  return "CHECK";
+}
+
+Site::Site(const char* file_, int line_, const char* expr_, Kind kind_)
+    : file(file_), line(line_), expr(expr_), kind(kind_) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.push_back(this);
+}
+
+std::vector<SiteReport> violation_report() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<SiteReport> out;
+  out.reserve(r.sites.size());
+  for (const Site* s : r.sites) {
+    const std::uint64_t n = s->violations.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    SiteReport rep;
+    rep.file = s->file;
+    rep.line = s->line;
+    rep.expr = s->expr;
+    rep.kind = s->kind;
+    rep.violations = n;
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+std::uint64_t total_violations() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const Site* s : r.sites) total += s->violations.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t total_violations(Kind kind) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const Site* s : r.sites) {
+    if (s->kind == kind) total += s->violations.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_violations() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (Site* s : r.sites) s->violations.store(0, std::memory_order_relaxed);
+}
+
+std::string format_failure(const Site& site, const std::string& detail) {
+  std::string msg = kind_name(site.kind);
+  msg += " failed at ";
+  msg += site.file;
+  msg += ':';
+  msg += std::to_string(site.line);
+  msg += ": (";
+  msg += site.expr;
+  msg += ')';
+  if (!detail.empty()) {
+    msg += " — ";  // em dash
+    msg += detail;
+  }
+  return msg;
+}
+
+void fail(Site& site, const std::string& detail) {
+  site.violations.fetch_add(1, std::memory_order_relaxed);
+  const std::string msg = format_failure(site, detail);
+  if (site.kind == Kind::Require) throw PreconditionError(msg);
+  throw ContractViolation(msg);
+}
+
+}  // namespace qdb::check

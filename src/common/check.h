@@ -1,0 +1,165 @@
+// Runtime contracts (ISSUE 3): QDB_REQUIRE / QDB_ASSERT / QDB_ENSURE /
+// QDB_AUDIT.
+//
+// QDockBank's dataset claims (lowest-energy bitstring selection, bit-exact
+// checkpoint resume, deterministic batch reports) rest on invariants that are
+// easy to break silently during refactors.  This framework makes them
+// mechanical: every invariant is a named check with a compile-time cost tier,
+// a formatted failure message carrying file:line plus the failing expression
+// and its relevant values, and a per-site violation counter.
+//
+// The four macros, by contract role:
+//
+//   QDB_REQUIRE(cond, detail)  precondition on a public API.  Always active
+//                              at every level (rejecting bad input is part of
+//                              the API, not a debugging aid).  Throws
+//                              qdb::PreconditionError.
+//   QDB_ASSERT(cond, detail)   internal invariant that is cheap to test
+//                              (comparisons, flag consistency).  Active at
+//                              level >= fast.  Throws qdb::ContractViolation.
+//   QDB_ENSURE(cond, detail)   postcondition on a function's own result.
+//                              Active at level >= fast.  Throws
+//                              qdb::ContractViolation.
+//   QDB_AUDIT(cond, detail)    expensive invariant (O(state) re-computation:
+//                              statevector norms, checkpoint round-trips,
+//                              walk re-encodings).  Active only at level
+//                              audit.  Throws qdb::ContractViolation.
+//
+// Levels are fixed at compile time with -DQDB_CHECK_LEVEL=<0|1|2>
+// (off / fast / audit; the CMake cache variable QDB_CHECK_LEVEL accepts the
+// names).  Disabled checks still *type-check* their condition and detail —
+// the branch is constant-folded away, so audit-only expressions cannot
+// bit-rot — but never evaluate them at runtime.
+//
+// `detail` is a stream expression, so failure messages can carry values:
+//
+//   QDB_AUDIT(std::abs(n2 - 1.0) < 1e-6,
+//             "statevector norm drifted: norm2=" << n2);
+//
+// Every check site registers itself (lazily, on first violation) in a
+// process-global registry with an atomic violation counter; see
+// qdb::check::violation_report() / total_violations() / reset_violations().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+// 0 = off, 1 = fast (default), 2 = audit.
+#ifndef QDB_CHECK_LEVEL
+#define QDB_CHECK_LEVEL 1
+#endif
+
+namespace qdb {
+
+/// An internal invariant or postcondition failed: the library found a bug in
+/// itself.  Unlike PreconditionError (caller handed us bad input), this is
+/// never retryable and never the user's fault.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : Error("contract violation: " + what) {}
+};
+
+namespace check {
+
+enum class Kind { Require, Assert, Ensure, Audit };
+
+const char* kind_name(Kind k);
+
+/// Compiled check level (0 off, 1 fast, 2 audit).
+constexpr int compiled_level() { return QDB_CHECK_LEVEL; }
+constexpr bool fast_enabled() { return QDB_CHECK_LEVEL >= 1; }
+constexpr bool audit_enabled() { return QDB_CHECK_LEVEL >= 2; }
+
+/// One check site (a macro expansion point).  Instances are function-local
+/// statics inside the failure branch, so registration happens lazily on the
+/// first violation; the registry therefore lists *violated* sites only.
+struct Site {
+  const char* file;
+  int line;
+  const char* expr;
+  Kind kind;
+  std::atomic<std::uint64_t> violations{0};
+
+  Site(const char* file_, int line_, const char* expr_, Kind kind_);
+};
+
+/// Snapshot of one violated site for reporting.
+struct SiteReport {
+  std::string file;
+  int line = 0;
+  std::string expr;
+  Kind kind = Kind::Assert;
+  std::uint64_t violations = 0;
+};
+
+/// All sites that have recorded at least one violation since process start
+/// (or since reset_violations()), in registration order.
+std::vector<SiteReport> violation_report();
+
+/// Sum of violation counts across all registered sites.
+std::uint64_t total_violations();
+
+/// Sum of violation counts for one kind only.
+std::uint64_t total_violations(Kind kind);
+
+/// Zero every site counter (sites stay registered).  Test helper.
+void reset_violations();
+
+/// Format the canonical failure message:
+///   "<KIND> failed at <file>:<line>: (<expr>) — <detail>"
+std::string format_failure(const Site& site, const std::string& detail);
+
+/// Count the violation against `site` and throw the kind-appropriate
+/// exception (PreconditionError for Require, ContractViolation otherwise).
+[[noreturn]] void fail(Site& site, const std::string& detail);
+
+}  // namespace check
+}  // namespace qdb
+
+/// Shared expansion: `enabled` is a compile-time constant, so disabled tiers
+/// type-check but constant-fold to nothing.  The Site is a function-local
+/// static inside the cold branch — zero cost until the first violation.
+#define QDB_CHECK_IMPL_(kind_, enabled_, cond, detail)                     \
+  do {                                                                     \
+    if constexpr (enabled_) {                                              \
+      if (!(cond)) [[unlikely]] {                                          \
+        static ::qdb::check::Site qdb_check_site_{                         \
+            __FILE__, __LINE__, #cond, ::qdb::check::Kind::kind_};         \
+        ::std::ostringstream qdb_check_os_;                                \
+        qdb_check_os_ << detail;                                           \
+        ::qdb::check::fail(qdb_check_site_, qdb_check_os_.str());          \
+      }                                                                    \
+    }                                                                      \
+  } while (0)
+
+/// Precondition on public-API input; throws qdb::PreconditionError.  Active
+/// at every check level.
+#define QDB_REQUIRE(cond, detail) QDB_CHECK_IMPL_(Require, true, cond, detail)
+
+/// Cheap internal invariant; throws qdb::ContractViolation.  Level >= fast.
+#define QDB_ASSERT(cond, detail) \
+  QDB_CHECK_IMPL_(Assert, ::qdb::check::fast_enabled(), cond, detail)
+
+/// Postcondition on a function's own result; throws qdb::ContractViolation.
+/// Level >= fast.
+#define QDB_ENSURE(cond, detail) \
+  QDB_CHECK_IMPL_(Ensure, ::qdb::check::fast_enabled(), cond, detail)
+
+/// Expensive invariant (may re-compute O(state)); throws
+/// qdb::ContractViolation.  Level audit only.
+#define QDB_AUDIT(cond, detail) \
+  QDB_CHECK_IMPL_(Audit, ::qdb::check::audit_enabled(), cond, detail)
+
+/// True when audit-tier checks are compiled in.  Use to scope setup code
+/// that only exists to feed a QDB_AUDIT:
+///
+///   if constexpr (qdb::check::audit_enabled()) {
+///     const double n2 = norm2();
+///     QDB_AUDIT(std::abs(n2 - 1.0) < 1e-6, "norm2=" << n2);
+///   }

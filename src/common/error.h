@@ -78,8 +78,6 @@ inline bool is_retryable_fault(const std::exception& e) {
 
 }  // namespace qdb
 
-/// Check a precondition on public-API input; throws qdb::PreconditionError.
-#define QDB_REQUIRE(cond, msg)                      \
-  do {                                              \
-    if (!(cond)) throw ::qdb::PreconditionError(msg); \
-  } while (0)
+// QDB_REQUIRE historically lived here; it is now part of the runtime
+// contract framework together with QDB_ASSERT / QDB_ENSURE / QDB_AUDIT.
+// Include "common/check.h" to use the macros.

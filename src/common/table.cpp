@@ -1,5 +1,6 @@
 #include "common/table.h"
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

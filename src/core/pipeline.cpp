@@ -4,6 +4,7 @@
 
 #include "baseline/af_surrogate.h"
 #include "baseline/classical.h"
+#include "common/check.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "geom/kabsch.h"

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/parallel.h"
@@ -200,6 +201,53 @@ void finalize_schedule(BatchReport& report, const BatchOptions& options) {
   report.total_cost_usd = report.total_device_time_s * options.usd_per_second;
 }
 
+/// Batch accounting contract (ISSUE 3 invariant catalog): every record the
+/// resilient executor emits must tell a self-consistent retry story.  The
+/// checks are cheap field comparisons, so they run at the default (fast)
+/// contract level on every job, serial or parallel.
+void validate_job_record(const BatchJobRecord& job, const RetryPolicy& retry) {
+  QDB_ASSERT(job.attempts >= 1,
+             "job " << job.pdb_id << ": attempts=" << job.attempts);
+  // Ladder has at most 3 rungs (original, dense-engine, reduced-budget);
+  // each rung is tried at most max(1, max_attempts) times.
+  QDB_ASSERT(job.attempts <= std::max(1, retry.max_attempts) * 3,
+             "job " << job.pdb_id << ": attempts=" << job.attempts
+                    << " exceeds ladder bound (max_attempts="
+                    << retry.max_attempts << ")");
+  QDB_ASSERT(job.retry_wait_s >= 0.0,
+             "job " << job.pdb_id << ": negative retry_wait_s=" << job.retry_wait_s);
+  switch (job.status) {
+    case JobStatus::Ok:
+      QDB_ASSERT(job.attempts == 1 && job.failure_log.empty() &&
+                     job.degradation.empty(),
+                 "job " << job.pdb_id << ": Ok but attempts=" << job.attempts
+                        << " failure_log=" << job.failure_log.size()
+                        << " degradation='" << job.degradation << "'");
+      break;
+    case JobStatus::Retried:
+      QDB_ASSERT(job.attempts > 1 && !job.failure_log.empty() &&
+                     job.degradation.empty(),
+                 "job " << job.pdb_id << ": Retried but attempts=" << job.attempts
+                        << " failure_log=" << job.failure_log.size()
+                        << " degradation='" << job.degradation << "'");
+      break;
+    case JobStatus::Degraded:
+      QDB_ASSERT(job.attempts > 1 && !job.failure_log.empty() &&
+                     !job.degradation.empty(),
+                 "job " << job.pdb_id << ": Degraded but attempts=" << job.attempts
+                        << " failure_log=" << job.failure_log.size()
+                        << " degradation='" << job.degradation << "'");
+      break;
+    case JobStatus::Failed:
+      QDB_ASSERT(!job.failure_log.empty(),
+                 "job " << job.pdb_id << ": Failed with empty failure_log");
+      QDB_ASSERT(job.device_time_s == 0.0,
+                 "job " << job.pdb_id << ": Failed but billed device_time_s="
+                        << job.device_time_s);
+      break;
+  }
+}
+
 }  // namespace
 
 BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
@@ -261,6 +309,7 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
     const DatasetEntry* e = entries[static_cast<std::size_t>(i)];
     BatchJobRecord job =
         run_one_resilient(*e, options, &fatal[static_cast<std::size_t>(i)]);
+    validate_job_record(job, options.retry);
     std::lock_guard<std::mutex> lock(ckpt_mu);
     jobs[static_cast<std::size_t>(i)] = std::move(job);
     finished[static_cast<std::size_t>(i)] = 1;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/rng.h"
@@ -183,7 +184,26 @@ BatchReport batch_checkpoint_from_json(const Json& doc, std::uint64_t fingerprin
 void save_batch_checkpoint(const std::string& path, const BatchReport& report,
                            std::uint64_t fingerprint) {
   fault_site("batch.checkpoint");  // deterministic fault injection (ISSUE 2)
-  write_file_atomic(path, batch_checkpoint_json(report, fingerprint).dump());
+  const Json doc = batch_checkpoint_json(report, fingerprint);
+  const std::string dump = doc.dump();
+  // Checkpoint round-trip audit (ISSUE 3): bit-exact resume (PR 2's golden
+  // replay) requires that parsing what we are about to write and
+  // re-serialising it reproduces the per-job records byte for byte — this
+  // exercises the _bits exact-double channel end to end before the file hits
+  // disk.  The comparison covers the "jobs" array only: the summary block is
+  // documented as recomputed on load, never parsed back.
+  if constexpr (check::audit_enabled()) {
+    const BatchReport reread =
+        batch_checkpoint_from_json(Json::parse(dump), fingerprint);
+    const std::string jobs_dump = doc.at("jobs").dump();
+    const std::string jobs_redump =
+        batch_checkpoint_json(reread, fingerprint).at("jobs").dump();
+    QDB_AUDIT(jobs_redump == jobs_dump,
+              "checkpoint job records do not round-trip byte-identically: "
+                  << jobs_dump.size() << " vs " << jobs_redump.size()
+                  << " bytes, jobs=" << report.jobs.size());
+  }
+  write_file_atomic(path, dump);
 }
 
 bool load_batch_checkpoint(const std::string& path, std::uint64_t fingerprint,

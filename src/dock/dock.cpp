@@ -5,6 +5,7 @@
 #include <limits>
 #include <tuple>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/rng.h"

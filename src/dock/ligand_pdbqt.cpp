@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/json.h"  // write_file
+#include "common/json.h"  // write_file_atomic
 #include "common/strings.h"
 
 namespace qdb {
@@ -83,7 +83,7 @@ std::string ligand_to_pdbqt(const Ligand& ligand, const Pose& pose) {
 }
 
 void write_ligand_pdbqt(const Ligand& ligand, const std::string& path) {
-  write_file(path, ligand_to_pdbqt(ligand));
+  write_file_atomic(path, ligand_to_pdbqt(ligand));
 }
 
 }  // namespace qdb

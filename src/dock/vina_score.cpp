@@ -1,5 +1,6 @@
 #include "dock/vina_score.h"
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {
@@ -39,17 +40,39 @@ Superposition superpose(const std::vector<Vec3>& moving, const std::vector<Vec3>
   Mat3 u;  // columns u_i = H v_i / sigma_i
   double sigma[3];
   for (int c = 0; c < 3; ++c) {
-    const Vec3 vc{v(0, c), v(1, c), v(2, c)};
-    const Vec3 hv = h * vc;
     sigma[c] = std::sqrt(std::max(eig.values[static_cast<std::size_t>(c)], 0.0));
-    if (sigma[c] > 1e-9) {
-      const Vec3 uc = hv / sigma[c];
-      u(0, c) = uc.x; u(1, c) = uc.y; u(2, c) = uc.z;
-    } else {
+  }
+  // Rank threshold *relative* to the dominant singular value.  An absolute
+  // cutoff (the old 1e-9) misclassifies planar protein-scale point sets:
+  // with sigma_max ~ 1e2, the numerically-zero third singular value computed
+  // through H^T H sits near sigma_max * sqrt(eps) ~ 1e-6 — well above any
+  // absolute epsilon — and dividing the noise vector H v_2 by it produced a
+  // near-zero U column and a singular "rotation" (det = 0).  Found by the
+  // QDB_AUDIT det/orthonormality checks (ISSUE 3).
+  const double rank_tol = 1e-6 * std::max(sigma[0], 1e-300);
+  for (int c = 0; c < 3; ++c) {
+    Vec3 uc{0, 0, 0};
+    bool placed = false;
+    if (sigma[c] > rank_tol) {
+      const Vec3 vc{v(0, c), v(1, c), v(2, c)};
+      uc = (h * vc) / sigma[c];
+      // Re-orthogonalise against the columns already placed: eigenvectors of
+      // H^T H for close eigenvalues carry correlated error, and U must end
+      // up exactly orthonormal for R = V D U^T to be a rotation.
+      for (int prev = 0; prev < c; ++prev) {
+        const Vec3 up{u(0, prev), u(1, prev), u(2, prev)};
+        uc -= up * uc.dot(up);
+      }
+      const double n = uc.norm();
+      if (n > 0.5) {  // genuine independent column
+        uc = uc / n;
+        placed = true;
+      }
+    }
+    if (!placed) {
       // Rank-deficient direction (planar/collinear sets): complete with a
       // unit vector orthogonal to the columns already placed (Gram-Schmidt
       // over the coordinate axes).
-      Vec3 uc{0, 0, 0};
       for (const Vec3 seed : {Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}) {
         Vec3 cand = seed;
         for (int prev = 0; prev < c; ++prev) {
@@ -61,8 +84,8 @@ Superposition superpose(const std::vector<Vec3>& moving, const std::vector<Vec3>
           break;
         }
       }
-      u(0, c) = uc.x; u(1, c) = uc.y; u(2, c) = uc.z;
     }
+    u(0, c) = uc.x; u(1, c) = uc.y; u(2, c) = uc.z;
   }
 
   // With H = sum p q^T and SVD H = U S V^T, the optimal proper rotation
@@ -72,6 +95,23 @@ Superposition superpose(const std::vector<Vec3>& moving, const std::vector<Vec3>
   Mat3 flip = Mat3::identity();
   if (d < 0) flip(2, 2) = -1.0;
   out.rotation = v * flip * u.transposed();
+
+  // Proper-rotation audit (ISSUE 3 invariant catalog): the published RMSD
+  // values are only meaningful if R is a rotation — orthonormal (R^T R = I)
+  // with det(R) = +1 (no reflection slipped through the flip correction).
+  if constexpr (check::audit_enabled()) {
+    const double det = out.rotation.determinant();
+    QDB_AUDIT(std::abs(det - 1.0) < 1e-6,
+              "Kabsch rotation determinant != +1: det=" << det);
+    const Mat3 rtr = out.rotation.transposed() * out.rotation;
+    double max_dev = 0.0;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c)
+        max_dev = std::max(max_dev,
+                           std::abs(rtr(r, c) - (r == c ? 1.0 : 0.0)));
+    QDB_AUDIT(max_dev < 1e-6,
+              "Kabsch rotation not orthonormal: max |R^T R - I| = " << max_dev);
+  }
 
   double ss = 0.0;
   for (std::size_t i = 0; i < moving.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "lattice/allocation.h"
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

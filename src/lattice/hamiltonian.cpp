@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "lattice/allocation.h"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {
@@ -47,6 +48,22 @@ void decode_turns_into(std::uint64_t x, int length, int* turns) {
   turns[1] = 1;
   for (int k = 0; k < free_turns; ++k) {
     turns[k + 2] = static_cast<int>((x >> (2 * k)) & 3);
+  }
+  // Turn-decode round trip (ISSUE 3 invariant catalog): re-encoding the
+  // decoded turns must reproduce the low 2*free_turns bits of x exactly —
+  // any mismatch means the bitstring→conformation map is broken and every
+  // energy published for x is attributed to the wrong walk.
+  if constexpr (check::audit_enabled()) {
+    std::uint64_t re = 0;
+    for (int k = 0; k < free_turns; ++k) {
+      re |= static_cast<std::uint64_t>(turns[k + 2]) << (2 * k);
+    }
+    const std::uint64_t mask = (free_turns >= 32)
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << (2 * free_turns)) - 1);
+    QDB_AUDIT(re == (x & mask),
+              "turn decode/encode round-trip mismatch: x=" << x
+                  << " re-encoded=" << re << " length=" << length);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {
@@ -129,6 +130,17 @@ SolveResult ExactSolver::solve(const FoldingHamiltonian& h) const {
   QDB_REQUIRE(std::abs(check - r.energy) < 1e-6 * (1.0 + std::abs(check)),
               "exact solver energy accounting mismatch");
   r.energy = check;
+  // Self-avoidance audit (ISSUE 3): the overlap penalty (+200 per clash)
+  // dominates every contact reward, so the *exact minimum* must be a
+  // self-avoiding walk.  This holds only for the exact solver — heuristic
+  // solvers and sampled VQE bitstrings may legitimately return clashing
+  // walks, so the check lives here and nowhere else.
+  if constexpr (check::audit_enabled()) {
+    const std::vector<IVec3> pos = walk_positions(r.turns);
+    QDB_AUDIT(is_self_avoiding(pos),
+              "exact minimum is not self-avoiding: bitstring=" << r.bitstring
+                  << " energy=" << r.energy);
+  }
   return r;
 }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

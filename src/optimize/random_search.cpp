@@ -2,6 +2,7 @@
 
 #include "optimize/random_search.h"
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

@@ -1,5 +1,6 @@
 #include "quantum/ansatz.h"
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

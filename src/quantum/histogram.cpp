@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace qdb {
 
 Histogram histogram_from_shots(const std::vector<std::uint64_t>& shots) {
   Histogram h;
   h.reserve(shots.size() / 8 + 1);
   for (std::uint64_t x : shots) h[x] += 1.0;
+  // Counts are integer-valued doubles well below 2^53, so the sum is exact
+  // and equality with the shot count is a hard invariant (ISSUE 3): every
+  // shot lands in exactly one bin.
+  if constexpr (check::audit_enabled()) {
+    const double total = histogram_total(h);
+    QDB_AUDIT(total == static_cast<double>(shots.size()),
+              "histogram total != shot count: total=" << total
+                  << " shots=" << shots.size());
+  }
   return h;
 }
 
@@ -16,6 +27,16 @@ std::vector<std::pair<std::uint64_t, double>> sorted_entries(const Histogram& h)
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return entries;
+}
+
+void validate_shot_histogram(const Histogram& h, std::size_t shots) {
+  for (const auto& [x, w] : h) {
+    QDB_ASSERT(w > 0.0 && w == static_cast<double>(static_cast<std::uint64_t>(w)),
+               "histogram bin is not a positive integer count: x=" << x << " w=" << w);
+  }
+  const double total = histogram_total(h);
+  QDB_ASSERT(total == static_cast<double>(shots),
+             "histogram total != shot count: total=" << total << " shots=" << shots);
 }
 
 double histogram_total(const Histogram& h) {

@@ -30,4 +30,12 @@ std::vector<std::pair<std::uint64_t, double>> sorted_entries(const Histogram& h)
 /// Total weight (shot count for unmitigated histograms).
 double histogram_total(const Histogram& h);
 
+/// Contract-check a shot histogram against the shot count that produced it:
+/// every bin holds a positive integer count and the bins sum to exactly
+/// `shots` (counts are integer-valued doubles far below 2^53, so equality is
+/// exact).  Throws qdb::ContractViolation (with file:line and the failing
+/// values) on corruption; a no-op when contracts are compiled off.  Consumers
+/// that persist or hand off histograms call this at the trust boundary.
+void validate_shot_histogram(const Histogram& h, std::size_t shots);
+
 }  // namespace qdb

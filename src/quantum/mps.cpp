@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
 
@@ -228,6 +229,15 @@ void MpsSimulator::apply_2q_adjacent(const std::array<std::array<cplx, 4>, 4>& u
     if (i < keep) kept_w += svd.s[static_cast<std::size_t>(i)] * svd.s[static_cast<std::size_t>(i)];
   }
   truncated_weight_ += all_w - kept_w;
+  // Truncation accounting (ISSUE 3 invariant catalog): the kept rank must
+  // respect the bond cap, and discarded weight is a sum of squares — it can
+  // only ever grow, and can dip below zero only by rounding.
+  QDB_ASSERT(keep >= 1 && keep <= max_bond_,
+             "SVD kept rank outside [1, max_bond]: keep=" << keep
+                 << " max_bond=" << max_bond_);
+  QDB_ASSERT(std::isfinite(truncated_weight_) && truncated_weight_ >= -1e-12,
+             "truncated weight not a finite non-negative sum: "
+                 << truncated_weight_);
   // Renormalise the kept weight so the state stays a unit vector.
   const double rescale = kept_w > 0.0 ? std::sqrt(all_w / kept_w) : 1.0;
 
@@ -277,6 +287,31 @@ void MpsSimulator::apply(const Circuit& c) {
   QDB_REQUIRE(c.num_qubits() <= num_qubits_, "circuit wider than mps");
   fault_site("engine.mps.apply");  // deterministic fault injection (ISSUE 2)
   for (const Gate& g : c.gates()) apply(g);
+  // Chain structural audit (ISSUE 3): adjacent site tensors must agree on
+  // their shared bond dimension, every bond must respect the cap, and the
+  // boundary bonds are trivial.  (Deliberately *not* a global-norm check:
+  // truncation renormalises locally, so the global norm is not an invariant
+  // here — see the class comment in mps.h.)
+  if constexpr (check::audit_enabled()) {
+    QDB_AUDIT(sites_.front().chi_l == 1 && sites_.back().chi_r == 1,
+              "MPS boundary bonds not trivial: chi_l0="
+                  << sites_.front().chi_l
+                  << " chi_rN=" << sites_.back().chi_r);
+    for (std::size_t q = 0; q < sites_.size(); ++q) {
+      const Site& s = sites_[q];
+      QDB_AUDIT(s.chi_l >= 1 && s.chi_r >= 1 && s.chi_l <= max_bond_ &&
+                    s.chi_r <= max_bond_,
+                "MPS bond dimension out of range at site "
+                    << q << ": chi_l=" << s.chi_l << " chi_r=" << s.chi_r
+                    << " max_bond=" << max_bond_);
+      if (q + 1 < sites_.size()) {
+        QDB_AUDIT(s.chi_r == sites_[q + 1].chi_l,
+                  "MPS bond mismatch between sites " << q << " and " << q + 1
+                      << ": chi_r=" << s.chi_r
+                      << " next chi_l=" << sites_[q + 1].chi_l);
+      }
+    }
+  }
 }
 
 cplx MpsSimulator::amplitude(std::uint64_t x) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/parallel.h"
@@ -83,6 +84,15 @@ void Statevector::apply(const Circuit& c) {
   QDB_REQUIRE(c.num_qubits() <= num_qubits_, "circuit wider than statevector");
   fault_site("engine.dense.apply");  // deterministic fault injection (ISSUE 2)
   for (const Gate& g : c.gates()) apply(g);
+  // All supported gates are unitary, so the statevector norm must survive an
+  // entire circuit to within accumulated rounding (ISSUE 3 invariant
+  // catalog).  Checked per circuit, not per gate: norm2() is O(dim).
+  if constexpr (check::audit_enabled()) {
+    const double n2 = norm2();
+    QDB_AUDIT(std::abs(n2 - 1.0) < 1e-6,
+              "statevector norm drifted after circuit: norm2=" << n2
+                  << " gates=" << c.gates().size());
+  }
 }
 
 double Statevector::probability(std::uint64_t index) const {

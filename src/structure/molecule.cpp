@@ -1,5 +1,6 @@
 #include "structure/molecule.h"
 
+#include "common/check.h"
 #include "common/error.h"
 #include "geom/kabsch.h"
 

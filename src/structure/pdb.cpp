@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/json.h"  // write_file / read_file
 #include "common/strings.h"

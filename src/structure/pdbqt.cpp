@@ -1,6 +1,6 @@
 #include "structure/pdbqt.h"
 
-#include "common/json.h"  // write_file
+#include "common/json.h"  // write_file_atomic
 #include "common/strings.h"
 
 namespace qdb {
@@ -40,7 +40,7 @@ std::string to_pdbqt_rigid(const Structure& s) {
 }
 
 void write_pdbqt_file(const Structure& s, const std::string& path) {
-  write_file(path, to_pdbqt_rigid(s));
+  write_file_atomic(path, to_pdbqt_rigid(s));
 }
 
 }  // namespace qdb

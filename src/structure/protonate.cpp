@@ -9,18 +9,29 @@ void add_polar_hydrogens(Structure& s) {
     Residue& r = s.residues[i];
     const Atom* n = r.find("N");
     const Atom* ca = r.find("CA");
-    if (n && ca && !r.find("HN")) {
+    // Copy the backbone positions *by value* before any push_back: appending
+    // the HN atom can reallocate r.atoms, after which the `ca`/`n` pointers
+    // dangle.  The old code read ca->pos through the stale pointer when
+    // placing the side-chain HZ — a use-after-free caught by the TSan build
+    // (ISSUE 3); on most runs the freed block still held the old bytes, so
+    // the bug corrupted hydrogen placement only when the allocator reused
+    // the memory first.
+    const bool has_ca = ca != nullptr;
+    const Vec3 ca_pos = has_ca ? ca->pos : Vec3{};
+    if (n && has_ca && !r.find("HN")) {
       // Amide hydrogen: along the N-CA axis, away from CA.
-      const Vec3 dir = (n->pos - ca->pos).normalized();
-      r.atoms.push_back(Atom{"HN", 'H', n->pos + dir * 1.01, 0.0});
+      const Vec3 n_pos = n->pos;
+      const Vec3 dir = (n_pos - ca_pos).normalized();
+      r.atoms.push_back(Atom{"HN", 'H', n_pos + dir * 1.01, 0.0});
     }
     // Donor hydrogen on positively charged side-chain termini.
     if (aa_charge(r.type) > 0) {
       for (const char* tip : {"CE", "CD", "CG", "CB"}) {
-        const Atom* t = r.find(tip);
+        const Atom* t = r.find(tip);  // re-found: valid after the HN insert
         if (t && t->element == 'N' && !r.find("HZ")) {
-          const Vec3 dir = ca ? (t->pos - ca->pos).normalized() : Vec3{0, 0, 1};
-          r.atoms.push_back(Atom{"HZ", 'H', t->pos + dir * 1.01, 0.0});
+          const Vec3 t_pos = t->pos;
+          const Vec3 dir = has_ca ? (t_pos - ca_pos).normalized() : Vec3{0, 0, 1};
+          r.atoms.push_back(Atom{"HZ", 'H', t_pos + dir * 1.01, 0.0});
           break;
         }
       }

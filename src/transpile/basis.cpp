@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace qdb {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "transpile/basis.h"
 

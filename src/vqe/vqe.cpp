@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/parallel.h"
@@ -52,13 +53,26 @@ double VqeDriver::cvar_weighted(std::vector<std::pair<double, double>> samples,
   const double tail = alpha * total;
   double used = 0.0, acc = 0.0;
   for (const auto& [e, w] : samples) {
+    // Zero-weight samples (readout mitigation clamps negative
+    // quasi-probabilities to 0) must be *skipped*, not treated as tail
+    // exhaustion: breaking on them returned 0/0 = NaN whenever the
+    // lowest-energy bin carried a negative quasi-probability — a silent
+    // NaN that poisoned the published lowest/highest/mean energy columns
+    // for mitigated noisy runs.  Found by the QDB_AUDIT statevector-norm
+    // check (ISSUE 3): COBYLA turned the NaN objective into NaN parameters.
+    if (w <= 0.0) continue;
     const double take = std::min(w, tail - used);
     if (take <= 0.0) break;
     acc += e * take;
     used += take;
     if (used >= tail) break;
   }
-  return acc / used;
+  // total > 0 guarantees at least one positive-weight sample was consumed.
+  const double estimate = acc / used;
+  QDB_ENSURE(used > 0.0 && std::isfinite(estimate),
+             "cvar estimate not finite: acc=" << acc << " used=" << used
+                 << " tail=" << tail);
+  return estimate;
 }
 
 VqeResult VqeDriver::run() const {
@@ -149,6 +163,11 @@ VqeResult VqeDriver::run() const {
         cache.insert(scored[i].x, scored[i].energy);
       }
     }
+    // Cache/batch zip accounting: every uncached entry was consumed exactly
+    // once — a drift here silently mis-attributes energies to bitstrings.
+    QDB_ENSURE(next_uncached == uncached_xs.size(),
+               "uncached energy batch mismatch: consumed " << next_uncached
+                   << " of " << uncached_xs.size());
     return scored;
   };
 
@@ -218,6 +237,16 @@ VqeResult VqeDriver::run() const {
     }
   }
   result.sampled_min_energy = lo;
+  // Lowest-energy bitstring audit (ISSUE 3): the published (bitstring,
+  // energy) pair is the paper's headline claim per entry.  Re-score the
+  // winner from scratch — if the memo or the batched kernel ever disagreed
+  // with the reference evaluator, the dataset entry would be silently wrong.
+  if constexpr (check::audit_enabled()) {
+    const double re = h_.energy(best_x);
+    QDB_AUDIT(re == lo,
+              "stage-2 winner energy mismatch: cached=" << lo
+                  << " recomputed=" << re << " bitstring=" << best_x);
+  }
 
   // Classical refinement: greedy descent over one- and two-turn changes,
   // started from the lowest-energy distinct samples of the measured

@@ -15,6 +15,7 @@
 // dimension tiny).  All runs are deterministic per seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -72,13 +73,15 @@ struct VqeOptions {
 /// in the earliest iterations, so a simple stop-inserting policy keeps the
 /// memo effective without eviction bookkeeping).
 ///
-/// Thread-safety and the const find(): find() deliberately mutates the
-/// hit/miss counters through `mutable` members — they are observability
-/// telemetry, not logical state, so lookups stay const for callers.  The
-/// flip side is that *neither* the counters nor the map are synchronised:
-/// the cache must be owned by a single thread.  The VQE driver honours this
-/// by batching uncached lookups through FoldingHamiltonian::energies (which
-/// parallelises internally) instead of sharing the cache across threads.
+/// Thread-safety: the *map* is unsynchronised — inserts must stay on one
+/// thread (the VQE driver honours this by batching uncached lookups through
+/// FoldingHamiltonian::energies, which parallelises internally, instead of
+/// sharing the cache across threads).  The hit/miss counters, however, are
+/// observability telemetry mutated through a const find(); they are relaxed
+/// atomics so that concurrent read-only lookups (e.g. several VQE drivers
+/// probing caches while the batch executor runs jobs in parallel, or future
+/// shared-cache experiments) never constitute a data race.  Relaxed ordering
+/// is enough: the counters carry no synchronisation meaning, only totals.
 class BoundedEnergyCache {
  public:
   /// A capacity of 0 disables the memo entirely: nothing is ever stored,
@@ -90,15 +93,15 @@ class BoundedEnergyCache {
   /// invalidates value references on insertion).
   const double* find(std::uint64_t x) const {
     if (capacity_ == 0) {
-      ++misses_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
     const auto it = map_.find(x);
     if (it == map_.end()) {
-      ++misses_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return &it->second;
   }
 
@@ -112,15 +115,15 @@ class BoundedEnergyCache {
 
   std::size_t size() const { return map_.size(); }
   std::size_t capacity() const { return capacity_; }
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   std::size_t capacity_;
   std::unordered_map<std::uint64_t, double> map_;
   // Mutated by the const find(); see the class comment.
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
 };
 
 struct VqeResult {

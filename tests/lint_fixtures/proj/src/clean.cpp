@@ -1,0 +1,19 @@
+// A file full of near-misses: everything here mentions a banned token in a
+// position the scanner must NOT flag.
+//
+// Comments: rand() srand() time() printf( std::cout new delete write_file(
+/* block comment: #pragma omp parallel for, std::ofstream f; */
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;      // deleted function, not naked delete
+  NoCopy& operator=(const NoCopy&) = delete;
+  void* operator new(unsigned long);   // operator new declaration
+  void operator delete(void*);         // operator delete declaration
+};
+const char* k_doc = "call rand() then printf(\"x\") then new int";  // literal
+const char* k_raw = R"lit(srand(1); std::cout << time(nullptr);)lit";
+const char k_quote = '"';                // char literal must not desync strings
+const long k_big = 1'000'000;            // digit separator is not a char literal
+void ok_random(int strand, int newt) { (void)strand; (void)newt; }  // substrings
+void ok_write() { write_file_atomic("out.json", "{}"); }
+double runtime(double t) { return t; }   // 'time' as a suffix, not a call
+void my_printf_like(int) {}              // 'printf' inside an identifier

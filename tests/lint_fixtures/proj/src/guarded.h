@@ -1,0 +1,3 @@
+// Clean header: guarded, no banned constructs.
+#pragma once
+inline int fixture_guarded() { return 4; }

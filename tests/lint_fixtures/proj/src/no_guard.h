@@ -1,0 +1,5 @@
+// Header deliberately missing its include guard.  Careful: the rule checks
+// the RAW text for the pragma, so this comment must not spell the two words
+// adjacently — a broken variant only:
+// #pragma   once_with_a_suffix
+inline int fixture_value() { return 3; }

@@ -1,0 +1,15 @@
+// Deliberate qdb_lint violations, one per line where possible.  This tree
+// is excluded from the repo-wide gate (directories named lint_fixtures are
+// skipped) and never compiled; test_lint.cpp scans it directly.
+int a() { return rand(); }
+unsigned b() { srand(static_cast<unsigned>(time(nullptr))); return 0u; }
+void c() { std::cout << "hello"; }
+void d() { printf("%d\n", 1); }
+int* e() { return new int(1); }
+void f(int* p) { delete p; }
+void g() { write_file("out.json", "{}"); }
+void h() { std::ofstream out("out.txt"); }
+void loop() {
+#pragma omp parallel for
+  for (int i = 0; i < 4; ++i) { (void)i; }
+}

@@ -1,0 +1,5 @@
+// Outside src/: stdout and non-atomic writes are allowed here (tests own
+// their terminal and temp files), but raw randomness is banned everywhere.
+void test_print() { printf("ok\n"); std::cout << "ok"; }
+void test_write() { std::ofstream out("tmp.txt"); write_file("tmp.json", "{}"); }
+int test_rand() { return rand(); }

@@ -1,0 +1,170 @@
+// Tests for the runtime contract framework (common/check.h): level
+// selection, message formatting, violation accounting, exception taxonomy —
+// and a deliberate break of a *library* invariant (a corrupted shot
+// histogram) to prove a violation surfaces with a file:line diagnostic
+// pointing into the library, not the test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "quantum/histogram.h"
+
+namespace qdb {
+namespace {
+
+using check::Kind;
+
+/// what() of the exception thrown by `fn`, or "" if it did not throw.
+template <typename Ex, typename Fn>
+std::string thrown_what(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Ex& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(CheckLevel, CompiledLevelIsConsistent) {
+  EXPECT_GE(check::compiled_level(), 0);
+  EXPECT_LE(check::compiled_level(), 2);
+  EXPECT_EQ(check::fast_enabled(), check::compiled_level() >= 1);
+  EXPECT_EQ(check::audit_enabled(), check::compiled_level() >= 2);
+  // Audit implies fast: there is no audit-without-assert configuration.
+  if (check::audit_enabled()) {
+    EXPECT_TRUE(check::fast_enabled());
+  }
+}
+
+TEST(CheckMacros, RequireActiveAtEveryLevel) {
+  EXPECT_NO_THROW(([&] { QDB_REQUIRE(1 + 1 == 2, "arithmetic"); }()));
+  EXPECT_THROW(([&] { QDB_REQUIRE(1 + 1 == 3, "arithmetic"); }()), PreconditionError);
+  // PreconditionError is an Error, so existing catch sites keep working.
+  EXPECT_THROW(([&] { QDB_REQUIRE(false, "x"); }()), Error);
+}
+
+TEST(CheckMacros, FailureMessageCarriesSiteAndValues) {
+  const int lhs = 7;
+  const std::string what = thrown_what<PreconditionError>(
+      [&] { QDB_REQUIRE(lhs == 9, "lhs=" << lhs << " want=" << 9); });
+  ASSERT_FALSE(what.empty());
+  // "<KIND> failed at <file>:<line>: (<expr>) — <detail>", wrapped by the
+  // exception's own prefix.
+  EXPECT_NE(what.find("REQUIRE failed at "), std::string::npos) << what;
+  EXPECT_NE(what.find("test_check.cpp:"), std::string::npos) << what;
+  EXPECT_NE(what.find("(lhs == 9)"), std::string::npos) << what;
+  EXPECT_NE(what.find("lhs=7 want=9"), std::string::npos) << what;
+}
+
+TEST(CheckMacros, AssertAndEnsureFollowFastLevel) {
+  if constexpr (check::fast_enabled()) {
+    EXPECT_THROW(([&] { QDB_ASSERT(false, "a"); }()), ContractViolation);
+    EXPECT_THROW(([&] { QDB_ENSURE(false, "e"); }()), ContractViolation);
+    const std::string what =
+        thrown_what<ContractViolation>([] { QDB_ENSURE(false, "post"); });
+    EXPECT_NE(what.find("ENSURE failed at "), std::string::npos) << what;
+  } else {
+    EXPECT_NO_THROW(([&] { QDB_ASSERT(false, "a"); }()));
+    EXPECT_NO_THROW(([&] { QDB_ENSURE(false, "e"); }()));
+  }
+}
+
+TEST(CheckMacros, AuditFollowsAuditLevel) {
+  if constexpr (check::audit_enabled()) {
+    EXPECT_THROW(([&] { QDB_AUDIT(false, "audit"); }()), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(([&] { QDB_AUDIT(false, "audit"); }()));
+  }
+}
+
+TEST(CheckMacros, DisabledTiersNeverEvaluateTheCondition) {
+  // Disabled checks must constant-fold away: the condition still
+  // type-checks, but side effects must not run.  (At audit level the branch
+  // is active, so the side effect legitimately runs and then throws.)
+  bool evaluated = false;
+  if constexpr (!check::audit_enabled()) {
+    QDB_AUDIT((evaluated = true, false), "side effect");
+    EXPECT_FALSE(evaluated);
+  } else {
+    EXPECT_THROW(([&] { QDB_AUDIT((evaluated = true, false), "side effect"); }()),
+                 ContractViolation);
+    EXPECT_TRUE(evaluated);
+  }
+}
+
+TEST(CheckAccounting, CountersAndReportTrackViolations) {
+  check::reset_violations();
+  const std::uint64_t base_total = check::total_violations();
+  EXPECT_EQ(base_total, 0u);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(([&] { QDB_REQUIRE(i < 0, "i=" << i); }()), PreconditionError);
+  }
+  EXPECT_EQ(check::total_violations(Kind::Require), 3u);
+  EXPECT_GE(check::total_violations(), 3u);
+
+  bool found = false;
+  for (const check::SiteReport& rep : check::violation_report()) {
+    if (rep.expr == std::string("i < 0")) {
+      found = true;
+      EXPECT_EQ(rep.kind, Kind::Require);
+      EXPECT_EQ(rep.violations, 3u);
+      EXPECT_NE(rep.file.find("test_check.cpp"), std::string::npos);
+      EXPECT_GT(rep.line, 0);
+    }
+  }
+  EXPECT_TRUE(found) << "violated site missing from violation_report()";
+
+  check::reset_violations();
+  EXPECT_EQ(check::total_violations(), 0u);
+  // Sites stay registered but report only non-zero counters.
+  for (const check::SiteReport& rep : check::violation_report()) {
+    EXPECT_GT(rep.violations, 0u);
+  }
+}
+
+TEST(CheckAccounting, KindTotalsAreDisjoint) {
+  if constexpr (!check::fast_enabled()) GTEST_SKIP() << "contracts compiled off";
+  check::reset_violations();
+  EXPECT_THROW(([&] { QDB_ASSERT(false, ""); }()), ContractViolation);
+  EXPECT_THROW(([&] { QDB_ENSURE(false, ""); }()), ContractViolation);
+  EXPECT_THROW(([&] { QDB_ENSURE(false, ""); }()), ContractViolation);
+  EXPECT_EQ(check::total_violations(Kind::Assert), 1u);
+  EXPECT_EQ(check::total_violations(Kind::Ensure), 2u);
+  EXPECT_EQ(check::total_violations(Kind::Require), 0u);
+  EXPECT_EQ(check::total_violations(), 3u);
+  check::reset_violations();
+}
+
+// The acceptance scenario: corrupt a real library artifact and watch the
+// library's own contract catch it, pointing at the library source line.
+TEST(CheckIntegration, CorruptedHistogramTotalIsCaughtWithFileLine) {
+  if constexpr (!check::fast_enabled()) GTEST_SKIP() << "contracts compiled off";
+  const std::vector<std::uint64_t> shots = {3, 3, 5, 7, 3, 5};
+  Histogram h = histogram_from_shots(shots);
+  EXPECT_NO_THROW(validate_shot_histogram(h, shots.size()));
+
+  h[5] += 1.0;  // a shot counted twice: total no longer matches
+  const std::string what = thrown_what<ContractViolation>(
+      [&] { validate_shot_histogram(h, shots.size()); });
+  ASSERT_FALSE(what.empty());
+  EXPECT_NE(what.find("histogram.cpp:"), std::string::npos) << what;
+  EXPECT_NE(what.find("total=7"), std::string::npos) << what;
+  EXPECT_NE(what.find("shots=6"), std::string::npos) << what;
+
+  h[5] -= 1.0;
+  h[9] = 0.5;  // a non-integer quasi-weight smuggled into a shot histogram
+  const std::string what2 = thrown_what<ContractViolation>(
+      [&] { validate_shot_histogram(h, shots.size()); });
+  ASSERT_FALSE(what2.empty());
+  EXPECT_NE(what2.find("histogram.cpp:"), std::string::npos) << what2;
+  EXPECT_NE(what2.find("w=0.5"), std::string::npos) << what2;
+  check::reset_violations();
+}
+
+}  // namespace
+}  // namespace qdb

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "common/rng.h"

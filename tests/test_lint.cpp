@@ -1,0 +1,193 @@
+// Tests for tools/qdb_lint: the comment/string stripper, each rule's hits
+// and deliberate near-misses, fixture-tree scanning, allowlist round-trip,
+// and the repo-gate property that lint_fixtures trees are skipped.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "tools/qdb_lint.h"
+
+namespace qdb::lint {
+namespace {
+
+std::vector<Diagnostic> of_rule(const std::vector<Diagnostic>& diags,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+TEST(Strip, RemovesCommentsAndLiteralsButKeepsLines) {
+  const std::string in =
+      "int a; // rand()\n"
+      "/* new\ndelete */ int b;\n"
+      "const char* s = \"printf(\\\"x\\\")\";\n"
+      "char c = '\"'; int n = 1'000;\n";
+  const std::string out = strip_comments_and_strings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_EQ(out.find("delete"), std::string::npos);
+  EXPECT_EQ(out.find("printf"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  // Digit separator must not open a char literal and eat the rest.
+  EXPECT_NE(out.find("000"), std::string::npos);
+}
+
+TEST(Strip, RawStringsAreRemovedWholesale) {
+  const std::string in = "auto s = R\"x(srand(1); std::cout;)x\"; int keep;";
+  const std::string out = strip_comments_and_strings(in);
+  EXPECT_EQ(out.find("srand"), std::string::npos);
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+  EXPECT_NE(out.find("int keep;"), std::string::npos);
+}
+
+TEST(Rules, RawRandomFiresEverywhereIncludingStdQualified) {
+  const std::string bad = "int x = rand(); std::srand(7); long t = time(nullptr);";
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", bad), "raw-random").size(), 3u);
+  EXPECT_EQ(of_rule(lint_source("tests/a.cpp", bad), "raw-random").size(), 3u);
+  // Member calls, qualified non-std calls, and substrings are not hits.
+  const std::string ok =
+      "int a = rng.rand(); int b = my::rand(); int strand = 0; "
+      "double runtime(double t); auto d = obj->time();";
+  EXPECT_TRUE(lint_source("src/a.cpp", ok).empty());
+}
+
+TEST(Rules, StdoutOnlyFiresInLibraryCode) {
+  const std::string text = "void f() { std::cout << 1; printf(\"x\"); }";
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", text), "stdout-in-library").size(), 2u);
+  EXPECT_TRUE(of_rule(lint_source("bench/a.cpp", text), "stdout-in-library").empty());
+  EXPECT_TRUE(of_rule(lint_source("tools/a.cpp", text), "stdout-in-library").empty());
+  // fprintf(stderr, ...) and an identifier containing printf are fine.
+  const std::string ok = "void g() { fprintf(stderr, \"e\"); my_printf_like(1); }";
+  EXPECT_TRUE(lint_source("src/a.cpp", ok).empty());
+}
+
+TEST(Rules, PragmaOnceRequiredInHeadersOnly) {
+  const std::string guarded = "#pragma once\nint x;\n";
+  const std::string bare = "int x;\n";
+  EXPECT_TRUE(lint_source("src/a.h", guarded).empty());
+  EXPECT_EQ(of_rule(lint_source("src/a.h", bare), "missing-pragma-once").size(), 1u);
+  EXPECT_TRUE(lint_source("src/a.cpp", bare).empty());  // not a header
+}
+
+TEST(Rules, NakedNewDeleteWithExemptions) {
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", "int* p = new int(1);"),
+                    "naked-new-delete").size(), 1u);
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", "void f(int* p) { delete p; }"),
+                    "naked-new-delete").size(), 1u);
+  const std::string ok =
+      "struct S { S(const S&) = delete; void* operator new(unsigned long); "
+      "void operator delete(void*); };";
+  EXPECT_TRUE(lint_source("src/a.cpp", ok).empty());
+}
+
+TEST(Rules, NonAtomicWriteOnlyInLibraryAndAtomicIsFine) {
+  const std::string bad = "void f() { write_file(\"a\", \"b\"); std::ofstream o(\"c\"); }";
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", bad), "non-atomic-write").size(), 2u);
+  EXPECT_TRUE(of_rule(lint_source("tests/a.cpp", bad), "non-atomic-write").empty());
+  EXPECT_TRUE(lint_source("src/a.cpp", "void g() { write_file_atomic(\"a\", \"b\"); }")
+                  .empty());
+}
+
+TEST(Rules, OmpPragmaAllowedOnlyInParallelHeader) {
+  const std::string omp = "#pragma once\n#pragma omp parallel for\nvoid f();\n";
+  EXPECT_EQ(of_rule(lint_source("src/quantum/statevector.cpp", omp),
+                    "omp-pragma").size(), 1u);
+  EXPECT_TRUE(of_rule(lint_source("src/common/parallel.h", omp), "omp-pragma").empty());
+}
+
+TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
+  const std::filesystem::path root =
+      std::filesystem::path(QDB_SOURCE_DIR) / "tests" / "lint_fixtures" / "proj";
+  ASSERT_TRUE(std::filesystem::exists(root)) << root;
+  const std::vector<Diagnostic> diags = lint_tree(root, {"src", "tests"});
+
+  EXPECT_EQ(of_rule(diags, "raw-random").size(), 4u);         // 3 in src + 1 in tests
+  EXPECT_EQ(of_rule(diags, "stdout-in-library").size(), 2u);  // src only
+  EXPECT_EQ(of_rule(diags, "naked-new-delete").size(), 2u);
+  EXPECT_EQ(of_rule(diags, "non-atomic-write").size(), 2u);   // src only
+  EXPECT_EQ(of_rule(diags, "omp-pragma").size(), 1u);
+  EXPECT_EQ(of_rule(diags, "missing-pragma-once").size(), 1u);
+  EXPECT_EQ(diags.size(), 12u);
+
+  // The near-miss file and the guarded header stay clean.
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.file, "src/clean.cpp") << format_diagnostic(d);
+    EXPECT_NE(d.file, "src/guarded.h") << format_diagnostic(d);
+    EXPECT_GT(d.line, 0);
+  }
+  // Output is deterministically ordered (path, then line, then rule).
+  for (std::size_t i = 1; i < diags.size(); ++i) {
+    const auto key = [](const Diagnostic& d) {
+      return std::make_tuple(d.file, d.line, d.rule);
+    };
+    EXPECT_LE(key(diags[i - 1]), key(diags[i]));
+  }
+}
+
+TEST(Allowlist, ParseApplyAndStaleDetectionRoundTrip) {
+  const std::string text =
+      "# comment line\n"
+      "\n"
+      "src/violations.cpp raw-random  # justified: fixture\n"
+      "src/violations.cpp omp-pragma\n"
+      "src/gone.cpp naked-new-delete  # stale: file no longer exists\n";
+  const std::vector<AllowEntry> allow = parse_allowlist(text);
+  ASSERT_EQ(allow.size(), 3u);
+  EXPECT_EQ(allow[0].file, "src/violations.cpp");
+  EXPECT_EQ(allow[0].rule, "raw-random");
+
+  const std::filesystem::path root =
+      std::filesystem::path(QDB_SOURCE_DIR) / "tests" / "lint_fixtures" / "proj";
+  std::vector<AllowEntry> unused;
+  const std::vector<Diagnostic> kept =
+      apply_allowlist(lint_tree(root, {"src", "tests"}), allow, &unused);
+
+  // 3 raw-random + 1 omp-pragma suppressed from violations.cpp; the
+  // tests/scoped.cpp raw-random hit is NOT (allowlist is per-file).
+  EXPECT_EQ(kept.size(), 12u - 4u);
+  EXPECT_EQ(of_rule(kept, "raw-random").size(), 1u);
+  EXPECT_EQ(of_rule(kept, "raw-random")[0].file, "tests/scoped.cpp");
+  EXPECT_TRUE(of_rule(kept, "omp-pragma").empty());
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].file, "src/gone.cpp");
+}
+
+TEST(RepoGate, FixtureTreesAreSkippedAndTheRepoLintsClean) {
+  // The property the ctest/CI gate relies on: scanning the real repo must
+  // not surface the planted fixture violations, and — with the checked-in
+  // allowlist — must be clean.
+  const std::filesystem::path root(QDB_SOURCE_DIR);
+  const std::vector<Diagnostic> diags =
+      lint_tree(root, {"src", "tests", "bench", "examples", "tools"});
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file.find("lint_fixtures"), std::string::npos)
+        << format_diagnostic(d);
+  }
+
+  std::ifstream allow_in(root / "tools" / "qdb_lint_allow.txt");
+  ASSERT_TRUE(allow_in.good());
+  std::ostringstream buf;
+  buf << allow_in.rdbuf();
+  std::vector<AllowEntry> unused;
+  const std::vector<Diagnostic> kept =
+      apply_allowlist(diags, parse_allowlist(buf.str()), &unused);
+  for (const Diagnostic& d : kept) ADD_FAILURE() << format_diagnostic(d);
+  for (const AllowEntry& e : unused) {
+    ADD_FAILURE() << "stale allowlist entry: " << e.file << " " << e.rule;
+  }
+}
+
+}  // namespace
+}  // namespace qdb::lint

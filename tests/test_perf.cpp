@@ -211,7 +211,7 @@ TEST(BatchExecutor, ThreadCountKnobCoversOddCounts) {
   std::vector<const DatasetEntry*> subset;
   for (const DatasetEntry* e : entries_in_group(Group::S)) {
     subset.push_back(e);
-    if (subset.size() == 3) break;
+    if (subset.size() == 5) break;
   }
   BatchOptions opt;
   opt.run_vqe = true;
@@ -223,6 +223,15 @@ TEST(BatchExecutor, ThreadCountKnobCoversOddCounts) {
   opt.threads = 3;
   const BatchReport three = run_batch(subset, opt);
   expect_reports_identical(serial, three);
+  // threads >= 4 with more jobs than threads: exercises worker reuse across
+  // jobs (the schedule where the TSan build has the most interleavings to
+  // explore) and the oversubscribed case threads > jobs via the cap.
+  opt.threads = 4;
+  const BatchReport four = run_batch(subset, opt);
+  expect_reports_identical(serial, four);
+  opt.threads = 7;
+  const BatchReport seven = run_batch(subset, opt);
+  expect_reports_identical(serial, seven);
 }
 
 /// Reference implementation of the pre-optimization sampling algorithm:

@@ -477,8 +477,12 @@ TEST(BatchResilience, FaultMatrixEverySiteFiresAndNeverCrashes) {
     ASSERT_EQ(r.jobs.size(), 2u);
     EXPECT_GE(FaultInjector::instance().fire_count(c.site), 1u);
     for (const BatchJobRecord& job : r.jobs) {
-      if (job.status != JobStatus::Ok) EXPECT_FALSE(job.failure_log.empty());
-      if (job.status == JobStatus::Failed) EXPECT_EQ(job.device_time_s, 0.0);
+      if (job.status != JobStatus::Ok) {
+        EXPECT_FALSE(job.failure_log.empty());
+      }
+      if (job.status == JobStatus::Failed) {
+        EXPECT_EQ(job.device_time_s, 0.0);
+      }
     }
     if (c.needs_checkpoint) {
       // Checkpoint writes failed (deterministically) but were downgraded to

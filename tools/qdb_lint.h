@@ -1,0 +1,81 @@
+// qdb_lint: project-specific source checker (ISSUE 3).
+//
+// clang-tidy covers general C++ hygiene; this tool enforces the handful of
+// *QDockBank-specific* conventions that keep the reproduction deterministic
+// and its artifacts durable, none of which a generic linter knows about:
+//
+//   raw-random          rand()/srand()/time() — all randomness must flow
+//                       through qdb::Rng so every run is seed-reproducible.
+//   stdout-in-library   std::cout / printf in src/ — library code returns
+//                       data; only bench/examples/tools own the terminal.
+//   missing-pragma-once headers without `#pragma once`.
+//   naked-new-delete    raw new/delete — ownership is containers and
+//                       values in this codebase (`= delete` and
+//                       `operator new/delete` declarations are exempt).
+//   non-atomic-write    write_file()/std::ofstream in src/ — dataset and
+//                       checkpoint artifacts must go through
+//                       write_file_atomic so a crash never leaves a
+//                       truncated file a resume would then trust.
+//   omp-pragma          `#pragma omp` outside common/parallel.h — all
+//                       fan-out goes through the parallel.h wrappers so the
+//                       TSan build can swap in its std::thread backend.
+//
+// The scanner strips comments, string/char literals (including raw strings)
+// and matches on identifier boundaries, so prose like "the new atom" or a
+// pattern string "rand(" never trips a rule.  Findings can be suppressed per
+// (file, rule) via an allowlist; unused allowlist entries are themselves
+// reported so suppressions cannot go stale silently.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace qdb::lint {
+
+struct Diagnostic {
+  std::string file;  ///< path relative to the scan root, '/'-separated
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One allowlist line: suppress `rule` in `file` (exact relative path).
+struct AllowEntry {
+  std::string file;
+  std::string rule;
+};
+
+/// Replace comments and string/char literal contents with spaces, preserving
+/// newlines (so byte offsets map to the same line numbers).  Handles //, /**/,
+/// "..." with escapes, '...' (but not digit separators like 1'000), and raw
+/// strings R"delim(...)delim".
+std::string strip_comments_and_strings(const std::string& text);
+
+/// Lint a single translation unit.  `relpath` decides rule applicability
+/// (library-only rules fire iff the first path component is "src").
+std::vector<Diagnostic> lint_source(const std::string& relpath, const std::string& text);
+
+/// Walk `root`/`dir` for each dir, linting every .h/.cpp file.  Directories
+/// named "lint_fixtures" are skipped so test fixtures with deliberate
+/// violations never fail the repo-wide gate.  Results are sorted by path
+/// then line for deterministic output.
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root,
+                                  const std::vector<std::string>& dirs);
+
+/// Parse allowlist text: one `<path> <rule>` pair per line, `#` comments and
+/// blank lines ignored; anything after the rule token is justification.
+std::vector<AllowEntry> parse_allowlist(const std::string& text);
+
+/// Drop diagnostics matched by the allowlist.  Entries that matched nothing
+/// are appended to `unused` (if non-null) — stale suppressions are findings
+/// too.
+std::vector<Diagnostic> apply_allowlist(const std::vector<Diagnostic>& diags,
+                                        const std::vector<AllowEntry>& allow,
+                                        std::vector<AllowEntry>* unused);
+
+/// `file:line: [rule] message` — the format compilers use, so editors and CI
+/// annotations pick the locations up for free.
+std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace qdb::lint

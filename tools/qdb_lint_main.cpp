@@ -1,0 +1,71 @@
+// qdb_lint CLI: scan the repo for project-convention violations.
+//
+//   qdb_lint [--root <dir>] [--allow <file>] [dir...]
+//
+// Default scan set is src/ tests/ bench/ examples/ tools/ under --root
+// (default: the current directory).  Exit status: 0 clean, 1 findings (or
+// stale allowlist entries), 2 usage error.  Output lines are
+// `file:line: [rule] message` so editors and CI annotations parse them.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/qdb_lint.h"
+
+int main(int argc, char** argv) {
+  using namespace qdb::lint;
+  std::string root = ".";
+  std::string allow_path;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allow" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: qdb_lint [--root <dir>] [--allow <file>] [dir...]\n");
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tests", "bench", "examples", "tools"};
+  if (allow_path.empty()) {
+    const std::string candidate = root + "/tools/qdb_lint_allow.txt";
+    if (std::ifstream(candidate).good()) allow_path = candidate;
+  }
+
+  std::vector<AllowEntry> allow;
+  if (!allow_path.empty()) {
+    std::ifstream in(allow_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "qdb_lint: cannot read allowlist %s\n", allow_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    allow = parse_allowlist(buf.str());
+  }
+
+  std::vector<AllowEntry> unused;
+  const std::vector<Diagnostic> diags =
+      apply_allowlist(lint_tree(root, dirs), allow, &unused);
+
+  for (const Diagnostic& d : diags) {
+    std::printf("%s\n", format_diagnostic(d).c_str());
+  }
+  for (const AllowEntry& e : unused) {
+    std::printf("%s: [stale-allowlist] entry '%s %s' matched nothing — remove it\n",
+                allow_path.c_str(), e.file.c_str(), e.rule.c_str());
+  }
+  if (diags.empty() && unused.empty()) {
+    std::printf("qdb_lint: clean (%zu allowlist entries)\n", allow.size());
+    return 0;
+  }
+  std::printf("qdb_lint: %zu finding(s), %zu stale allowlist entr%s\n", diags.size(),
+              unused.size(), unused.size() == 1 ? "y" : "ies");
+  return 1;
+}
