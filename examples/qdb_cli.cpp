@@ -21,18 +21,39 @@
 //       --fault-rate P          inject transient faults with probability P
 //                               per evaluation (deterministic per seed)
 //       --fault-seed S          fault stream seed (default: $QDB_FAULT_SEED)
+//   qdb ingest <dataset_root> <store_root>
+//                                  ingest a §4.2 dataset tree into the
+//                                  content-addressed store (dedup + index)
+//   qdb serve <store_root> [flags] serve the store over HTTP/1.1 (ISSUE 4):
+//       --port P                bind port (default 8080; 0 = ephemeral)
+//       --host H                bind address (default 127.0.0.1)
+//       --threads N             worker pool size (default 4)
+//       --cache N               LRU blob-cache capacity in entries
+//                               (default 256; 0 disables)
+//       runs until SIGINT/SIGTERM, then shuts down cleanly and prints a
+//       final metrics summary
+//   qdb get <host> <port> <target>
+//                                  one GET via the in-tree client; prints
+//                                  the body (CI smoke checks)
 //
 // Methods: qdock (default), af2, af3, annealing, greedy, exact.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
 #include "common/fault.h"
 #include "core/qdockbank.h"
 #include "data/batch.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "store/store.h"
 #include "structure/pdb.h"
 
 namespace {
@@ -194,6 +215,93 @@ int cmd_reference(char** argv) {
   return 0;
 }
 
+int cmd_ingest(char** argv) {
+  store::Store s(argv[3]);
+  const store::IngestStats st = s.ingest_dataset(argv[2]);
+  const store::StoreStats total = s.stats();
+  std::printf("ingested %zu entries (%zu artifacts) from %s\n", st.entries_seen,
+              st.artifacts_seen, argv[2]);
+  std::printf("  new blobs        %zu (%llu bytes)\n", st.blobs_written,
+              static_cast<unsigned long long>(st.bytes_written));
+  std::printf("  deduplicated     %zu\n", st.blobs_deduplicated);
+  std::printf("store now: %zu entries, %zu blobs, %llu blob bytes "
+              "(%llu logical)\n",
+              total.entries, total.blobs,
+              static_cast<unsigned long long>(total.blob_bytes),
+              static_cast<unsigned long long>(total.logical_bytes));
+  std::printf("index: %s\n", s.index_path().c_str());
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServeOptions opt;
+  opt.port = 8080;
+  std::size_t cache_capacity = 256;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--port") opt.port = static_cast<std::uint16_t>(std::atoi(next("--port")));
+    else if (arg == "--host") opt.host = next("--host");
+    else if (arg == "--threads") opt.threads = std::atoi(next("--threads"));
+    else if (arg == "--cache") cache_capacity =
+        static_cast<std::size_t>(std::atoll(next("--cache")));
+    else throw Error("unknown serve flag '" + arg + "'");
+  }
+
+  store::Store s(argv[2], cache_capacity);
+  if (s.entries().empty()) {
+    throw Error(std::string("store '") + argv[2] +
+                "' has no index — run `qdb ingest` first");
+  }
+  serve::DatasetServer server(s, opt);
+  server.start();
+  std::printf("qdb: serving %zu entries on http://%s:%u (%d workers, "
+              "cache %zu)\n",
+              s.entries().size(), opt.host.c_str(), server.port(), opt.threads,
+              cache_capacity);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  const serve::ServerMetrics& m = server.metrics();
+  const std::uint64_t total = m.requests_total.load(std::memory_order_relaxed);
+  std::printf("qdb: shut down cleanly after %llu requests "
+              "(2xx %llu, 3xx %llu, 4xx %llu, 5xx %llu)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(
+                  m.responses_2xx.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  m.responses_3xx.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  m.responses_4xx.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  m.responses_5xx.load(std::memory_order_relaxed)));
+  std::printf("  blob cache: %zu hits, %zu misses (hit rate %.1f%%)\n",
+              s.cache().hits(), s.cache().misses(), 100.0 * s.cache().hit_rate());
+  return 0;
+}
+
+int cmd_get(char** argv) {
+  serve::HttpClient client(argv[2], static_cast<std::uint16_t>(std::atoi(argv[3])));
+  const serve::HttpClientResponse r = client.get(argv[4]);
+  std::fprintf(stderr, "HTTP %d\n", r.status);
+  std::fputs(r.body.c_str(), stdout);
+  if (!r.body.empty() && r.body.back() != '\n') std::printf("\n");
+  return r.status < 400 ? 0 : 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,7 +309,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: qdb list [S|M|L] | info <id> | predict <id> [method] [out.pdb] "
                  "| evaluate <id> [method] | reference <id> <out.pdb> "
-                 "| batch [S|M|L|all] [--account] [--resume <checkpoint>] [flags]\n");
+                 "| batch [S|M|L|all] [--account] [--resume <checkpoint>] [flags] "
+                 "| ingest <dataset_root> <store_root> "
+                 "| serve <store_root> [--port P] [--host H] [--threads N] [--cache N] "
+                 "| get <host> <port> <target>\n");
     return 2;
   }
   try {
@@ -212,6 +323,9 @@ int main(int argc, char** argv) {
     if (argc >= 3 && cmd == "predict") return cmd_predict(argc, argv);
     if (argc >= 3 && cmd == "evaluate") return cmd_evaluate(argc, argv);
     if (argc >= 4 && cmd == "reference") return cmd_reference(argv);
+    if (argc >= 4 && cmd == "ingest") return cmd_ingest(argv);
+    if (argc >= 3 && cmd == "serve") return cmd_serve(argc, argv);
+    if (argc >= 5 && cmd == "get") return cmd_get(argv);
     std::fprintf(stderr, "qdb: bad arguments for '%s'\n", cmd.c_str());
     return 2;
   } catch (const std::exception& ex) {

@@ -27,7 +27,9 @@
 //
 // Registered sites (kept in one place so the fault-matrix test can sweep
 // them):  vqe.stage1.evaluate, vqe.stage2.sample, engine.dense.apply,
-// engine.mps.apply, io.write, batch.account, batch.checkpoint.
+// engine.mps.apply, io.write, batch.account, batch.checkpoint,
+// store.ingest.io (before each new blob write), store.index.write (before
+// the store index rewrite).
 #pragma once
 
 #include <atomic>

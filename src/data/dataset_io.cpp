@@ -1,9 +1,53 @@
 #include "data/dataset_io.h"
 
+#include "common/error.h"
 #include "data/protein_class.h"
 #include "structure/pdb.h"
 
 namespace qdb {
+
+namespace {
+
+// Field accessors that turn common/json.h's generic type errors into
+// ParseErrors naming the missing/mistyped field — the difference between
+// "json type mismatch" and "metadata.json: missing field 'qubits'" when an
+// ingest trips over a hand-edited document.
+const Json& field(const Json& obj, const char* key) {
+  if (!obj.contains(key)) {
+    throw ParseError(std::string("missing field '") + key + "'");
+  }
+  return obj.at(key);
+}
+
+int int_field(const Json& obj, const char* key) {
+  return static_cast<int>(field(obj, key).as_int());
+}
+
+double double_field(const Json& obj, const char* key) {
+  return field(obj, key).as_double();
+}
+
+std::string string_field(const Json& obj, const char* key) {
+  return field(obj, key).as_string();
+}
+
+PredictionNumbers parse_numbers(const Json& obj, bool measured) {
+  PredictionNumbers n;
+  n.qubits = int_field(obj, "qubits");
+  n.circuit_depth = int_field(obj, "circuit_depth");
+  n.lowest_energy = double_field(obj, "lowest_energy");
+  n.highest_energy = double_field(obj, "highest_energy");
+  n.energy_range = double_field(obj, "energy_range");
+  n.exec_time_s = double_field(obj, "exec_time_s");
+  if (measured) {
+    n.logical_qubits = int_field(obj, "logical_qubits");
+    n.evaluations = int_field(obj, "evaluations");
+    n.total_shots = field(obj, "total_shots").as_int();
+  }
+  return n;
+}
+
+}  // namespace
 
 Json prediction_metadata_json(const DatasetEntry& entry, const VqeResult& vqe) {
   Json j = Json::object();
@@ -80,6 +124,47 @@ void write_entry_files(const std::string& root, const DatasetEntry& entry,
   write_file_atomic(dir + "/metadata.json", prediction_metadata_json(entry, vqe).dump());
   write_file_atomic(dir + "/docking.json",
                     docking_results_json(entry, docking, ca_rmsd_vs_reference).dump());
+}
+
+PredictionMetadata parse_prediction_metadata(const Json& doc) {
+  PredictionMetadata m;
+  m.pdb_id = string_field(doc, "pdb_id");
+  m.sequence = string_field(doc, "sequence");
+  m.sequence_length = int_field(doc, "sequence_length");
+  m.group = string_field(doc, "group");
+  m.protein_class = string_field(doc, "protein_class");
+  const Json& residues = field(doc, "residues");
+  m.residue_start = int_field(residues, "start");
+  m.residue_end = int_field(residues, "end");
+  m.measured = parse_numbers(field(doc, "measured"), /*measured=*/true);
+  m.published = parse_numbers(field(doc, "published"), /*measured=*/false);
+  return m;
+}
+
+DockingSummary parse_docking_results(const Json& doc) {
+  DockingSummary d;
+  d.pdb_id = string_field(doc, "pdb_id");
+  for (const Json& a : field(doc, "run_best_affinity").as_array()) {
+    d.run_best.push_back(a.as_double());
+  }
+  const std::int64_t num_runs = field(doc, "num_runs").as_int();
+  if (num_runs != static_cast<std::int64_t>(d.run_best.size())) {
+    throw ParseError("docking.json: num_runs (" + std::to_string(num_runs) +
+                     ") disagrees with run_best_affinity length (" +
+                     std::to_string(d.run_best.size()) + ")");
+  }
+  d.best_affinity = double_field(doc, "best_affinity");
+  d.mean_affinity = double_field(doc, "mean_affinity");
+  d.pose_rmsd_lb_mean = double_field(doc, "pose_rmsd_lb_mean");
+  d.pose_rmsd_ub_mean = double_field(doc, "pose_rmsd_ub_mean");
+  d.ca_rmsd_vs_reference = double_field(doc, "ca_rmsd_vs_reference");
+  for (const Json& p : field(doc, "top_poses").as_array()) {
+    DockingSummaryPose pose;
+    pose.affinity = double_field(p, "affinity");
+    pose.run = int_field(p, "run");
+    d.top_poses.push_back(pose);
+  }
+  return d;
 }
 
 }  // namespace qdb

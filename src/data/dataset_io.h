@@ -6,7 +6,9 @@
 //   <root>/<S|M|L>/<pdb_id>/docking.json     docking results (20 seeds)
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "data/registry.h"
@@ -32,5 +34,62 @@ std::string entry_directory(const std::string& root, const DatasetEntry& entry);
 void write_entry_files(const std::string& root, const DatasetEntry& entry,
                        const Structure& predicted, const VqeResult& vqe,
                        const DockingResult& docking, double ca_rmsd_vs_reference);
+
+// --- readers (ISSUE 4) ------------------------------------------------------
+//
+// The inverse of the two writers above: typed views over the JSON documents,
+// used by the artifact store at ingest (to extract the filterable query
+// fields without re-running anything) and by the round-trip tests that pin
+// writer and reader to the same schema.  All parsers throw qdb::ParseError
+// on missing or mistyped fields, naming the field.
+
+/// The "measured" / "published" number blocks of metadata.json.  Fields the
+/// published block does not carry stay at their defaults.
+struct PredictionNumbers {
+  int qubits = 0;
+  int circuit_depth = 0;
+  double lowest_energy = 0.0;
+  double highest_energy = 0.0;
+  double energy_range = 0.0;
+  double exec_time_s = 0.0;
+  // Measured-only fields.
+  int logical_qubits = 0;
+  int evaluations = 0;
+  std::int64_t total_shots = 0;
+};
+
+/// Typed view of a metadata.json document.
+struct PredictionMetadata {
+  std::string pdb_id;
+  std::string sequence;
+  std::string group;          // "S" | "M" | "L"
+  std::string protein_class;
+  int sequence_length = 0;
+  int residue_start = 0;
+  int residue_end = 0;
+  PredictionNumbers measured;
+  PredictionNumbers published;
+};
+
+PredictionMetadata parse_prediction_metadata(const Json& doc);
+
+/// Typed view of a docking.json document.
+struct DockingSummaryPose {
+  double affinity = 0.0;
+  int run = 0;
+};
+
+struct DockingSummary {
+  std::string pdb_id;
+  std::vector<double> run_best;
+  double best_affinity = 0.0;
+  double mean_affinity = 0.0;
+  double pose_rmsd_lb_mean = 0.0;
+  double pose_rmsd_ub_mean = 0.0;
+  double ca_rmsd_vs_reference = 0.0;
+  std::vector<DockingSummaryPose> top_poses;
+};
+
+DockingSummary parse_docking_results(const Json& doc);
 
 }  // namespace qdb

@@ -1,5 +1,8 @@
 #include "data/registry.h"
 
+#include <string_view>
+#include <unordered_map>
+
 #include "common/error.h"
 
 namespace qdb {
@@ -94,10 +97,25 @@ const std::vector<DatasetEntry>& qdockbank_entries() {
 }
 
 const DatasetEntry& entry_by_id(std::string_view pdb_id) {
-  for (const DatasetEntry& e : qdockbank_entries()) {
-    if (pdb_id == e.pdb_id) return e;
+  // Hash-indexed lookup (ISSUE 4): the dataset server resolves an entry per
+  // request, so the old O(n) scan over all 55 records sat on the hot path.
+  // The index is built lazily on first use; C++ guarantees the function-local
+  // static initialiser runs exactly once even under concurrent first calls,
+  // and the map is immutable afterwards — safe to share across the server's
+  // worker pool without locking.  Keys are string_views into the registry's
+  // static storage, so the index adds no string allocations.
+  static const std::unordered_map<std::string_view, const DatasetEntry*> index = [] {
+    std::unordered_map<std::string_view, const DatasetEntry*> m;
+    const std::vector<DatasetEntry>& entries = qdockbank_entries();
+    m.reserve(entries.size());
+    for (const DatasetEntry& e : entries) m.emplace(e.pdb_id, &e);
+    return m;
+  }();
+  const auto it = index.find(pdb_id);
+  if (it == index.end()) {
+    throw Error("unknown QDockBank entry '" + std::string(pdb_id) + "'");
   }
-  throw Error("unknown QDockBank entry '" + std::string(pdb_id) + "'");
+  return *it->second;
 }
 
 std::vector<const DatasetEntry*> entries_in_group(Group g) {

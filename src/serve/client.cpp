@@ -1,0 +1,99 @@
+#include "serve/client.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace qdb::serve {
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+void HttpClient::close() {
+  sock_.close();
+  buffer_.clear();
+}
+
+void HttpClient::ensure_connected() {
+  if (!sock_.valid()) {
+    sock_ = tcp_connect(host_, port_);
+    buffer_.clear();
+  }
+}
+
+HttpClientResponse HttpClient::get(
+    const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  const bool fresh = !sock_.valid();
+  try {
+    return get_once(target, extra_headers);
+  } catch (const IoError&) {
+    if (fresh) throw;  // a brand-new connection failing is a real error
+    // A stale keep-alive connection the server has since closed: reconnect
+    // once and retry (idempotent — only GETs go through here).
+    close();
+    return get_once(target, extra_headers);
+  }
+}
+
+HttpClientResponse HttpClient::get_once(
+    const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  ensure_connected();
+
+  std::string request = "GET " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  request += "Connection: keep-alive\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  send_all(sock_, request);
+
+  // Read until the head is complete.
+  char chunk[4096];
+  std::size_t head_end;
+  for (;;) {
+    head_end = buffer_.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    const std::size_t n = recv_some(sock_, chunk, sizeof chunk);
+    if (n == 0) throw IoError("connection closed before response head");
+    buffer_.append(chunk, n);
+  }
+
+  HttpClientResponse response;
+  if (!parse_response_head(std::string_view(buffer_).substr(0, head_end), &response)) {
+    throw ParseError("malformed HTTP response head");
+  }
+  buffer_.erase(0, head_end + 4);
+
+  std::size_t body_size = 0;
+  if (response.status != 204 && response.status != 304) {
+    const std::string* len = response.header("content-length");
+    if (len == nullptr) throw ParseError("response lacks Content-Length");
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(len->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      throw ParseError("bad Content-Length '" + *len + "'");
+    }
+    body_size = static_cast<std::size_t>(v);
+  }
+
+  while (buffer_.size() < body_size) {
+    const std::size_t n = recv_some(sock_, chunk, sizeof chunk);
+    if (n == 0) throw IoError("connection closed mid-body");
+    buffer_.append(chunk, n);
+  }
+  response.body = buffer_.substr(0, body_size);
+  buffer_.erase(0, body_size);
+
+  // Honour a server-side close so the next get() reconnects cleanly.
+  const std::string* conn = response.header("connection");
+  if (conn != nullptr && *conn == "close") {
+    sock_.close();
+    buffer_.clear();
+  }
+  return response;
+}
+
+}  // namespace qdb::serve

@@ -1,0 +1,49 @@
+// Minimal blocking HTTP/1.1 client for the dataset service (ISSUE 4).
+//
+// Used by the serve tests, the CI serve-smoke job, and `qdb_cli get` — a
+// dependency-free way to exercise the full endpoint matrix (including
+// If-None-Match/304 handling) against a live server.  One HttpClient holds
+// one keep-alive connection; it is NOT thread-safe — give each thread its
+// own instance (the concurrent-load golden test does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/http.h"
+#include "serve/net_socket.h"
+
+namespace qdb::serve {
+
+class HttpClient {
+ public:
+  /// Lazily connects on first use.
+  HttpClient(std::string host, std::uint16_t port);
+
+  /// GET `target` (path + optional query), with optional extra headers
+  /// (e.g. {"If-None-Match", etag}).  Reuses the keep-alive connection and
+  /// transparently reconnects once if the server closed it between
+  /// requests.  Throws qdb::IoError when the server is unreachable and
+  /// qdb::ParseError on a malformed response.
+  HttpClientResponse get(
+      const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
+  /// Drop the connection (next get() reconnects).
+  void close();
+
+ private:
+  HttpClientResponse get_once(
+      const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers);
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  Socket sock_;
+  std::string buffer_;  ///< bytes received beyond the previous response
+};
+
+}  // namespace qdb::serve

@@ -1,0 +1,60 @@
+#include "serve/metrics.h"
+
+namespace qdb::serve {
+
+Json LatencyHistogram::to_json() const {
+  Json buckets = Json::array();
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b <= kBuckets; ++b) {
+    cumulative += counts_[b].load(std::memory_order_relaxed);
+    Json bucket = Json::object();
+    if (b < kBuckets) {
+      bucket.set("le_us", static_cast<std::int64_t>(std::uint64_t{1} << b));
+    } else {
+      bucket.set("le_us", "+Inf");
+    }
+    bucket.set("count", static_cast<std::int64_t>(cumulative));
+    buckets.push_back(std::move(bucket));
+  }
+  Json j = Json::object();
+  j.set("buckets", std::move(buckets));
+  j.set("count", static_cast<std::int64_t>(cumulative));
+  j.set("total_us", static_cast<std::int64_t>(total_micros()));
+  return j;
+}
+
+void ServerMetrics::record(int status, std::uint64_t micros,
+                           std::uint64_t response_bytes) {
+  requests_total.fetch_add(1, std::memory_order_relaxed);
+  if (status >= 500) {
+    responses_5xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400) {
+    responses_4xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 300) {
+    responses_3xx.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    responses_2xx.fetch_add(1, std::memory_order_relaxed);
+  }
+  bytes_sent.fetch_add(response_bytes, std::memory_order_relaxed);
+  latency.record(micros);
+}
+
+Json ServerMetrics::to_json() const {
+  auto get = [](const std::atomic<std::uint64_t>& c) {
+    return static_cast<std::int64_t>(c.load(std::memory_order_relaxed));
+  };
+  Json j = Json::object();
+  j.set("requests_total", get(requests_total));
+  Json by_class = Json::object();
+  by_class.set("2xx", get(responses_2xx));
+  by_class.set("3xx", get(responses_3xx));
+  by_class.set("4xx", get(responses_4xx));
+  by_class.set("5xx", get(responses_5xx));
+  j.set("responses", std::move(by_class));
+  j.set("connections_accepted", get(connections_accepted));
+  j.set("bytes_sent", get(bytes_sent));
+  j.set("latency", latency.to_json());
+  return j;
+}
+
+}  // namespace qdb::serve

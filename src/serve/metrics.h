@@ -1,0 +1,74 @@
+// Server telemetry: request counters and a latency histogram (ISSUE 4).
+//
+// Same philosophy as quantum/histogram: collapse a high-rate stream into
+// bins before anyone looks at it.  Request latencies land in power-of-two
+// microsecond buckets (bucket b counts latencies with bit_width(us) == b,
+// i.e. le 1us, 2us, 4us, ... ~8.4s, +Inf), which is exact to count, free of
+// locks, and directly rendered as a cumulative `le` table by /metrics.
+//
+// All counters are relaxed atomics — they are telemetry, not
+// synchronisation (the BoundedEnergyCache counter doctrine).  Totals read
+// while requests are in flight are each individually exact but only
+// mutually consistent at quiescence; /metrics snapshots are taken before
+// the serving thread records its own request, so a quiescent scrape reports
+// exactly the requests completed before it.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "common/json.h"
+
+namespace qdb::serve {
+
+class LatencyHistogram {
+ public:
+  /// Buckets le 2^0 .. 2^(kBuckets-1) microseconds, plus +Inf.
+  static constexpr int kBuckets = 24;
+
+  void record(std::uint64_t micros) {
+    int b = micros == 0 ? 0 : static_cast<int>(std::bit_width(micros)) - 1;
+    if (b >= kBuckets) b = kBuckets;  // +Inf bucket
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    total_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  std::uint64_t total_micros() const {
+    return total_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// {"buckets": [{"le_us": 1, "count": n}, ..., {"le_us": "+Inf", ...}],
+  ///  "count": N, "total_us": T} — counts are cumulative (le semantics).
+  Json to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> counts_[kBuckets + 1] = {};
+  std::atomic<std::uint64_t> total_micros_{0};
+};
+
+/// Aggregated per-server request telemetry.
+struct ServerMetrics {
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> responses_2xx{0};
+  std::atomic<std::uint64_t> responses_3xx{0};
+  std::atomic<std::uint64_t> responses_4xx{0};
+  std::atomic<std::uint64_t> responses_5xx{0};
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  LatencyHistogram latency;
+
+  /// Record one completed request (called after the response is sent).
+  void record(int status, std::uint64_t micros, std::uint64_t response_bytes);
+
+  /// Snapshot as a JSON object (the "requests" section of /metrics).
+  Json to_json() const;
+};
+
+}  // namespace qdb::serve

@@ -1,0 +1,144 @@
+#include "serve/net_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace qdb::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("invalid IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) fail("socket() failed");
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail("bind(" + host + ":" + std::to_string(port) + ") failed");
+  }
+  if (::listen(sock.fd(), backlog) != 0) fail("listen() failed");
+  return sock;
+}
+
+std::uint16_t local_port(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail("getsockname() failed");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_accept(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL: the listener was closed or shut down — the cooperative
+    // stop path, not an error.  ECONNABORTED: the peer gave up; keep going.
+    if (errno == EBADF || errno == EINVAL) return Socket();
+    if (errno == ECONNABORTED) continue;
+    fail("accept() failed");
+  }
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) fail("socket() failed");
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    fail("connect(" + host + ":" + std::to_string(port) + ") failed");
+  }
+}
+
+void send_all(const Socket& sock, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(sock.fd(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t recv_some(const Socket& sock, char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), buf, cap, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    // A reset peer reads like EOF for our purposes (connection is done).
+    if (errno == ECONNRESET) return 0;
+    fail("recv() failed");
+  }
+}
+
+void shutdown_socket(const Socket& sock) noexcept {
+  if (sock.valid()) (void)::shutdown(sock.fd(), SHUT_RDWR);
+}
+
+void shutdown_fd(int fd) noexcept {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace qdb::serve

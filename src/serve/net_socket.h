@@ -1,0 +1,78 @@
+// The one sanctioned home of raw BSD socket calls (ISSUE 4).
+//
+// Everything networked in QDockBank — the dataset server's listener and the
+// in-tree HTTP client — goes through these RAII wrappers.  The qdb_lint
+// `raw-socket` rule flags socket()/bind()/accept()/listen()/connect() calls
+// anywhere else in the tree, so error handling (EINTR loops, typed IoError,
+// fd hygiene) lives in exactly one translation unit.
+//
+// Blocking, IPv4, loopback-oriented: the embedded query server is a
+// substrate for the scaling PRs (sharding, replication, async IO), not a
+// hardened edge proxy.  Shutdown is cooperative: shutdown_socket() from
+// another thread unblocks a blocked accept()/recv() so the worker pool can
+// drain cleanly (the property the TSan serve-smoke job asserts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qdb::serve {
+
+/// Move-only owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Close now (idempotent).
+  void close() noexcept;
+  /// Release ownership without closing.
+  int release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on host:port (port 0 = kernel-assigned ephemeral port; read
+/// it back with local_port).  SO_REUSEADDR is set.  Throws qdb::IoError.
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog = 64);
+
+/// The actual bound port of a listening socket.  Throws qdb::IoError.
+std::uint16_t local_port(const Socket& listener);
+
+/// Accept one connection.  Returns an invalid Socket when the listener has
+/// been shut down or closed (the cooperative-shutdown path); throws
+/// qdb::IoError on unexpected failures.
+Socket tcp_accept(const Socket& listener);
+
+/// Connect to host:port.  Throws qdb::IoError.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Write all of `data` (EINTR-safe).  Throws qdb::IoError on failure or
+/// peer reset.
+void send_all(const Socket& sock, std::string_view data);
+
+/// Read up to `cap` bytes.  Returns 0 on orderly EOF / shutdown; throws
+/// qdb::IoError on failure.
+std::size_t recv_some(const Socket& sock, char* buf, std::size_t cap);
+
+/// Half-close both directions (best-effort, never throws).  Unblocks a
+/// thread blocked in tcp_accept / recv_some on this socket.
+void shutdown_socket(const Socket& sock) noexcept;
+
+/// Same, for a raw fd owned elsewhere (the server's in-flight connection
+/// set stores fds, not Socket handles).
+void shutdown_fd(int fd) noexcept;
+
+}  // namespace qdb::serve

@@ -1,0 +1,441 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qdb::serve {
+
+namespace {
+
+HttpResponse error_response(int status, const std::string& message) {
+  Json body = Json::object();
+  body.set("error", message);
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = body.dump();
+  return resp;
+}
+
+/// Strict numeric query parsing: the whole value must consume.
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<int> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  if (v < -1000000000L || v > 1000000000L) return std::nullopt;
+  return static_cast<int>(v);
+}
+
+/// The /entries filter set.  Unknown or malformed parameters are an error:
+/// a typo silently matching everything is worse than a 400.
+struct EntryFilter {
+  std::optional<char> group;
+  std::optional<int> length, min_length, max_length;
+  std::optional<int> qubits, min_qubits, max_qubits;
+  std::optional<double> min_rmsd, max_rmsd;
+  std::optional<double> min_affinity, max_affinity;
+
+  /// Returns an error message, or empty on success.
+  std::string parse(const HttpRequest& request) {
+    for (const auto& [key, value] : request.query) {
+      if (key == "group") {
+        if (value != "S" && value != "M" && value != "L") {
+          return "group must be S, M or L";
+        }
+        group = value[0];
+      } else if (key == "length" || key == "min_length" || key == "max_length" ||
+                 key == "qubits" || key == "min_qubits" || key == "max_qubits") {
+        const std::optional<int> v = parse_int(value);
+        if (!v) return "parameter '" + key + "' must be an integer";
+        if (key == "length") length = v;
+        else if (key == "min_length") min_length = v;
+        else if (key == "max_length") max_length = v;
+        else if (key == "qubits") qubits = v;
+        else if (key == "min_qubits") min_qubits = v;
+        else max_qubits = v;
+      } else if (key == "min_rmsd" || key == "max_rmsd" || key == "min_affinity" ||
+                 key == "max_affinity") {
+        const std::optional<double> v = parse_double(value);
+        if (!v) return "parameter '" + key + "' must be a number";
+        if (key == "min_rmsd") min_rmsd = v;
+        else if (key == "max_rmsd") max_rmsd = v;
+        else if (key == "min_affinity") min_affinity = v;
+        else max_affinity = v;
+      } else {
+        return "unknown parameter '" + key + "'";
+      }
+    }
+    return "";
+  }
+
+  bool matches(const store::EntryRecord& e) const {
+    if (group && e.group != *group) return false;
+    if (length && e.length != *length) return false;
+    if (min_length && e.length < *min_length) return false;
+    if (max_length && e.length > *max_length) return false;
+    if (qubits && e.qubits != *qubits) return false;
+    if (min_qubits && e.qubits < *min_qubits) return false;
+    if (max_qubits && e.qubits > *max_qubits) return false;
+    if (min_rmsd && e.ca_rmsd < *min_rmsd) return false;
+    if (max_rmsd && e.ca_rmsd > *max_rmsd) return false;
+    if (min_affinity && e.best_affinity < *min_affinity) return false;
+    if (max_affinity && e.best_affinity > *max_affinity) return false;
+    return true;
+  }
+};
+
+Json entry_summary_json(const store::EntryRecord& e) {
+  Json j = Json::object();
+  j.set("pdb_id", e.pdb_id);
+  j.set("group", std::string(1, e.group));
+  j.set("sequence", e.sequence);
+  j.set("length", e.length);
+  j.set("qubits", e.qubits);
+  j.set("best_affinity", e.best_affinity);
+  j.set("ca_rmsd", e.ca_rmsd);
+  Json artifacts = Json::object();
+  for (int i = 0; i < store::kArtifactCount; ++i) {
+    const auto a = static_cast<store::Artifact>(i);
+    const store::ArtifactRef& ref = e.artifact(a);
+    Json art = Json::object();
+    art.set("hash", ref.hash);
+    art.set("size", static_cast<std::int64_t>(ref.size));
+    artifacts.set(store::artifact_filename(a), std::move(art));
+  }
+  j.set("artifacts", std::move(artifacts));
+  return j;
+}
+
+const char* artifact_content_type(store::Artifact a) {
+  switch (a) {
+    case store::Artifact::Structure: return "chemical/x-pdb";
+    case store::Artifact::Metadata: return "application/json";
+    case store::Artifact::Docking: return "application/json";
+  }
+  return "application/octet-stream";
+}
+
+/// Match an If-None-Match header value against an ETag ('"hash"'), accepting
+/// the quoted form, the bare hash, and the '*' wildcard.
+bool etag_matches(const std::string& if_none_match, const std::string& hash) {
+  if (if_none_match == "*") return true;
+  std::string_view v = if_none_match;
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    v = v.substr(1, v.size() - 2);
+  }
+  return v == hash;
+}
+
+}  // namespace
+
+DatasetServer::DatasetServer(const store::Store& store, ServeOptions options)
+    : store_(store), options_(std::move(options)) {
+  QDB_REQUIRE(options_.threads >= 1,
+              "server needs at least 1 worker thread, got " << options_.threads);
+}
+
+DatasetServer::~DatasetServer() { stop(); }
+
+void DatasetServer::start() {
+  QDB_REQUIRE(!running_, "server already started");
+  listener_ = tcp_listen(options_.host, options_.port);
+  port_ = local_port(listener_);
+  stopping_ = false;
+  running_ = true;
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void DatasetServer::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  // Unblock the acceptor, then the workers, then any in-flight reads.
+  // Shutdown only — not close — while the acceptor is live: accept() on a
+  // shut-down listener returns EINVAL (the cooperative-stop signal in
+  // tcp_accept), whereas close() would race on the fd value and let the
+  // kernel recycle the fd number under a concurrent accept().  The close
+  // happens after the join below.
+  shutdown_socket(listener_);
+  queue_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (int fd : active_fds_) shutdown_fd(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    // Connections accepted but never claimed by a worker: close them.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+  }
+  running_ = false;
+}
+
+void DatasetServer::accept_loop() {
+  for (;;) {
+    Socket conn = tcp_accept(listener_);
+    if (!conn.valid()) return;  // listener shut down
+    metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.max_queued_connections;
+    });
+    if (stopping_) return;  // conn closes on scope exit
+    queue_.push_back(std::move(conn));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void DatasetServer::worker_loop() {
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_cv_.notify_one();  // wake the acceptor if it hit the queue bound
+    serve_connection(std::move(conn));
+  }
+}
+
+void DatasetServer::serve_connection(Socket conn) {
+  const int fd = conn.fd();
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_fds_.insert(fd);
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  bool keep_alive = true;
+  while (keep_alive) {
+    // Accumulate until a full head ("\r\n\r\n") is buffered.
+    std::size_t head_end;
+    for (;;) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) break;
+      if (buffer.size() > options_.max_header_bytes) {
+        send_all(conn, serialize_response(
+                           error_response(431, "request head too large"), false));
+        keep_alive = false;
+        break;
+      }
+      std::size_t n = 0;
+      try {
+        n = recv_some(conn, chunk, sizeof chunk);
+      } catch (const IoError&) {
+        n = 0;
+      }
+      if (n == 0) {  // EOF / shutdown
+        keep_alive = false;
+        break;
+      }
+      buffer.append(chunk, n);
+    }
+    if (!keep_alive) break;
+
+    HttpRequest request;
+    const bool parsed = parse_request_head(
+        std::string_view(buffer).substr(0, head_end), &request);
+    buffer.erase(0, head_end + 4);
+
+    HttpResponse response;
+    std::uint64_t micros = 0;
+    if (!parsed) {
+      response = error_response(400, "malformed request");
+      keep_alive = false;
+    } else {
+      const std::string* len = request.header("content-length");
+      if (len != nullptr && *len != "0") {
+        response = error_response(400, "request bodies are not accepted");
+        keep_alive = false;
+      } else {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          response = handle(request);
+        } catch (const std::exception& e) {
+          response = error_response(500, e.what());
+        }
+        micros = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (request.wants_close()) keep_alive = false;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) keep_alive = false;
+    }
+    const std::string wire = serialize_response(response, keep_alive);
+    try {
+      send_all(conn, wire);
+    } catch (const IoError&) {
+      keep_alive = false;  // peer went away mid-response
+    }
+    // Recorded after the send so a /metrics body never counts itself.
+    metrics_.record(response.status, micros, wire.size());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_fds_.erase(fd);
+  }
+}
+
+HttpResponse DatasetServer::handle(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    HttpResponse resp = error_response(405, "only GET is supported");
+    resp.extra_headers.emplace_back("Allow", "GET");
+    return resp;
+  }
+  const std::string& path = request.path;
+  if (path == "/healthz") {
+    Json body = Json::object();
+    body.set("status", "ok");
+    body.set("entries", static_cast<std::int64_t>(store_.entries().size()));
+    HttpResponse resp;
+    resp.body = body.dump();
+    return resp;
+  }
+  if (path == "/metrics") return handle_metrics();
+  if (path == "/entries") return handle_entries(request);
+  if (starts_with(path, "/entries/")) {
+    const std::string_view rest = std::string_view(path).substr(9);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) {
+      if (rest.empty()) return error_response(404, "missing pdb id");
+      return handle_entry(request, rest);
+    }
+    const std::string_view pdb_id = rest.substr(0, slash);
+    const std::string_view filename = rest.substr(slash + 1);
+    return handle_artifact(request, pdb_id, filename);
+  }
+  return error_response(404, "no such resource: " + path);
+}
+
+HttpResponse DatasetServer::handle_entries(const HttpRequest& request) const {
+  EntryFilter filter;
+  const std::string err = filter.parse(request);
+  if (!err.empty()) return error_response(400, err);
+
+  Json entries = Json::array();
+  std::int64_t count = 0;
+  for (const store::EntryRecord& e : store_.entries()) {
+    if (!filter.matches(e)) continue;
+    entries.push_back(entry_summary_json(e));
+    ++count;
+  }
+  Json body = Json::object();
+  body.set("count", count);
+  body.set("entries", std::move(entries));
+  HttpResponse resp;
+  resp.body = body.dump();
+  return resp;
+}
+
+HttpResponse DatasetServer::handle_entry(const HttpRequest& request,
+                                         std::string_view pdb_id) const {
+  if (!request.query.empty()) {
+    return error_response(400, "entry lookup takes no parameters");
+  }
+  const store::EntryRecord* e = store_.find(pdb_id);
+  if (e == nullptr) {
+    return error_response(404, "unknown entry '" + std::string(pdb_id) + "'");
+  }
+  HttpResponse resp;
+  resp.body = entry_summary_json(*e).dump();
+  return resp;
+}
+
+HttpResponse DatasetServer::handle_artifact(const HttpRequest& request,
+                                            std::string_view pdb_id,
+                                            std::string_view filename) const {
+  const store::EntryRecord* e = store_.find(pdb_id);
+  if (e == nullptr) {
+    return error_response(404, "unknown entry '" + std::string(pdb_id) + "'");
+  }
+  std::optional<store::Artifact> which;
+  for (int i = 0; i < store::kArtifactCount; ++i) {
+    const auto a = static_cast<store::Artifact>(i);
+    if (filename == store::artifact_filename(a)) which = a;
+  }
+  if (!which) {
+    return error_response(404, "unknown artifact '" + std::string(filename) +
+                                   "' (try structure.pdb, metadata.json, "
+                                   "docking.json)");
+  }
+  const store::ArtifactRef& ref = e->artifact(*which);
+  const std::string etag = "\"" + ref.hash + "\"";
+
+  HttpResponse resp;
+  resp.extra_headers.emplace_back("ETag", etag);
+  const std::string* inm = request.header("if-none-match");
+  if (inm != nullptr && etag_matches(*inm, ref.hash)) {
+    resp.status = 304;
+    return resp;
+  }
+  resp.content_type = artifact_content_type(*which);
+  resp.body = *store_.read_artifact(*e, *which);
+  return resp;
+}
+
+HttpResponse DatasetServer::handle_metrics() const {
+  Json body = Json::object();
+  body.set("requests", metrics_.to_json());
+
+  const store::BlobCache& cache = store_.cache();
+  Json cache_json = Json::object();
+  cache_json.set("capacity", static_cast<std::int64_t>(cache.capacity()));
+  cache_json.set("size", static_cast<std::int64_t>(cache.size()));
+  cache_json.set("hits", static_cast<std::int64_t>(cache.hits()));
+  cache_json.set("misses", static_cast<std::int64_t>(cache.misses()));
+  cache_json.set("evictions", static_cast<std::int64_t>(cache.evictions()));
+  cache_json.set("hit_rate", cache.hit_rate());
+  body.set("blob_cache", std::move(cache_json));
+
+  const store::StoreStats stats = store_.stats();
+  Json store_json = Json::object();
+  store_json.set("entries", static_cast<std::int64_t>(stats.entries));
+  store_json.set("blobs", static_cast<std::int64_t>(stats.blobs));
+  store_json.set("blob_bytes", static_cast<std::int64_t>(stats.blob_bytes));
+  store_json.set("logical_bytes", static_cast<std::int64_t>(stats.logical_bytes));
+  store_json.set("dedup_saved_bytes",
+                 static_cast<std::int64_t>(stats.logical_bytes - stats.blob_bytes));
+  body.set("store", std::move(store_json));
+
+  HttpResponse resp;
+  resp.body = body.dump();
+  return resp;
+}
+
+}  // namespace qdb::serve

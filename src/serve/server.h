@@ -1,0 +1,120 @@
+// The embedded QDockBank dataset query server (ISSUE 4).
+//
+// A dependency-free, blocking HTTP/1.1 server over a content-addressed
+// store (src/store/).  One acceptor thread feeds accepted connections into
+// a bounded queue drained by a plain std::thread worker pool — the
+// common/parallel.h style of fan-out (explicit threads, no runtime), so the
+// whole request path is visible to ThreadSanitizer.
+//
+// Endpoints (all GET, all bodies built with common/json.h):
+//
+//   /healthz                          liveness + entry count
+//   /metrics                          request counters, power-of-two latency
+//                                     histogram, blob-cache hit rate, store
+//                                     stats
+//   /entries                          entry summaries; filters: group=S|M|L,
+//                                     length=, min_length=, max_length=,
+//                                     qubits=, min_qubits=, max_qubits=,
+//                                     min_rmsd=, max_rmsd=, min_affinity=,
+//                                     max_affinity=
+//   /entries/{pdb_id}                 one entry summary (404 when unknown)
+//   /entries/{pdb_id}/structure.pdb   artifact bytes; ETag = content hash,
+//   /entries/{pdb_id}/metadata.json   If-None-Match → 304 (no body)
+//   /entries/{pdb_id}/docking.json
+//
+// Responses are deterministic functions of the store (entries are served in
+// index order, blobs verbatim), which is what lets the concurrent-load
+// golden test demand byte-identical bodies across thread counts.
+//
+// Shutdown is cooperative and clean: stop() shuts the listener down,
+// wakes the workers, half-closes every in-flight connection, and joins all
+// threads; it is idempotent and also runs from the destructor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+#include <mutex>
+#include <condition_variable>
+#include <deque>
+
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/net_socket.h"
+#include "store/store.h"
+
+namespace qdb::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned; read back via port()
+  int threads = 4;         ///< worker pool size (>= 1)
+  std::size_t max_header_bytes = 64 * 1024;  ///< request head cap (431 above)
+  std::size_t max_queued_connections = 256;  ///< accept backpressure bound
+};
+
+class DatasetServer {
+ public:
+  /// The store must outlive the server and is treated as immutable while
+  /// serving (ingest before start()).
+  DatasetServer(const store::Store& store, ServeOptions options);
+  ~DatasetServer();
+
+  DatasetServer(const DatasetServer&) = delete;
+  DatasetServer& operator=(const DatasetServer&) = delete;
+
+  /// Bind, listen, and launch the acceptor + worker threads.  Throws
+  /// qdb::IoError (e.g. port in use).
+  void start();
+
+  /// Drain and join everything; idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Actual bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+  /// Pure request → response routing; exposed so tests can drive the
+  /// router without a socket in the loop.  Thread-safe.
+  HttpResponse handle(const HttpRequest& request) const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(Socket conn);
+
+  HttpResponse handle_entries(const HttpRequest& request) const;
+  HttpResponse handle_entry(const HttpRequest& request,
+                            std::string_view pdb_id) const;
+  HttpResponse handle_artifact(const HttpRequest& request, std::string_view pdb_id,
+                               std::string_view filename) const;
+  HttpResponse handle_metrics() const;
+
+  const store::Store& store_;
+  ServeOptions options_;
+  ServerMetrics metrics_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Connection handoff queue (acceptor -> workers).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> queue_;
+  bool stopping_ = false;
+
+  // In-flight connection fds, so stop() can unblock blocked reads.
+  std::mutex active_mu_;
+  std::unordered_set<int> active_fds_;
+};
+
+}  // namespace qdb::serve

@@ -1,0 +1,109 @@
+// Thread-safe LRU blob cache for the content-addressed store.
+//
+// The dataset server reads the same handful of hot artifacts (popular
+// entries' structure.pdb / metadata.json) from many worker threads at once;
+// this cache keeps decoded blobs in memory keyed by content hash so repeat
+// requests skip the filesystem entirely.  Pattern-matched on
+// vqe::BoundedEnergyCache: a capacity of 0 disables the cache outright, and
+// the hit/miss telemetry counters are relaxed atomics (they are counters,
+// not synchronisation — the same fix TSan forced on BoundedEnergyCache).
+//
+// Unlike BoundedEnergyCache (bounded *insert-only* memo), this is a true
+// LRU: inserting at capacity evicts the least-recently-used blob, and every
+// get() refreshes recency.  Values are shared_ptr<const std::string> so an
+// in-flight response keeps its blob alive across a concurrent eviction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace qdb::store {
+
+class BlobCache {
+ public:
+  using Value = std::shared_ptr<const std::string>;
+
+  /// `capacity` is in entries.  0 disables the cache: get() is a counted
+  /// miss, put() a no-op — the same convention as BoundedEnergyCache.
+  explicit BlobCache(std::size_t capacity) : capacity_(capacity) {}
+
+  BlobCache(const BlobCache&) = delete;
+  BlobCache& operator=(const BlobCache&) = delete;
+
+  /// The cached blob, or nullptr on a miss.  A hit moves the entry to the
+  /// front of the recency list.
+  Value get(const std::string& key) {
+    if (capacity_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Insert (or refresh) a blob, evicting the least-recently-used entry when
+  /// at capacity.  Re-inserting an existing key refreshes its recency and
+  /// replaces the value.
+  void put(const std::string& key, Value value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = std::move(value);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lru_.emplace_front(key, std::move(value));
+    map_.emplace(key, lru_.begin());
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  // Telemetry counters: monotonic, relaxed — consistent with each other only
+  // at quiescence (see BoundedEnergyCache's counter docs).
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  /// hits / (hits + misses); 0 when nothing has been looked up yet.
+  double hit_rate() const {
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    return h + m == 0.0 ? 0.0 : h / (h + m);
+  }
+
+ private:
+  using LruList = std::list<std::pair<std::string, Value>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> map_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  mutable std::atomic<std::size_t> evictions_{0};
+};
+
+}  // namespace qdb::store

@@ -1,0 +1,156 @@
+// Content-addressed artifact store for QDockBank dataset roots (ISSUE 4).
+//
+// `write_entry_files` produces the paper's §4.2 tree
+// (<root>/<S|M|L>/<pdb_id>/{structure.pdb, metadata.json, docking.json});
+// this store ingests such a tree into a serving-friendly layout:
+//
+//   <store_root>/blobs/<hh>/<hash>   artifact bytes, named by content hash
+//                                    (hh = first two hex chars, sharded)
+//   <store_root>/index.qdbx          single compact binary index
+//
+// Content addressing deduplicates identical artifacts across re-runs —
+// re-ingesting an unchanged dataset root writes zero new blobs, and entries
+// with identical docking.json bodies (deterministic re-builds) share one
+// blob.  The index is written via write_file_atomic (tmp + fsync + rename)
+// and carries a trailing FNV-1a fingerprint of its own bytes, the same
+// torn-write discipline as data/checkpoint: a crash mid-ingest leaves at
+// worst unreferenced blobs, never a corrupt index.
+//
+// Fault sites (common/fault.h): `store.ingest.io` before each blob write and
+// `store.index.write` before the index write, so the PR 2 fault-injection
+// sweep exercises the ingest path's atomicity (a failed ingest must leave
+// the previous index intact and re-ingest must converge).
+//
+// Reads go through a thread-safe LRU blob cache (store/cache.h); everything
+// else is immutable after ingest, so the server can share one Store across
+// its worker pool without locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/cache.h"
+
+namespace qdb::store {
+
+// --- content hashing --------------------------------------------------------
+
+/// 128-bit content hash: two independent FNV-1a-style 64-bit streams over
+/// the same bytes (different offset bases; length folded in).  Not
+/// cryptographic — it addresses and deduplicates trusted local artifacts,
+/// where 128 bits make accidental collisions astronomically unlikely.
+struct ContentHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters (hi then lo); blob filename and HTTP ETag.
+  std::string hex() const;
+};
+
+ContentHash content_hash(std::string_view bytes);
+
+// --- index records ----------------------------------------------------------
+
+/// The three artifacts of one dataset entry, in on-disk file order.
+enum class Artifact { Structure = 0, Metadata = 1, Docking = 2 };
+inline constexpr int kArtifactCount = 3;
+
+/// "structure.pdb", "metadata.json", "docking.json".
+const char* artifact_filename(Artifact a);
+
+struct ArtifactRef {
+  std::string hash;         ///< 32-hex content hash (blob key / ETag)
+  std::uint64_t size = 0;   ///< payload bytes
+};
+
+/// One dataset entry in the index: identity, the filterable query fields the
+/// server needs (extracted from metadata.json / docking.json at ingest so a
+/// /entries scan never touches blobs), and the three artifact references.
+struct EntryRecord {
+  std::string pdb_id;
+  char group = '?';         ///< 'S' | 'M' | 'L'
+  std::string sequence;
+  int length = 0;           ///< fragment residue count
+  int qubits = 0;           ///< measured hardware allocation
+  double best_affinity = 0.0;  ///< kcal/mol, lower is better
+  double ca_rmsd = 0.0;        ///< CA RMSD vs reference structure
+  ArtifactRef artifacts[kArtifactCount];
+
+  const ArtifactRef& artifact(Artifact a) const {
+    return artifacts[static_cast<int>(a)];
+  }
+};
+
+/// Serialise records (assumed sorted by pdb_id) into the binary index
+/// format; deterministic, so equal inputs produce byte-identical files.
+std::string serialize_index(const std::vector<EntryRecord>& entries);
+
+/// Parse an index file; throws qdb::IoError on bad magic, version, truncated
+/// input, or a fingerprint mismatch (bit rot / torn write).
+std::vector<EntryRecord> parse_index(std::string_view bytes);
+
+// --- statistics -------------------------------------------------------------
+
+/// Per-ingest accounting (reset each ingest_dataset call).
+struct IngestStats {
+  std::size_t entries_seen = 0;       ///< entry directories ingested
+  std::size_t artifacts_seen = 0;     ///< files hashed (3 per entry)
+  std::size_t blobs_written = 0;      ///< new blobs materialised
+  std::size_t blobs_deduplicated = 0; ///< artifacts whose blob already existed
+  std::uint64_t bytes_written = 0;    ///< payload bytes of new blobs
+};
+
+/// Whole-store accounting derived from the index.
+struct StoreStats {
+  std::size_t entries = 0;
+  std::size_t blobs = 0;          ///< distinct content hashes
+  std::uint64_t blob_bytes = 0;   ///< deduplicated payload bytes
+  std::uint64_t logical_bytes = 0;///< sum of artifact sizes (pre-dedup)
+};
+
+// --- the store --------------------------------------------------------------
+
+class Store {
+ public:
+  /// Opens (or designates) a store rooted at `root`; loads index.qdbx if it
+  /// exists.  `cache_capacity` bounds the LRU blob cache (entries; 0 = off).
+  explicit Store(std::string root, std::size_t cache_capacity = 256);
+
+  /// Ingest one dataset root produced by write_entry_files.  Re-ingest is
+  /// idempotent: unchanged artifacts dedup against existing blobs and the
+  /// re-written index is byte-identical.  Throws qdb::IoError on missing
+  /// entry files or unreadable/corrupt JSON documents.
+  IngestStats ingest_dataset(const std::string& dataset_root);
+
+  /// All entries, sorted by pdb_id (the order the index persists).
+  const std::vector<EntryRecord>& entries() const { return entries_; }
+
+  /// Lookup by id; nullptr when absent.  O(1).
+  const EntryRecord* find(std::string_view pdb_id) const;
+
+  /// Artifact bytes, via the LRU cache; throws qdb::IoError if the blob
+  /// is missing or unreadable.  Safe to call from any number of threads.
+  std::shared_ptr<const std::string> read_artifact(const EntryRecord& entry,
+                                                   Artifact a) const;
+
+  StoreStats stats() const;
+  const BlobCache& cache() const { return cache_; }
+
+  const std::string& root() const { return root_; }
+  std::string index_path() const;
+  std::string blob_path(const std::string& hash) const;
+
+ private:
+  void rebuild_id_map();
+
+  std::string root_;
+  std::vector<EntryRecord> entries_;  // sorted by pdb_id
+  std::unordered_map<std::string, std::size_t> by_id_;
+  mutable BlobCache cache_;
+};
+
+}  // namespace qdb::store

@@ -1,0 +1,75 @@
+// Shared test helper: build a synthetic §4.2 dataset root with the real
+// dataset_io writers but deterministic fake numbers, so store/serve tests get
+// a schema-faithful 55-entry tree in milliseconds instead of re-running VQE
+// and docking.  All values are pure functions of the registry entry, so two
+// builds of the same root are byte-identical — which is exactly what the
+// store-dedup and concurrent-load golden tests need.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "data/dataset_io.h"
+#include "data/registry.h"
+#include "dock/dock.h"
+#include "vqe/vqe.h"
+
+namespace qdb::testing {
+
+/// Deterministic synthetic VQE outcome mirroring the published numbers.
+inline VqeResult synthetic_vqe(const DatasetEntry& e) {
+  VqeResult vqe;
+  vqe.allocation.sequence_length = e.length();
+  vqe.allocation.qubits = e.qubits;
+  vqe.allocation.depth = e.depth;
+  vqe.logical_qubits = 2 * (e.length() - 3);
+  vqe.lowest_energy = e.lowest_energy;
+  vqe.highest_energy = e.highest_energy;
+  vqe.energy_range = e.energy_range;
+  vqe.evaluations = 12;
+  vqe.total_shots = 12 * 128 + 1000;
+  vqe.modeled_exec_time_s = e.exec_time_s;
+  return vqe;
+}
+
+/// Deterministic synthetic docking outcome (20 runs, 3 top poses).
+inline DockingResult synthetic_docking(const DatasetEntry& e) {
+  DockingResult docking;
+  const double base = -4.0 - 0.125 * e.length();
+  for (int r = 0; r < 20; ++r) docking.run_best.push_back(base + 0.05 * r);
+  docking.best_affinity = base;
+  docking.mean_affinity = base + 0.05 * 19 / 2.0;
+  docking.rmsd_lb_mean = 1.25;
+  docking.rmsd_ub_mean = 2.5;
+  for (int p = 0; p < 3; ++p) {
+    ScoredPose sp;
+    sp.affinity = base + 0.01 * p;
+    sp.run = p;
+    docking.poses.push_back(sp);
+  }
+  return docking;
+}
+
+inline double synthetic_ca_rmsd(const DatasetEntry& e) {
+  return 0.5 + 0.01 * e.length();
+}
+
+/// Write one entry's three files under `root` (real writers, fake numbers).
+inline void write_synthetic_entry(const std::string& root, const DatasetEntry& e) {
+  const std::string dir = entry_directory(root, e);
+  write_file_atomic(dir + "/structure.pdb",
+                    std::string("REMARK synthetic test structure ") + e.pdb_id +
+                        "\nEND\n");
+  write_file_atomic(dir + "/metadata.json",
+                    prediction_metadata_json(e, synthetic_vqe(e)).dump());
+  write_file_atomic(
+      dir + "/docking.json",
+      docking_results_json(e, synthetic_docking(e), synthetic_ca_rmsd(e)).dump());
+}
+
+/// The full 55-entry synthetic dataset root.
+inline void build_synthetic_dataset(const std::string& root) {
+  for (const DatasetEntry& e : qdockbank_entries()) write_synthetic_entry(root, e);
+}
+
+}  // namespace qdb::testing

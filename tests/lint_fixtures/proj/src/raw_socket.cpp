@@ -1,0 +1,18 @@
+// Deliberate raw-socket violations (3) plus near-misses.  In the real tree
+// the one sanctioned home for these calls is src/serve/net_socket.*, which
+// the repo allowlist covers; this fixture is scanned only by test_lint.cpp.
+int open_listener() {
+  int fd = socket(2, 1, 0);                      // hit: bare call
+  if (::bind(fd, nullptr, 0) != 0) return -1;    // hit: global-scope call
+  return accept(fd, nullptr, nullptr);           // hit
+}
+// Near-misses the rule must ignore:
+int member_calls(Endpoint& e, Endpoint* p) {
+  return e.bind(1) + p->connect(2);              // member calls
+}
+int use_wrapper(int fd) { return tcp_accept(fd); }      // wrapper-style name
+int qualified() { return my::listen(5); }               // ns-qualified
+auto cb = std::bind(&qualified);                        // std::bind
+int reconnect(int x) { return x; }                      // substring
+const char* k_sock_doc = "socket( then bind( then accept(";  // literal
+// comment: socket() bind() accept() listen() connect()

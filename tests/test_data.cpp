@@ -2,6 +2,9 @@
 // reference-structure provider, and the dataset JSON/directory layout.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <set>
 
@@ -184,6 +187,127 @@ TEST(DatasetIo, WritesPaperDirectoryLayout) {
   EXPECT_EQ(back.sequence(), "RYRDV");
 }
 
+
+// --- writer/reader round-trips (ISSUE 4) ------------------------------------
+//
+// The readers exist so the artifact store can extract query fields at ingest;
+// these tests pin writer and reader to one schema, field for field.  Doubles
+// pass through the %.10g JSON dump, so compare at 1e-9 relative tolerance.
+
+void expect_close(double a, double b) {
+  EXPECT_NEAR(a, b, 1e-9 * std::max({1.0, std::abs(a), std::abs(b)}));
+}
+
+TEST(DatasetIo, MetadataRoundTripsFieldForField) {
+  const DatasetEntry& e = entry_by_id("4tmk");
+  VqeResult vqe;
+  vqe.logical_qubits = 22;
+  vqe.allocation = published_eagle_allocation(e.length());
+  vqe.lowest_energy = 22590.2071234567;  // exercise the %.10g path
+  vqe.highest_energy = 29135.42;
+  vqe.energy_range = vqe.highest_energy - vqe.lowest_energy;
+  vqe.modeled_exec_time_s = 199292.66;
+  vqe.evaluations = 137;
+  vqe.total_shots = 1234567;
+
+  const Json written = prediction_metadata_json(e, vqe);
+  const PredictionMetadata m =
+      parse_prediction_metadata(Json::parse(written.dump()));
+  EXPECT_EQ(m.pdb_id, "4tmk");
+  EXPECT_EQ(m.sequence, e.sequence);
+  EXPECT_EQ(m.group, "L");
+  EXPECT_EQ(m.protein_class, protein_class_name(protein_class(e.pdb_id)));
+  EXPECT_EQ(m.sequence_length, e.length());
+  EXPECT_EQ(m.residue_start, e.residue_start);
+  EXPECT_EQ(m.residue_end, e.residue_end);
+  EXPECT_EQ(m.measured.qubits, vqe.allocation.qubits);
+  EXPECT_EQ(m.measured.circuit_depth, vqe.allocation.depth);
+  EXPECT_EQ(m.measured.logical_qubits, vqe.logical_qubits);
+  EXPECT_EQ(m.measured.evaluations, vqe.evaluations);
+  EXPECT_EQ(m.measured.total_shots,
+            static_cast<std::int64_t>(vqe.total_shots));
+  expect_close(m.measured.lowest_energy, vqe.lowest_energy);
+  expect_close(m.measured.highest_energy, vqe.highest_energy);
+  expect_close(m.measured.energy_range, vqe.energy_range);
+  expect_close(m.measured.exec_time_s, vqe.modeled_exec_time_s);
+  EXPECT_EQ(m.published.qubits, e.qubits);
+  EXPECT_EQ(m.published.circuit_depth, e.depth);
+  expect_close(m.published.lowest_energy, e.lowest_energy);
+  expect_close(m.published.highest_energy, e.highest_energy);
+  expect_close(m.published.energy_range, e.energy_range);
+  expect_close(m.published.exec_time_s, e.exec_time_s);
+}
+
+TEST(DatasetIo, DockingRoundTripsFieldForField) {
+  const DatasetEntry& e = entry_by_id("2qbs");
+  DockingResult d;
+  d.run_best = {-5.1234567891, -5.0, -4.875, -4.25};
+  d.best_affinity = -5.1234567891;
+  d.mean_affinity = -4.8121141973;
+  d.rmsd_lb_mean = 1.4142135624;
+  d.rmsd_ub_mean = 1.7320508076;
+  d.poses.push_back(ScoredPose{{}, -5.1234567891, 2});
+  d.poses.push_back(ScoredPose{{}, -5.0, 0});
+
+  const Json written = docking_results_json(e, d, 0.8660254038);
+  const DockingSummary s = parse_docking_results(Json::parse(written.dump()));
+  EXPECT_EQ(s.pdb_id, "2qbs");
+  ASSERT_EQ(s.run_best.size(), d.run_best.size());
+  for (std::size_t i = 0; i < d.run_best.size(); ++i) {
+    expect_close(s.run_best[i], d.run_best[i]);
+  }
+  expect_close(s.best_affinity, d.best_affinity);
+  expect_close(s.mean_affinity, d.mean_affinity);
+  expect_close(s.pose_rmsd_lb_mean, d.rmsd_lb_mean);
+  expect_close(s.pose_rmsd_ub_mean, d.rmsd_ub_mean);
+  expect_close(s.ca_rmsd_vs_reference, 0.8660254038);
+  ASSERT_EQ(s.top_poses.size(), d.poses.size());
+  for (std::size_t i = 0; i < d.poses.size(); ++i) {
+    expect_close(s.top_poses[i].affinity, d.poses[i].affinity);
+    EXPECT_EQ(s.top_poses[i].run, d.poses[i].run);
+  }
+}
+
+TEST(DatasetIo, ParsersNameTheMissingField) {
+  Json doc = Json::object();
+  doc.set("pdb_id", "1abc");
+  try {
+    parse_prediction_metadata(doc);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("sequence"), std::string::npos);
+  }
+  try {
+    parse_docking_results(doc);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("run_best_affinity"), std::string::npos)
+        << ex.what();
+  }
+}
+
+TEST(DatasetIo, DockingParserRejectsRunCountMismatch) {
+  const DatasetEntry& e = entry_by_id("3ckz");
+  DockingResult d;
+  d.run_best = {-3.5, -3.25};
+  d.best_affinity = -3.5;
+  d.mean_affinity = -3.375;
+  Json doc = docking_results_json(e, d, 1.0);
+  doc.set("num_runs", 7);  // contradicts run_best_affinity length
+  EXPECT_THROW(parse_docking_results(doc), ParseError);
+}
+
+TEST(Registry, EntryByIdIsIndexedAndThrowsOnUnknown) {
+  // The hash-indexed lookup must agree with a linear scan for every id and
+  // still reject unknown ids (the server's 404 path relies on the throw).
+  for (const DatasetEntry& e : qdockbank_entries()) {
+    EXPECT_EQ(&entry_by_id(e.pdb_id), &e);
+  }
+  EXPECT_THROW(entry_by_id("0xyz"), Error);
+  EXPECT_THROW(entry_by_id(""), Error);
+  EXPECT_THROW(entry_by_id("1yc"), Error);   // prefix of a real id
+  EXPECT_THROW(entry_by_id("1yc44"), Error); // extension of a real id
+}
 
 TEST(ProteinClass, FollowsThePaperListing) {
   EXPECT_EQ(protein_class("1zsf"), ProteinClass::ViralEnzyme);

@@ -100,6 +100,23 @@ TEST(Rules, NonAtomicWriteOnlyInLibraryAndAtomicIsFine) {
                   .empty());
 }
 
+TEST(Rules, RawSocketFlagsBareAndGlobalScopeCallsEverywhere) {
+  const std::string bad =
+      "int f() { int s = socket(2, 1, 0); ::bind(s, nullptr, 0); "
+      "listen(s, 8); return ::accept(s, nullptr, nullptr); }";
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", bad), "raw-socket").size(), 4u);
+  // Unlike stdout-in-library, the rule fires outside src/ too: examples and
+  // tools go through serve::HttpClient, not their own sockets.
+  EXPECT_EQ(of_rule(lint_source("examples/a.cpp", bad), "raw-socket").size(), 4u);
+  // Members, wrapper names, ns-qualified calls, std::bind, and substrings
+  // are not hits.
+  const std::string ok =
+      "int g(Endpoint& e, Endpoint* p) { return e.bind(1) + p->connect(2) + "
+      "tcp_accept(3) + my::listen(4) + reconnect(5); } "
+      "auto cb = std::bind(&g); int bindings = 0;";
+  EXPECT_TRUE(lint_source("src/a.cpp", ok).empty());
+}
+
 TEST(Rules, OmpPragmaAllowedOnlyInParallelHeader) {
   const std::string omp = "#pragma once\n#pragma omp parallel for\nvoid f();\n";
   EXPECT_EQ(of_rule(lint_source("src/quantum/statevector.cpp", omp),
@@ -119,7 +136,8 @@ TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
   EXPECT_EQ(of_rule(diags, "non-atomic-write").size(), 2u);   // src only
   EXPECT_EQ(of_rule(diags, "omp-pragma").size(), 1u);
   EXPECT_EQ(of_rule(diags, "missing-pragma-once").size(), 1u);
-  EXPECT_EQ(diags.size(), 12u);
+  EXPECT_EQ(of_rule(diags, "raw-socket").size(), 3u);  // src/raw_socket.cpp
+  EXPECT_EQ(diags.size(), 15u);
 
   // The near-miss file and the guarded header stay clean.
   for (const Diagnostic& d : diags) {
@@ -155,8 +173,9 @@ TEST(Allowlist, ParseApplyAndStaleDetectionRoundTrip) {
       apply_allowlist(lint_tree(root, {"src", "tests"}), allow, &unused);
 
   // 3 raw-random + 1 omp-pragma suppressed from violations.cpp; the
-  // tests/scoped.cpp raw-random hit is NOT (allowlist is per-file).
-  EXPECT_EQ(kept.size(), 12u - 4u);
+  // tests/scoped.cpp raw-random hit is NOT (allowlist is per-file), and the
+  // raw_socket.cpp hits have no matching entry here.
+  EXPECT_EQ(kept.size(), 15u - 4u);
   EXPECT_EQ(of_rule(kept, "raw-random").size(), 1u);
   EXPECT_EQ(of_rule(kept, "raw-random")[0].file, "tests/scoped.cpp");
   EXPECT_TRUE(of_rule(kept, "omp-pragma").empty());

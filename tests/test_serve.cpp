@@ -1,0 +1,361 @@
+// Tests for the dataset service (ISSUE 4): HTTP message parsing, the
+// socket-free request router (filters, ETag/304, 404/400/405), the metrics
+// histogram, live client/server round-trips, and the concurrent-load golden
+// test — 8 client threads x 100 mixed requests must produce byte-identical
+// bodies to a single-threaded run, with /metrics matching the request total
+// and a warm blob cache.
+#include <gtest/gtest.h>
+#include <unistd.h>  // getpid for per-process scratch directories
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "data/registry.h"
+#include "dataset_fixture.h"
+#include "serve/client.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+#include "store/store.h"
+
+namespace qdb::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- http message layer (no sockets) ----------------------------------------
+
+TEST(HttpParse, RequestHeadRoundTrip) {
+  HttpRequest req;
+  ASSERT_TRUE(parse_request_head(
+      "GET /entries?group=S&min_qubits=50 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "If-None-Match: \"abc\"\r\n"
+      "Connection: close",
+      &req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/entries");
+  ASSERT_NE(req.query_param("group"), nullptr);
+  EXPECT_EQ(*req.query_param("group"), "S");
+  ASSERT_NE(req.query_param("min_qubits"), nullptr);
+  EXPECT_EQ(*req.query_param("min_qubits"), "50");
+  ASSERT_NE(req.header("if-none-match"), nullptr);  // names lowercased
+  EXPECT_EQ(*req.header("if-none-match"), "\"abc\"");
+  EXPECT_TRUE(req.wants_close());
+
+  EXPECT_FALSE(parse_request_head("", &req));
+  EXPECT_FALSE(parse_request_head("GET\r\n", &req));
+}
+
+TEST(HttpParse, ResponseSerializeParseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.body = "{\"x\":1}";
+  resp.extra_headers.emplace_back("ETag", "\"h\"");
+  const std::string wire = serialize_response(resp, /*keep_alive=*/true);
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  HttpClientResponse parsed;
+  ASSERT_TRUE(parse_response_head(wire.substr(0, head_end), &parsed));
+  EXPECT_EQ(parsed.status, 200);
+  ASSERT_NE(parsed.header("etag"), nullptr);
+  EXPECT_EQ(*parsed.header("etag"), "\"h\"");
+  ASSERT_NE(parsed.header("content-length"), nullptr);
+  EXPECT_EQ(*parsed.header("content-length"), std::to_string(resp.body.size()));
+  EXPECT_EQ(wire.substr(head_end + 4), resp.body);
+
+  // 304 suppresses the body even when one is set.
+  resp.status = 304;
+  const std::string wire304 = serialize_response(resp, true);
+  EXPECT_EQ(wire304.substr(wire304.find("\r\n\r\n") + 4), "");
+  EXPECT_NE(wire304.find("Content-Length: 0"), std::string::npos);
+}
+
+TEST(Metrics, LatencyHistogramBucketsArePowerOfTwoCumulative) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(3);    // bit_width 2 -> bucket le 2^1? (3 -> bucket 1? no: 2)
+  h.record(100);  // bucket 6 (64..127)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.total_micros(), 104u);
+  const Json j = h.to_json();
+  EXPECT_EQ(j.at("count").as_int(), 4);
+  const JsonArray& buckets = j.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), static_cast<std::size_t>(LatencyHistogram::kBuckets) + 1);
+  // Cumulative: each bucket count is >= the previous, last equals total.
+  std::int64_t prev = 0;
+  for (const Json& b : buckets) {
+    EXPECT_GE(b.at("count").as_int(), prev);
+    prev = b.at("count").as_int();
+  }
+  EXPECT_EQ(prev, 4);
+}
+
+// --- router (socket-free) ---------------------------------------------------
+
+/// Store + server fixture over the synthetic 55-entry dataset, built once
+/// for the whole suite (read-only afterwards).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = std::make_unique<std::string>(
+        (fs::temp_directory_path() /
+         ("qdb_serve_suite_" + std::to_string(::getpid())))
+            .string());
+    fs::remove_all(*dir_);
+    qdb::testing::build_synthetic_dataset(*dir_ + "/dataset");
+    store_ = std::make_unique<store::Store>(*dir_ + "/store",
+                                            /*cache_capacity=*/32);
+    store_->ingest_dataset(*dir_ + "/dataset");
+  }
+  static void TearDownTestSuite() {
+    store_.reset();
+    fs::remove_all(*dir_);
+    dir_.reset();
+  }
+
+  static HttpRequest get_request(const std::string& target) {
+    HttpRequest req;
+    req.method = "GET";
+    req.target = target;
+    req.version = "HTTP/1.1";
+    split_target(target, &req.path, &req.query);
+    return req;
+  }
+
+  static std::unique_ptr<std::string> dir_;
+  static std::unique_ptr<store::Store> store_;
+};
+
+std::unique_ptr<std::string> ServeTest::dir_;
+std::unique_ptr<store::Store> ServeTest::store_;
+
+TEST_F(ServeTest, RouterStatusMatrix) {
+  DatasetServer server(*store_, {});
+
+  HttpRequest post = get_request("/entries");
+  post.method = "POST";
+  EXPECT_EQ(server.handle(post).status, 405);
+
+  EXPECT_EQ(server.handle(get_request("/healthz")).status, 200);
+  EXPECT_EQ(server.handle(get_request("/nope")).status, 404);
+  EXPECT_EQ(server.handle(get_request("/entries/zzzz")).status, 404);
+  EXPECT_EQ(server.handle(get_request("/entries/1yc4/nope.txt")).status, 404);
+  EXPECT_EQ(server.handle(get_request("/entries?frobnicate=1")).status, 400);
+  EXPECT_EQ(server.handle(get_request("/entries?min_qubits=banana")).status, 400);
+  EXPECT_EQ(server.handle(get_request("/entries?group=X")).status, 400);
+  EXPECT_EQ(server.handle(get_request("/entries/1yc4?x=1")).status, 400);
+}
+
+TEST_F(ServeTest, RouterFiltersMatchRegistry) {
+  DatasetServer server(*store_, {});
+  const auto count_of = [&](const std::string& target) {
+    const HttpResponse resp = server.handle(get_request(target));
+    EXPECT_EQ(resp.status, 200) << target;
+    return Json::parse(resp.body).at("count").as_int();
+  };
+  const std::int64_t all = count_of("/entries");
+  EXPECT_EQ(all, static_cast<std::int64_t>(qdockbank_entries().size()));
+  std::int64_t grouped = 0;
+  for (const char* g : {"S", "M", "L"}) {
+    grouped += count_of(std::string("/entries?group=") + g);
+  }
+  EXPECT_EQ(grouped, all);  // groups partition the dataset
+  EXPECT_EQ(count_of("/entries?length=13"),
+            count_of("/entries?min_length=13&max_length=13"));
+  EXPECT_EQ(count_of("/entries?min_qubits=93"),
+            count_of("/entries?qubits=102"));  // only 102 exceeds 92
+  // Affinity in the synthetic build is -4 - length/8, so S entries (len<=8)
+  // are the ones above -5.005.
+  EXPECT_EQ(count_of("/entries?min_affinity=-5.005"), count_of("/entries?group=S"));
+}
+
+TEST_F(ServeTest, RouterArtifactsCarryETagAnd304) {
+  DatasetServer server(*store_, {});
+  const store::EntryRecord* rec = store_->find("4tmk");
+  ASSERT_NE(rec, nullptr);
+  const HttpResponse ok =
+      server.handle(get_request("/entries/4tmk/structure.pdb"));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.content_type, "chemical/x-pdb");
+  EXPECT_EQ(ok.body, *store_->read_artifact(*rec, store::Artifact::Structure));
+  std::string etag;
+  for (const auto& [k, v] : ok.extra_headers) {
+    if (k == "ETag") etag = v;
+  }
+  EXPECT_EQ(etag, "\"" + rec->artifact(store::Artifact::Structure).hash + "\"");
+
+  for (const std::string& inm :
+       {etag, etag.substr(1, etag.size() - 2), std::string("*")}) {
+    HttpRequest req = get_request("/entries/4tmk/structure.pdb");
+    req.headers.emplace_back("if-none-match", inm);
+    const HttpResponse not_modified = server.handle(req);
+    EXPECT_EQ(not_modified.status, 304) << inm;
+    EXPECT_TRUE(not_modified.body.empty());
+  }
+  HttpRequest stale = get_request("/entries/4tmk/structure.pdb");
+  stale.headers.emplace_back("if-none-match", "\"someotherhash\"");
+  EXPECT_EQ(server.handle(stale).status, 200);
+}
+
+// --- live server ------------------------------------------------------------
+
+ServeOptions ephemeral_options(int threads) {
+  ServeOptions opt;
+  opt.port = 0;  // ctest runs suites in parallel; never a fixed port
+  opt.threads = threads;
+  return opt;
+}
+
+TEST_F(ServeTest, LiveRoundTripAndKeepAlive) {
+  DatasetServer server(*store_, ephemeral_options(2));
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  // Multiple requests over one keep-alive connection.
+  for (int i = 0; i < 3; ++i) {
+    const HttpClientResponse r = client.get("/healthz");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(Json::parse(r.body).at("status").as_string(), "ok");
+  }
+  const HttpClientResponse metrics = client.get("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_GE(Json::parse(metrics.body).at("requests").at("requests_total").as_int(), 3);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // stop() is idempotent.
+  server.stop();
+}
+
+TEST_F(ServeTest, LiveClientSurvivesServerSideConnectionClose) {
+  ServeOptions opt = ephemeral_options(1);
+  DatasetServer server(*store_, opt);
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  client.close();  // stale connection: next get() reconnects
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  server.stop();
+}
+
+/// The deterministic mixed request list of the concurrent-load golden test:
+/// entry summaries, artifacts (all three kinds), filters and health checks.
+/// No /metrics — it is the one endpoint whose body legitimately varies.
+std::vector<std::string> golden_targets() {
+  const std::vector<DatasetEntry>& entries = qdockbank_entries();
+  std::vector<std::string> targets;
+  targets.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    const std::string id = entries[static_cast<std::size_t>(i * 7) % entries.size()].pdb_id;
+    switch (i % 5) {
+      case 0: targets.push_back("/entries/" + id); break;
+      case 1: targets.push_back("/entries/" + id + "/metadata.json"); break;
+      case 2: targets.push_back("/entries/" + id + "/structure.pdb"); break;
+      case 3: targets.push_back("/entries/" + id + "/docking.json"); break;
+      default:
+        targets.push_back(i % 2 == 0 ? "/healthz" : "/entries?group=" +
+                                                        std::string(group_name(
+                                                            entries[static_cast<std::size_t>(i)
+                                                                    % entries.size()]
+                                                                .group())));
+    }
+  }
+  return targets;
+}
+
+TEST_F(ServeTest, ConcurrentLoadGolden) {
+  const std::vector<std::string> targets = golden_targets();
+
+  // Golden pass: single worker, single client, sequential.
+  std::vector<std::string> golden;
+  {
+    DatasetServer server(*store_, ephemeral_options(1));
+    server.start();
+    HttpClient client("127.0.0.1", server.port());
+    for (const std::string& t : targets) {
+      const HttpClientResponse r = client.get(t);
+      EXPECT_EQ(r.status, 200) << t;
+      golden.push_back(r.body);
+    }
+    server.stop();
+  }
+
+  // Concurrent pass: fresh server (fresh metrics), 8 client threads x 100
+  // mixed requests, each thread its own connection.
+  constexpr int kThreads = 8;
+  DatasetServer server(*store_, ephemeral_options(4));
+  server.start();
+  std::vector<std::vector<std::string>> bodies(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", server.port());
+      bodies[static_cast<std::size_t>(t)].reserve(targets.size());
+      for (const std::string& target : targets) {
+        bodies[static_cast<std::size_t>(t)].push_back(client.get(target).body);
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+
+  // Byte-identical bodies across every thread and the single-threaded run.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(bodies[static_cast<std::size_t>(t)].size(), golden.size());
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      EXPECT_EQ(bodies[static_cast<std::size_t>(t)][i], golden[i])
+          << "thread " << t << " target " << targets[i];
+    }
+  }
+
+  // /metrics must converge on exactly kThreads * targets counted requests.
+  // Counters are recorded after the response bytes are sent, so poll briefly
+  // for the last few records to land — and each poll is itself a request
+  // that the *next* scrape will have counted (recording is sequenced before
+  // the same keep-alive worker reads the following request), so scrape
+  // number `polls` (0-based) must report exactly `expected + polls` once
+  // every client-thread request has landed.
+  const std::int64_t expected =
+      static_cast<std::int64_t>(kThreads) * static_cast<std::int64_t>(targets.size());
+  HttpClient scraper("127.0.0.1", server.port());
+  Json requests;
+  std::int64_t polls = 0;
+  for (; polls < 200; ++polls) {
+    requests = Json::parse(scraper.get("/metrics").body).at("requests");
+    if (requests.at("requests_total").as_int() >= expected + polls) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::int64_t seen = expected + polls;  // client load + earlier polls
+  EXPECT_EQ(requests.at("requests_total").as_int(), seen);
+  EXPECT_EQ(requests.at("responses").at("2xx").as_int(), seen);
+  EXPECT_EQ(requests.at("responses").at("4xx").as_int(), 0);
+  EXPECT_EQ(requests.at("responses").at("5xx").as_int(), 0);
+  EXPECT_EQ(requests.at("latency").at("count").as_int(), seen);
+
+  // The artifact working set repeats across threads: the cache must be warm.
+  const Json metrics = Json::parse(scraper.get("/metrics").body);
+  EXPECT_GT(metrics.at("blob_cache").at("hits").as_int(), 0);
+  EXPECT_GT(metrics.at("blob_cache").at("hit_rate").as_double(), 0.0);
+  server.stop();
+}
+
+TEST_F(ServeTest, StopUnblocksIdleKeepAliveConnections) {
+  DatasetServer server(*store_, ephemeral_options(2));
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  // The connection is now idle inside a worker's recv; stop() must not hang.
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 5);
+}
+
+}  // namespace
+}  // namespace qdb::serve

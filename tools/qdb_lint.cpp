@@ -130,6 +130,29 @@ void for_each_token(const std::string& text, const std::string& token, bool allo
   }
 }
 
+/// Is the token at [pos, pos+len) a plausible direct BSD-socket call site?
+/// Accepts the bare (`socket(`) and global-scope (`::socket(`) spellings;
+/// rejects members (`x.bind`), qualified names (`std::bind`, `ns::accept`)
+/// and substrings (`tcp_accept`).
+bool socket_call_token(const std::string& text, std::size_t pos, std::size_t len) {
+  if (pos > 0) {
+    const char prev = text[pos - 1];
+    if (is_ident_char(prev) || prev == '.') return false;
+    if (prev == '>' && pos > 1 && text[pos - 2] == '-') return false;
+    if (prev == ':') {
+      // `::socket` (global scope) is exactly the raw call; `ns::socket` is
+      // somebody else's function.
+      if (pos < 2 || text[pos - 2] != ':') return false;
+      if (pos >= 3) {
+        const char before = text[pos - 3];
+        if (is_ident_char(before) || before == ':' || before == '>') return false;
+      }
+    }
+  }
+  const std::size_t after = pos + len;
+  return after >= text.size() || !is_ident_char(text[after]);
+}
+
 bool first_component_is(const std::string& relpath, const char* component) {
   const std::size_t slash = relpath.find('/');
   return relpath.compare(0, slash == std::string::npos ? relpath.size() : slash,
@@ -231,6 +254,25 @@ std::vector<Diagnostic> lint_source(const std::string& relpath, const std::strin
       add(pos, "omp-pragma",
           "#pragma omp outside common/parallel.h — use the parallel_for "
           "wrappers (the TSan build swaps in a std::thread backend there)");
+    }
+  }
+
+  // raw-socket: direct BSD socket API calls.  All socket plumbing lives in
+  // the serve layer's RAII wrapper (src/serve/net_socket.*, allowlisted) so
+  // there is exactly one place that owns fds, EINTR loops and shutdown
+  // semantics; everything else goes through Socket / HttpClient.
+  for (const char* tok : {"socket", "bind", "accept", "listen", "connect"}) {
+    const std::string token = tok;
+    for (std::size_t pos = code.find(token); pos != std::string::npos;
+         pos = code.find(token, pos + 1)) {
+      if (!socket_call_token(code, pos, token.size())) continue;
+      const std::size_t paren = skip_ws(code, pos + token.size());
+      if (paren < code.size() && code[paren] == '(') {
+        add(pos, "raw-socket",
+            std::string("raw ") + tok +
+                "() call — socket plumbing belongs to the serve/net_socket "
+                "wrapper (RAII fds, EINTR handling, shutdown semantics)");
+      }
     }
   }
 

@@ -19,6 +19,11 @@
 //   omp-pragma          `#pragma omp` outside common/parallel.h — all
 //                       fan-out goes through the parallel.h wrappers so the
 //                       TSan build can swap in its std::thread backend.
+//   raw-socket          direct socket()/bind()/accept()/listen()/connect()
+//                       calls (bare or `::`-qualified) — socket plumbing
+//                       lives in src/serve/net_socket.* (allowlisted), the
+//                       one place that owns fds, EINTR loops and shutdown
+//                       semantics.
 //
 // The scanner strips comments, string/char literals (including raw strings)
 // and matches on identifier boundaries, so prose like "the new atom" or a
