@@ -11,7 +11,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/timer.h"
+#include "obs/trace.h"
 #include "core/qdockbank.h"
 #include "data/batch.h"
 #include "quantum/ansatz.h"
@@ -228,12 +228,16 @@ void stage2_speedup_summary() {
   double naive_best = 1e300, hist_best = 1e300;
   double naive_lo = 0.0, hist_lo = 0.0;
   for (int rep = 0; rep < 3; ++rep) {
-    Timer t1;
-    naive_lo = eval_per_shot_naive(h, shots);
-    naive_best = std::min(naive_best, t1.seconds());
-    Timer t2;
-    hist_lo = eval_histogram(h, shots);
-    hist_best = std::min(hist_best, t2.seconds());
+    {
+      obs::Span t1("bench.stage2.naive");
+      naive_lo = eval_per_shot_naive(h, shots);
+      naive_best = std::min(naive_best, t1.seconds());
+    }
+    {
+      obs::Span t2("bench.stage2.histogram");
+      hist_lo = eval_histogram(h, shots);
+      hist_best = std::min(hist_best, t2.seconds());
+    }
   }
   const double speedup = naive_best / hist_best;
   std::printf("\nstage-2 evaluation A/B (4jpy, %zu shots, %zu distinct):\n",

@@ -17,12 +17,20 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/qdockbank.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb::bench {
 
 /// Machine-readable bench output: writes BENCH_<name>.json with a flat
 /// metric map so the perf trajectory can be tracked (diffed, plotted)
 /// across PRs.  Values are emitted at full double precision.
+///
+/// After the caller's metrics (whose keys and order are byte-stable across
+/// this change), every `span.<name>` histogram in the global registry is
+/// appended as `span.<name>.count` / `span.<name>.total_us` — so a bench
+/// that ran under obs spans publishes its span summary in the same file
+/// without disturbing existing diff/plot tooling (new keys append only).
 inline void emit_bench_json(const std::string& name,
                             const std::vector<std::pair<std::string, double>>& metrics) {
   const std::string path = "BENCH_" + name + ".json";
@@ -40,10 +48,39 @@ inline void emit_bench_json(const std::string& name,
   for (const auto& [key, value] : metrics) {
     std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
   }
+  const obs::Snapshot snap = obs::MetricRegistry::global().snapshot();
+  for (const obs::Snapshot::HistogramSample& h : snap.histograms) {
+    if (h.name.rfind("span.", 0) != 0) continue;
+    std::fprintf(f, ",\n  \"%s.count\": %.17g", h.name.c_str(),
+                 static_cast<double>(h.count()));
+    std::fprintf(f, ",\n  \"%s.total_us\": %.17g", h.name.c_str(),
+                 static_cast<double>(h.total));
+  }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
+
+/// RAII trace session for a bench: starts recording on construction and, on
+/// destruction, drains the session and prints the per-span summary table
+/// (count / total / self time) below the bench's own output.  Benches that
+/// also call emit_bench_json get the same spans in their JSON via the
+/// registry mirror.
+class ScopedBenchTrace {
+ public:
+  ScopedBenchTrace() { session_.start(); }
+  ~ScopedBenchTrace() {
+    session_.stop();
+    if (!session_.events().empty()) {
+      std::printf("\nspan summary:\n%s", session_.summary_table().c_str());
+    }
+  }
+  ScopedBenchTrace(const ScopedBenchTrace&) = delete;
+  ScopedBenchTrace& operator=(const ScopedBenchTrace&) = delete;
+
+ private:
+  obs::TraceSession session_;
+};
 
 inline void header(const std::string& title) {
   std::printf("\n================================================================\n");
@@ -58,6 +95,7 @@ inline void run_group_table(Group g, const char* paper_table) {
   header(format("%s - %s group fragments (measured vs published)", paper_table,
                 group_name(g)));
 
+  const ScopedBenchTrace trace;
   Pipeline pipeline;
   Table t({"PDB", "Sequence", "Len", "Qubits", "Depth", "E_min", "E_max", "E_range",
            "Time(s)", "| pub E_min", "pub E_range", "pub Time(s)"});
@@ -92,6 +130,7 @@ inline void run_method_comparison(Method baseline, const char* figure,
   header(format("%s - QDock vs %s: affinity and RMSD per entry", figure,
                 method_name(baseline)));
 
+  const ScopedBenchTrace trace;
   Pipeline pipeline;
   const auto qd = pipeline.evaluate_all(Method::QDock);
   const auto base = pipeline.evaluate_all(baseline);

@@ -21,6 +21,8 @@
 //       --fault-rate P          inject transient faults with probability P
 //                               per evaluation (deterministic per seed)
 //       --fault-seed S          fault stream seed (default: $QDB_FAULT_SEED)
+//       --limit N               run only the first N selected entries
+//                               (CI-sized subsets for --trace runs)
 //   qdb ingest <dataset_root> <store_root>
 //                                  ingest a §4.2 dataset tree into the
 //                                  content-addressed store (dedup + index)
@@ -36,7 +38,17 @@
 //                                  one GET via the in-tree client; prints
 //                                  the body (CI smoke checks)
 //
+// Global flags (any subcommand):
+//   --trace <out.json>             record a TraceSession for the whole
+//                                  command; writes Chrome trace_event JSON
+//                                  (open in chrome://tracing or Perfetto)
+//                                  with the span summary, the metric
+//                                  registry, and a Prometheus rendering
+//                                  embedded as extra top-level keys, and
+//                                  prints the per-span summary table
+//
 // Methods: qdock (default), af2, af3, annealing, greedy, exact.
+// Structured logging follows QDB_LOG=off|warn|info|debug (default warn).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -49,7 +61,10 @@
 
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/json.h"
 #include "core/qdockbank.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "data/batch.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -134,6 +149,7 @@ int cmd_batch(int argc, char** argv) {
   std::string group = "all";
   double fault_rate = 0.0;
   std::uint64_t fault_seed = fault_seed_from_env(1);
+  long limit = -1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,6 +167,7 @@ int cmd_batch(int argc, char** argv) {
     else if (arg == "--resume" || arg == "--checkpoint") opt.checkpoint_path = next("--resume");
     else if (arg == "--max-attempts") opt.retry.max_attempts = std::atoi(next("--max-attempts"));
     else if (arg == "--fail-fast") opt.fail_fast = true;
+    else if (arg == "--limit") limit = std::atol(next("--limit"));
     else if (arg == "--fault-rate") fault_rate = std::atof(next("--fault-rate"));
     else if (arg == "--fault-seed") fault_seed =
         static_cast<std::uint64_t>(std::atoll(next("--fault-seed")));
@@ -175,6 +192,9 @@ int cmd_batch(int argc, char** argv) {
   std::vector<const DatasetEntry*> entries;
   for (const DatasetEntry& e : qdockbank_entries()) {
     if (group == "all" || group == group_name(e.group())) entries.push_back(&e);
+  }
+  if (limit >= 0 && static_cast<std::size_t>(limit) < entries.size()) {
+    entries.resize(static_cast<std::size_t>(limit));
   }
   const BatchReport r = run_batch(entries, opt);
 
@@ -302,32 +322,76 @@ int cmd_get(char** argv) {
   return r.status < 400 ? 0 : 4;
 }
 
+int dispatch(int argc, char** argv) {
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list(argc, argv);
+  if (cmd == "batch") return cmd_batch(argc, argv);
+  if (argc >= 3 && cmd == "info") return cmd_info(argv[2]);
+  if (argc >= 3 && cmd == "predict") return cmd_predict(argc, argv);
+  if (argc >= 3 && cmd == "evaluate") return cmd_evaluate(argc, argv);
+  if (argc >= 4 && cmd == "reference") return cmd_reference(argv);
+  if (argc >= 4 && cmd == "ingest") return cmd_ingest(argv);
+  if (argc >= 3 && cmd == "serve") return cmd_serve(argc, argv);
+  if (argc >= 5 && cmd == "get") return cmd_get(argv);
+  std::fprintf(stderr, "qdb: bad arguments for '%s'\n", cmd.c_str());
+  return 2;
+}
+
+/// Drain the trace session and write the --trace file: standard Chrome
+/// trace_event JSON (viewers ignore extra top-level keys) carrying the
+/// per-span summary, the full metric registry, and a Prometheus rendering —
+/// one self-contained artifact per run, cross-checkable by qdb_trace_check.
+void write_trace_file(obs::TraceSession& session, const std::string& path) {
+  session.stop();
+  Json doc = session.to_chrome_json();
+  doc.set("summary", session.summary_json());
+  doc.set("registry", obs::MetricRegistry::global().to_json());
+  doc.set("prometheus", obs::MetricRegistry::global().to_prometheus());
+  write_file_atomic(path, doc.dump());
+  const std::string table = session.summary_table();
+  std::fputs(table.c_str(), stdout);
+  std::printf("trace: %zu events -> %s\n", session.events().size(), path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--trace <path>` is a global flag: strip it before subcommand parsing so
+  // every command (predict, batch, ingest, ...) can be traced uniformly.
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qdb: --trace needs an output path\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: qdb list [S|M|L] | info <id> | predict <id> [method] [out.pdb] "
                  "| evaluate <id> [method] | reference <id> <out.pdb> "
-                 "| batch [S|M|L|all] [--account] [--resume <checkpoint>] [flags] "
+                 "| batch [S|M|L|all] [--account] [--resume <checkpoint>] "
+                 "[--limit N] [flags] "
                  "| ingest <dataset_root> <store_root> "
                  "| serve <store_root> [--port P] [--host H] [--threads N] [--cache N] "
-                 "| get <host> <port> <target>\n");
+                 "| get <host> <port> <target>  [--trace out.json]\n");
     return 2;
   }
   try {
-    const std::string cmd = argv[1];
-    if (cmd == "list") return cmd_list(argc, argv);
-    if (cmd == "batch") return cmd_batch(argc, argv);
-    if (argc >= 3 && cmd == "info") return cmd_info(argv[2]);
-    if (argc >= 3 && cmd == "predict") return cmd_predict(argc, argv);
-    if (argc >= 3 && cmd == "evaluate") return cmd_evaluate(argc, argv);
-    if (argc >= 4 && cmd == "reference") return cmd_reference(argv);
-    if (argc >= 4 && cmd == "ingest") return cmd_ingest(argv);
-    if (argc >= 3 && cmd == "serve") return cmd_serve(argc, argv);
-    if (argc >= 5 && cmd == "get") return cmd_get(argv);
-    std::fprintf(stderr, "qdb: bad arguments for '%s'\n", cmd.c_str());
-    return 2;
+    obs::TraceSession session;
+    if (!trace_path.empty()) session.start();
+    const int rc = dispatch(argc, argv);
+    if (!trace_path.empty()) write_trace_file(session, trace_path);
+    return rc;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "qdb: %s\n", ex.what());
     return 1;

@@ -14,6 +14,9 @@
 #include "data/checkpoint.h"
 #include "data/reference.h"
 #include "lattice/lattice.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -109,8 +112,9 @@ std::vector<Rung> build_ladder(const DatasetEntry& e, const BatchOptions& option
 /// can fail — including the accounting-only path — funnels through here, so
 /// both the serial and the parallel executors share one failure-log path.
 /// On a terminal failure, *fatal holds the last exception for fail_fast.
-BatchJobRecord run_one_resilient(const DatasetEntry& e, const BatchOptions& options,
-                                 std::exception_ptr* fatal) {
+BatchJobRecord run_one_resilient_impl(const DatasetEntry& e,
+                                      const BatchOptions& options,
+                                      std::exception_ptr* fatal) {
   BatchJobRecord job;
   job.pdb_id = e.pdb_id;
   job.group = e.group();
@@ -154,6 +158,13 @@ BatchJobRecord run_one_resilient(const DatasetEntry& e, const BatchOptions& opti
                      : (*rung.label != '\0' ? JobStatus::Degraded : JobStatus::Retried);
         return job;
       } catch (const std::exception& ex) {
+        obs::counter("batch.attempt_failures").add();
+        obs::log_warn("batch.attempt_failed")
+            .kv("job", e.pdb_id)
+            .kv("attempt", attempt_no)
+            .kv("rung", rung.label)
+            .kv("retryable", is_retryable_fault(ex))
+            .kv("error", ex.what());
         std::string line = "attempt " + std::to_string(attempt_no);
         if (*rung.label != '\0') line += std::string(" [") + rung.label + "]";
         line += ": ";
@@ -180,6 +191,42 @@ BatchJobRecord run_one_resilient(const DatasetEntry& e, const BatchOptions& opti
   }
   job.attempts = attempt_no;
   job.status = JobStatus::Failed;
+  return job;
+}
+
+/// Span + structured-event wrapper around the ladder: every job emits one
+/// "batch.job" span (pdb_id/status/attempts attributes) and bumps the
+/// per-outcome counters, so retry storms and degradation cascades are
+/// visible in /metrics and trace dumps instead of only in failure logs.
+BatchJobRecord run_one_resilient(const DatasetEntry& e, const BatchOptions& options,
+                                 std::exception_ptr* fatal) {
+  obs::Span span("batch.job");
+  span.set_attr("pdb_id", e.pdb_id);
+  BatchJobRecord job = run_one_resilient_impl(e, options, fatal);
+  span.set_attr("status", job_status_name(job.status));
+  span.set_attr("attempts", std::to_string(job.attempts));
+  static obs::Counter& jobs_total = obs::counter("batch.jobs");
+  jobs_total.add();
+  switch (job.status) {
+    case JobStatus::Ok:
+      break;
+    case JobStatus::Retried:
+      obs::counter("batch.jobs_retried").add();
+      break;
+    case JobStatus::Degraded:
+      obs::counter("batch.jobs_degraded").add();
+      obs::log_info("batch.degraded")
+          .kv("job", job.pdb_id)
+          .kv("rung", job.degradation)
+          .kv("attempts", job.attempts);
+      break;
+    case JobStatus::Failed:
+      obs::counter("batch.jobs_failed").add();
+      obs::log_warn("batch.job_failed")
+          .kv("job", job.pdb_id)
+          .kv("attempts", job.attempts);
+      break;
+  }
   return job;
 }
 
@@ -252,6 +299,12 @@ void validate_job_record(const BatchJobRecord& job, const RetryPolicy& retry) {
 
 BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
                       const BatchOptions& options) {
+  obs::Span span("batch.run");
+  span.set_attr("entries", std::to_string(entries.size()));
+  obs::log_info("batch.start")
+      .kv("entries", entries.size())
+      .kv("run_vqe", options.run_vqe)
+      .kv("threads", options.threads);
   const auto n = static_cast<std::int64_t>(entries.size());
   const std::uint64_t fingerprint = batch_options_fingerprint(options);
 
@@ -291,6 +344,7 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
   std::vector<std::string> ckpt_warnings;
   auto checkpoint_locked = [&]() {
     if (options.checkpoint_path.empty()) return;
+    QDB_SPAN("batch.checkpoint");
     BatchReport partial;
     for (std::int64_t i = 0; i < n; ++i) {
       if (finished[static_cast<std::size_t>(i)]) {
@@ -301,6 +355,7 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
     try {
       save_batch_checkpoint(options.checkpoint_path, partial, fingerprint);
     } catch (const std::exception& ex) {
+      obs::log_warn("batch.checkpoint_failed").kv("error", ex.what());
       ckpt_warnings.push_back(std::string("checkpoint write failed: ") + ex.what());
     }
   };
@@ -336,6 +391,12 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
   report.jobs = std::move(jobs);
   finalize_schedule(report, options);
   report.checkpoint_warnings = std::move(ckpt_warnings);
+
+  obs::log_info("batch.done")
+      .kv("entries", report.jobs.size())
+      .kv("completed", report.completed())
+      .kv("failed", report.count(JobStatus::Failed))
+      .kv("device_time_s", report.total_device_time_s);
 
   if (options.fail_fast) {
     // Legacy semantics: surface the first (lowest-entry-index) failure as

@@ -9,6 +9,9 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -73,6 +76,8 @@ struct RunOutput {
 
 RunOutput run_search(const ReceptorGrid& grid, const Ligand& ligand, const Box& box,
                      const DockingParams& params, int run_index) {
+  obs::Span span("dock.search");
+  span.set_attr("run", std::to_string(run_index));
   Rng rng(params.seed + static_cast<std::uint64_t>(run_index) * 0x9e3779b9ULL);
 
   auto score = [&](const Pose& p) {
@@ -231,6 +236,14 @@ double pose_rmsd_lb(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
 DockingResult dock(const Structure& receptor, const Ligand& ligand,
                    const DockingParams& params) {
   QDB_REQUIRE(params.num_runs >= 1 && params.top_poses >= 1, "bad docking params");
+  obs::Span span("dock.run");
+  span.set_attr("runs", std::to_string(params.num_runs));
+  static obs::Counter& seed_count = obs::counter("dock.seeded_runs");
+  seed_count.add(static_cast<std::uint64_t>(params.num_runs));
+  obs::log_debug("dock.start")
+      .kv("runs", params.num_runs)
+      .kv("seed", params.seed)
+      .kv("atoms", ligand.atoms().size());
   const ReceptorGrid grid(type_receptor(receptor), 8.0);
   Box box = search_box(receptor, params.box_padding);
   if (params.box_size > 0.0) {

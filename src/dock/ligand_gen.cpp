@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "dock/dock.h"
+#include "obs/log.h"
 
 namespace qdb {
 
@@ -267,8 +267,10 @@ ImprintResult imprint_ligand_with_site(const Ligand& generic, const Structure& r
     const double e = affinity_from_energy(
         intermolecular_energy(dbg_grid, imprinted, imprinted.conformation(at_imprint)),
         imprinted.num_torsions());
-    std::fprintf(stderr, "[imprint] %s: score at imprint pose = %.3f (%zu hbond pairs)\n",
-                 imprinted.name().c_str(), e, hbond_pairs.size());
+    obs::log_debug("dock.imprint")
+        .kv("ligand", imprinted.name())
+        .kv("score", e)
+        .kv("hbond_pairs", hbond_pairs.size());
   }
 
   Vec3 site;

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "lattice/allocation.h"
+#include "obs/metrics.h"
 
 namespace qdb {
 
@@ -113,6 +114,12 @@ double FoldingHamiltonian::energy_scratch(std::uint64_t bitstring, Scratch& scra
 void FoldingHamiltonian::energies(std::span<const std::uint64_t> bitstrings,
                                   std::span<double> out) const {
   QDB_REQUIRE(bitstrings.size() == out.size(), "energies: size mismatch");
+  // Telemetry, not synchronisation: one relaxed add per batch plus one per
+  // scored bitstring (the paper's cost unit for the classical kernel).
+  static obs::Counter& batches = obs::counter("hamiltonian.energy_batches");
+  static obs::Counter& scored = obs::counter("hamiltonian.energies");
+  batches.add();
+  scored.add(bitstrings.size());
   parallel_for(static_cast<std::int64_t>(bitstrings.size()), [&](std::int64_t i) {
     Scratch scratch;  // fixed-capacity stack buffers: construction is free
     out[static_cast<std::size_t>(i)] =

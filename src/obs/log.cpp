@@ -1,0 +1,172 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace qdb::obs {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialised from QDB_LOG
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::function<void(std::string_view)>& sink_slot() {
+  static std::function<void(std::string_view)> sink;
+  return sink;
+}
+
+void default_sink(std::string_view line) {
+  // The one sanctioned stderr write in the library: everything else routes
+  // through this sink (enforced by qdb_lint's stderr-in-library rule, which
+  // exempts src/obs/).
+  std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
+}
+
+void emit(std::string_view line) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  const auto& sink = sink_slot();
+  if (sink) {
+    sink(line);
+  } else {
+    default_sink(line);
+  }
+}
+
+char to_lower_ascii(char c) { return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c; }
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Off: break;
+  }
+  return "off";
+}
+
+std::int64_t epoch_millis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower += to_lower_ascii(c);
+  if (lower == "off" || lower == "none" || lower == "0") return LogLevel::Off;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "debug") return LogLevel::Debug;
+  return LogLevel::Warn;  // unknown strings fall back to the default
+}
+
+LogLevel log_level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    const char* env = std::getenv("QDB_LOG");
+    const LogLevel parsed = env == nullptr ? LogLevel::Warn : parse_log_level(env);
+    // Racing initialisers agree (same env var), so plain stores are fine.
+    g_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+    lvl = static_cast<int>(parsed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level()) &&
+         level != LogLevel::Off;
+}
+
+void set_log_sink(std::function<void(std::string_view)> sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
+std::string log_escape_value(std::string_view value) {
+  bool needs_quotes = value.empty();
+  for (char c : value) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || uc < 0x20) {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(value);
+  std::string out = "\"";
+  for (char c : value) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else if (c == '\t') out += "\\t";
+    else if (uc < 0x20) out += format("\\x%02x", uc);
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view event)
+    : enabled_(log_enabled(level)) {
+  if (!enabled_) return;
+  static Counter& warn_count = counter("log.warn");
+  static Counter& info_count = counter("log.info");
+  static Counter& debug_count = counter("log.debug");
+  switch (level) {
+    case LogLevel::Warn: warn_count.add(); break;
+    case LogLevel::Info: info_count.add(); break;
+    case LogLevel::Debug: debug_count.add(); break;
+    case LogLevel::Off: break;
+  }
+  line_ = "ts=" + std::to_string(epoch_millis());
+  line_ += " level=";
+  line_ += level_name(level);
+  line_ += " event=";
+  line_ += log_escape_value(event);
+}
+
+LogEvent::~LogEvent() {
+  if (enabled_) emit(line_);
+}
+
+LogEvent& LogEvent::kv(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  line_ += ' ';
+  line_ += key;
+  line_ += '=';
+  line_ += log_escape_value(value);
+  return *this;
+}
+
+LogEvent& LogEvent::kv(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  return kv(key, std::string_view(format("%g", value)));
+}
+
+LogEvent& LogEvent::kv(std::string_view key, std::int64_t value) {
+  if (!enabled_) return *this;
+  return kv(key, std::string_view(std::to_string(value)));
+}
+
+LogEvent& LogEvent::kv(std::string_view key, std::uint64_t value) {
+  if (!enabled_) return *this;
+  return kv(key, std::string_view(std::to_string(value)));
+}
+
+}  // namespace qdb::obs

@@ -1,0 +1,118 @@
+// Structured leveled logging (ISSUE 5).
+//
+// One sink for every diagnostic line the library emits, replacing scattered
+// `std::cerr` / `fprintf(stderr, ...)` call sites (the new qdb_lint
+// `stderr-in-library` rule forbids those outside src/obs/).  Records are
+// single-line key=value events:
+//
+//   ts=1722950400123 level=info event=batch.retry job=1abc attempt=2 backoff_ms=40
+//
+// Values containing spaces, quotes, '=' or control characters are quoted and
+// escaped ("..." with \\, \", \n, \t, \xHH), so the line stays grep-able and
+// machine-parseable.  The event name comes first after the fixed fields; keys
+// keep insertion order.
+//
+// Levels follow the QDB_LOG environment variable (off|warn|info|debug,
+// default warn), read once on first use; tests override programmatically via
+// set_log_level().  Emitting a record also bumps the registry counter
+// `log.<level>`, so retry storms show up in /metrics even when the sink is
+// silenced.
+//
+// The sink is process-wide and swappable (set_log_sink) so tests capture
+// lines instead of polluting stderr; passing nullptr restores the default
+// stderr sink.  Sink calls are serialised by an internal mutex — records
+// from concurrent threads never interleave mid-line.
+//
+// Usage:
+//
+//   obs::log_info("batch.retry")
+//       .kv("job", job_id)
+//       .kv("attempt", attempt)
+//       .kv("backoff_ms", backoff.count());
+//
+// The record is emitted by the LogEvent destructor; a disabled level costs
+// one relaxed load and never formats anything.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace qdb::obs {
+
+enum class LogLevel : int { Off = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Parse "off"/"warn"/"info"/"debug" (case-insensitive).  Unknown strings
+/// fall back to Warn, matching the env-var contract (never throws).
+LogLevel parse_log_level(std::string_view text);
+
+/// Current process-wide level.  First call reads QDB_LOG.
+LogLevel log_level();
+
+/// Override the level (tests; CLI --log flag).
+void set_log_level(LogLevel level);
+
+/// True when `level` records would be emitted right now.
+bool log_enabled(LogLevel level);
+
+/// Replace the sink (called once per complete record line, no trailing
+/// newline).  nullptr restores the default stderr sink.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
+/// Quote/escape a value for key=value output if it needs it; returns the
+/// bare value otherwise.  Exposed for the tests.
+std::string log_escape_value(std::string_view value);
+
+/// One in-flight record; emits on destruction.  Obtain via log_warn /
+/// log_info / log_debug — when the level is disabled the event is inert
+/// (no formatting, no allocation beyond the empty string).
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& kv(std::string_view key, std::string_view value);
+  LogEvent& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  LogEvent& kv(std::string_view key, const std::string& value) {
+    return kv(key, std::string_view(value));
+  }
+  LogEvent& kv(std::string_view key, bool value) {
+    return kv(key, value ? std::string_view("true") : std::string_view("false"));
+  }
+  LogEvent& kv(std::string_view key, double value);
+  LogEvent& kv(std::string_view key, std::int64_t value);
+  LogEvent& kv(std::string_view key, std::uint64_t value);
+  /// Any other integer type routes through the signed/unsigned 64-bit form.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::int64_t> && !std::is_same_v<T, std::uint64_t>)
+  LogEvent& kv(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return kv(key, static_cast<std::int64_t>(value));
+    } else {
+      return kv(key, static_cast<std::uint64_t>(value));
+    }
+  }
+
+ private:
+  bool enabled_;
+  std::string line_;
+};
+
+inline LogEvent log_warn(std::string_view event) {
+  return LogEvent(LogLevel::Warn, event);
+}
+inline LogEvent log_info(std::string_view event) {
+  return LogEvent(LogLevel::Info, event);
+}
+inline LogEvent log_debug(std::string_view event) {
+  return LogEvent(LogLevel::Debug, event);
+}
+
+}  // namespace qdb::obs

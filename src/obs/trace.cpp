@@ -1,0 +1,244 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace qdb::obs {
+
+namespace {
+
+/// The installed session (at most one per process) and its generation.  The
+/// generation invalidates the per-thread buffer cache across sessions: two
+/// sessions could occupy the same address, so a pointer compare is not
+/// enough (classic ABA).
+std::atomic<TraceSession*> g_session{nullptr};
+std::atomic<std::uint64_t> g_generation{0};
+
+struct TlTraceCache {
+  std::uint64_t generation = 0;  // 0 = nothing cached (generations start at 1)
+  TraceSession::ThreadBuffer* buffer = nullptr;
+};
+
+TlTraceCache& tl_cache() {
+  thread_local TlTraceCache cache;
+  return cache;
+}
+
+int& tl_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+std::uint64_t micros_between(std::chrono::steady_clock::time_point from,
+                             std::chrono::steady_clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+TraceSession::~TraceSession() { stop(); }
+
+TraceSession* TraceSession::current() {
+  return g_session.load(std::memory_order_acquire);
+}
+
+bool TraceSession::active() const {
+  return g_session.load(std::memory_order_acquire) == this;
+}
+
+void TraceSession::start() {
+  if (started_) throw Error("trace session cannot be restarted");
+  epoch_ = std::chrono::steady_clock::now();
+  started_ = true;
+  // Bump the generation *before* publishing the pointer: a thread that sees
+  // the new session also sees a generation newer than anything it cached.
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  TraceSession* expected = nullptr;
+  if (!g_session.compare_exchange_strong(expected, this, std::memory_order_acq_rel)) {
+    started_ = false;
+    throw Error("a trace session is already active");
+  }
+}
+
+void TraceSession::stop() {
+  if (!started_ || stopped_) return;
+  TraceSession* expected = this;
+  g_session.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+  // Drain at quiescence: every recording thread has been joined by its
+  // fan-out (common/parallel.h), which gives this thread a happens-before
+  // edge over all buffered events.
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) total += buf->events.size();
+  drained_.reserve(total);
+  for (auto& buf : buffers_) {
+    for (TraceEvent& ev : buf->events) drained_.push_back(std::move(ev));
+    buf->events.clear();
+  }
+  std::sort(drained_.begin(), drained_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.name < b.name;
+            });
+  stopped_ = true;
+}
+
+TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = static_cast<int>(buffers_.size());
+  return buffers_.back().get();
+}
+
+std::vector<SpanSummary> TraceSession::summary() const {
+  // Direct-child attribution: events are sorted (tid, ts, depth), so a
+  // per-thread ancestor stack finds each event's immediate parent in one
+  // pass; a child's duration is charged against the parent's self time.
+  std::vector<std::uint64_t> child_sum(drained_.size(), 0);
+  std::vector<std::size_t> stack;
+  int current_tid = -1;
+  for (std::size_t i = 0; i < drained_.size(); ++i) {
+    const TraceEvent& e = drained_[i];
+    if (e.tid != current_tid) {
+      stack.clear();
+      current_tid = e.tid;
+    }
+    while (!stack.empty()) {
+      const TraceEvent& top = drained_[stack.back()];
+      const bool is_ancestor =
+          top.depth < e.depth && e.ts_us < top.ts_us + top.dur_us;
+      if (is_ancestor) break;
+      stack.pop_back();
+    }
+    if (!stack.empty() && e.depth == drained_[stack.back()].depth + 1) {
+      child_sum[stack.back()] += e.dur_us;
+    }
+    stack.push_back(i);
+  }
+
+  std::vector<SpanSummary> rows;
+  for (std::size_t i = 0; i < drained_.size(); ++i) {
+    const TraceEvent& e = drained_[i];
+    SpanSummary* row = nullptr;
+    for (SpanSummary& r : rows) {
+      if (r.name == e.name) {
+        row = &r;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      rows.push_back(SpanSummary{e.name, 0, 0, 0});
+      row = &rows.back();
+    }
+    row->count += 1;
+    row->total_us += e.dur_us;
+    // Clamp: a child's independently measured end can overshoot its
+    // parent's by a microsecond of rounding.
+    row->self_us += e.dur_us - std::min(e.dur_us, child_sum[i]);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SpanSummary& a, const SpanSummary& b) { return a.name < b.name; });
+  return rows;
+}
+
+Json TraceSession::to_chrome_json() const {
+  Json events = Json::array();
+  for (const TraceEvent& e : drained_) {
+    Json ev = Json::object();
+    ev.set("name", e.name);
+    ev.set("cat", "qdb");
+    ev.set("ph", "X");
+    ev.set("ts", static_cast<std::int64_t>(e.ts_us));
+    ev.set("dur", static_cast<std::int64_t>(e.dur_us));
+    ev.set("pid", 1);
+    ev.set("tid", e.tid);
+    if (!e.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [key, value] : e.args) args.set(key, value);
+      ev.set("args", std::move(args));
+    }
+    events.push_back(std::move(ev));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Json TraceSession::summary_json() const {
+  Json rows = Json::array();
+  for (const SpanSummary& s : summary()) {
+    Json row = Json::object();
+    row.set("name", s.name);
+    row.set("count", static_cast<std::int64_t>(s.count));
+    row.set("total_us", static_cast<std::int64_t>(s.total_us));
+    row.set("self_us", static_cast<std::int64_t>(s.self_us));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string TraceSession::summary_table() const {
+  Table t({"Span", "Count", "Total(ms)", "Self(ms)"});
+  for (const SpanSummary& s : summary()) {
+    t.add_row({s.name, std::to_string(s.count),
+               format_fixed(static_cast<double>(s.total_us) / 1e3, 2),
+               format_fixed(static_cast<double>(s.self_us) / 1e3, 2)});
+  }
+  return t.to_string();
+}
+
+Span::Span(const char* name)
+    : name_(name), start_(std::chrono::steady_clock::now()), buffer_(nullptr) {
+  session_ = g_session.load(std::memory_order_acquire);
+  if (session_ != nullptr) {
+    TlTraceCache& tl = tl_cache();
+    const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+    if (tl.generation != gen) {
+      tl.buffer = session_->buffer_for_this_thread();
+      tl.generation = gen;
+    }
+    buffer_ = tl.buffer;
+  }
+  depth_ = tl_depth()++;
+}
+
+Span::~Span() {
+  const auto end = std::chrono::steady_clock::now();
+  const std::uint64_t dur_us = micros_between(start_, end);
+  --tl_depth();
+  // Always mirrored into the registry so span totals are observable (and
+  // cross-checkable against a session's events) through /metrics.
+  MetricRegistry::global().histogram(std::string("span.") + name_).record(dur_us);
+  if (session_ != nullptr && buffer_ != nullptr) {
+    TraceEvent ev;
+    ev.name = name_;
+    ev.ts_us = micros_between(session_->epoch_, start_);
+    ev.dur_us = dur_us;
+    ev.tid = buffer_->tid;
+    ev.depth = depth_;
+    ev.args = std::move(args_);
+    buffer_->events.push_back(std::move(ev));
+  }
+}
+
+void Span::set_attr(std::string_view key, std::string_view value) {
+  if (session_ == nullptr) return;
+  args_.emplace_back(std::string(key), std::string(value));
+}
+
+double Span::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace qdb::obs

@@ -1,0 +1,156 @@
+// Hierarchical trace spans with Chrome-trace export (ISSUE 5).
+//
+// RAII `Span` objects mark timed regions on a thread-local span stack.
+// When a `TraceSession` is active (one per process), every span that *ends*
+// while the session is live appends one complete event — name, start, wall
+// duration, thread id, nesting depth, optional key=value attributes — to a
+// per-thread buffer owned by the session.  The hot path takes no lock: a
+// thread appends only to its own buffer, which it locates through one
+// relaxed atomic load plus a generation-checked thread-local cache.
+//
+// Quiescence doctrine (same as /metrics): `stop()` must be called after all
+// threads that recorded spans have finished their work — in this codebase
+// that is structural, because every fan-out joins inside common/parallel.h
+// before the orchestrator regains control.  The thread-join gives stop() a
+// happens-before edge over every buffered event, so the drain is race-free
+// under TSan without any per-event synchronisation.
+//
+// Whether or not a session is active, ending a span also records its
+// duration into the global MetricRegistry histogram `span.<name>` — which
+// is why, at quiescence, a session's per-span-name totals agree with the
+// registry's histogram counts *exactly* (the acceptance criterion the
+// tools/qdb_trace_check schema checker enforces on CLI trace dumps).
+//
+// Export formats:
+//   to_chrome_json()  — Chrome trace_event JSON ("X" complete events),
+//                       loadable in chrome://tracing and Perfetto
+//   summary()/summary_table() — per-span-name count / total / self time
+//                       (self = total minus direct children), the table
+//                       benches print
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace qdb::obs {
+
+/// One completed span occurrence.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;   ///< start, microseconds since session start
+  std::uint64_t dur_us = 0;  ///< wall duration, microseconds
+  int tid = 0;               ///< small sequential id (registration order)
+  int depth = 0;             ///< nesting depth at start (0 = top level)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Aggregated per-span-name statistics.
+struct SpanSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;  ///< sum of durations
+  std::uint64_t self_us = 0;   ///< total minus time spent in direct children
+};
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  ~TraceSession();  // stops if still active
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Install as the process-wide active session.  Only one session can be
+  /// active at a time (starting a second throws qdb::Error).
+  void start();
+
+  /// Uninstall and drain all per-thread buffers.  Must be called at
+  /// quiescence (see header comment).  Idempotent.
+  void stop();
+
+  bool active() const;
+
+  /// The currently installed session, or nullptr.
+  static TraceSession* current();
+
+  /// Drained events, sorted by (tid, ts, depth).  Valid after stop().
+  const std::vector<TraceEvent>& events() const { return drained_; }
+
+  /// Per-span-name aggregation (sorted by name).  Valid after stop().
+  std::vector<SpanSummary> summary() const;
+
+  /// Chrome trace_event JSON document:
+  ///   {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+  ///                     "tid", "args"}, ...], "displayTimeUnit": "ms"}
+  /// Built through qdb::Json, so all strings are escaped correctly
+  /// (control characters, quotes; UTF-8 passes through byte-exact).
+  Json to_chrome_json() const;
+
+  /// summary() rendered with common/table.h (count, total ms, self ms).
+  std::string summary_table() const;
+
+  /// summary() as a JSON array of {name, count, total_us, self_us}.
+  Json summary_json() const;
+
+  /// One thread's append-only event buffer.  Public only so the translation
+  /// unit's thread-local cache can name the type; user code never touches it.
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+ private:
+  friend class Span;
+
+  /// Register (or look up) the calling thread's buffer.  Called once per
+  /// (thread, session) via the Span thread-local cache.
+  ThreadBuffer* buffer_for_this_thread();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ registration only
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> drained_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// RAII timed region.  `name` must outlive the span (string literals).
+/// Construction costs one steady_clock read plus one relaxed atomic load
+/// when no session is active.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key=value attribute (exported as Chrome "args").  Attributes
+  /// are only kept while a session is active.
+  void set_attr(std::string_view key, std::string_view value);
+
+  /// Elapsed wall time since construction (for result fields like
+  /// VqeResult::sim_wall_time_s, replacing the old common/timer.h usage).
+  double seconds() const;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  TraceSession* session_;               // nullptr when inactive at start
+  TraceSession::ThreadBuffer* buffer_;  // valid iff session_ != nullptr
+  int depth_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Span with an automatically unique variable name.
+#define QDB_SPAN_CONCAT2_(a, b) a##b
+#define QDB_SPAN_CONCAT_(a, b) QDB_SPAN_CONCAT2_(a, b)
+#define QDB_SPAN(name) ::qdb::obs::Span QDB_SPAN_CONCAT_(qdb_span_, __LINE__)(name)
+
+}  // namespace qdb::obs

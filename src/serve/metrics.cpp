@@ -2,27 +2,6 @@
 
 namespace qdb::serve {
 
-Json LatencyHistogram::to_json() const {
-  Json buckets = Json::array();
-  std::uint64_t cumulative = 0;
-  for (int b = 0; b <= kBuckets; ++b) {
-    cumulative += counts_[b].load(std::memory_order_relaxed);
-    Json bucket = Json::object();
-    if (b < kBuckets) {
-      bucket.set("le_us", static_cast<std::int64_t>(std::uint64_t{1} << b));
-    } else {
-      bucket.set("le_us", "+Inf");
-    }
-    bucket.set("count", static_cast<std::int64_t>(cumulative));
-    buckets.push_back(std::move(bucket));
-  }
-  Json j = Json::object();
-  j.set("buckets", std::move(buckets));
-  j.set("count", static_cast<std::int64_t>(cumulative));
-  j.set("total_us", static_cast<std::int64_t>(total_micros()));
-  return j;
-}
-
 void ServerMetrics::record(int status, std::uint64_t micros,
                            std::uint64_t response_bytes) {
   requests_total.fetch_add(1, std::memory_order_relaxed);
@@ -37,6 +16,20 @@ void ServerMetrics::record(int status, std::uint64_t micros,
   }
   bytes_sent.fetch_add(response_bytes, std::memory_order_relaxed);
   latency.record(micros);
+
+  // Mirror into the process-wide registry so server traffic appears in
+  // /metrics?format=prometheus and trace dumps next to every other layer.
+  static obs::Counter& g_requests = obs::counter("serve.requests");
+  static obs::Counter& g_bytes = obs::counter("serve.bytes_sent");
+  static obs::Histogram& g_latency = obs::histogram("serve.request_us");
+  g_requests.add();
+  g_bytes.add(response_bytes);
+  g_latency.record(micros);
+  const char* klass = status >= 500   ? "serve.responses_5xx"
+                      : status >= 400 ? "serve.responses_4xx"
+                      : status >= 300 ? "serve.responses_3xx"
+                                      : "serve.responses_2xx";
+  obs::counter(klass).add();
 }
 
 Json ServerMetrics::to_json() const {

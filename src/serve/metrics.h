@@ -1,10 +1,11 @@
-// Server telemetry: request counters and a latency histogram (ISSUE 4).
+// Server telemetry: request counters and a latency histogram (ISSUE 4),
+// rebased onto the process-wide observability substrate (ISSUE 5).
 //
-// Same philosophy as quantum/histogram: collapse a high-rate stream into
-// bins before anyone looks at it.  Request latencies land in power-of-two
-// microsecond buckets (bucket b counts latencies with bit_width(us) == b,
-// i.e. le 1us, 2us, 4us, ... ~8.4s, +Inf), which is exact to count, free of
-// locks, and directly rendered as a cumulative `le` table by /metrics.
+// The power-of-two LatencyHistogram that used to live here is now
+// obs::Histogram — promoted into src/obs/ so every layer shares one
+// implementation.  serve keeps a thin adaptor that preserves its historical
+// JSON keys ("le_us"/"total_us") and accessor names, so the /metrics
+// "requests" section stays byte-compatible for existing scrapers.
 //
 // All counters are relaxed atomics — they are telemetry, not
 // synchronisation (the BoundedEnergyCache counter doctrine).  Totals read
@@ -12,45 +13,31 @@
 // mutually consistent at quiescence; /metrics snapshots are taken before
 // the serving thread records its own request, so a quiescent scrape reports
 // exactly the requests completed before it.
+//
+// record() additionally mirrors each request into the global MetricRegistry
+// (counters `serve.requests` / `serve.responses_Nxx` / `serve.bytes_sent`,
+// histogram `serve.request_us`), which is how server traffic shows up in
+// `/metrics?format=prometheus` and in CLI trace dumps alongside every other
+// subsystem.
 #pragma once
 
 #include <atomic>
-#include <bit>
 #include <cstdint>
 
 #include "common/json.h"
+#include "obs/metrics.h"
 
 namespace qdb::serve {
 
-class LatencyHistogram {
+/// obs::Histogram with serve's historical JSON keys and accessor names.
+/// Buckets le 2^0 .. 2^(kBuckets-1) microseconds, plus +Inf.
+class LatencyHistogram : public obs::Histogram {
  public:
-  /// Buckets le 2^0 .. 2^(kBuckets-1) microseconds, plus +Inf.
-  static constexpr int kBuckets = 24;
-
-  void record(std::uint64_t micros) {
-    int b = micros == 0 ? 0 : static_cast<int>(std::bit_width(micros)) - 1;
-    if (b >= kBuckets) b = kBuckets;  // +Inf bucket
-    counts_[b].fetch_add(1, std::memory_order_relaxed);
-    total_micros_.fetch_add(micros, std::memory_order_relaxed);
-  }
-
-  std::uint64_t count() const {
-    std::uint64_t total = 0;
-    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-    return total;
-  }
-
-  std::uint64_t total_micros() const {
-    return total_micros_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t total_micros() const { return total(); }
 
   /// {"buckets": [{"le_us": 1, "count": n}, ..., {"le_us": "+Inf", ...}],
   ///  "count": N, "total_us": T} — counts are cumulative (le semantics).
-  Json to_json() const;
-
- private:
-  std::atomic<std::uint64_t> counts_[kBuckets + 1] = {};
-  std::atomic<std::uint64_t> total_micros_{0};
+  Json to_json() const { return obs::Histogram::to_json("le_us", "total_us"); }
 };
 
 /// Aggregated per-server request telemetry.
@@ -65,6 +52,7 @@ struct ServerMetrics {
   LatencyHistogram latency;
 
   /// Record one completed request (called after the response is sent).
+  /// Also mirrors the sample into the global MetricRegistry.
   void record(int status, std::uint64_t micros, std::uint64_t response_bytes);
 
   /// Snapshot as a JSON object (the "requests" section of /metrics).

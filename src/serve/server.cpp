@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace qdb::serve {
 
@@ -327,7 +328,7 @@ HttpResponse DatasetServer::handle(const HttpRequest& request) const {
     resp.body = body.dump();
     return resp;
   }
-  if (path == "/metrics") return handle_metrics();
+  if (path == "/metrics") return handle_metrics(request);
   if (path == "/entries") return handle_entries(request);
   if (starts_with(path, "/entries/")) {
     const std::string_view rest = std::string_view(path).substr(9);
@@ -409,7 +410,24 @@ HttpResponse DatasetServer::handle_artifact(const HttpRequest& request,
   return resp;
 }
 
-HttpResponse DatasetServer::handle_metrics() const {
+HttpResponse DatasetServer::handle_metrics(const HttpRequest& request) const {
+  for (const auto& [key, value] : request.query) {
+    (void)value;
+    if (key != "format") {
+      return error_response(400, "unknown parameter '" + key + "'");
+    }
+  }
+  const std::string* fmt = request.query_param("format");
+  if (fmt != nullptr && *fmt != "json" && *fmt != "prometheus") {
+    return error_response(400, "unknown format '" + *fmt +
+                                   "' (expected json or prometheus)");
+  }
+  if (fmt != nullptr && *fmt == "prometheus") {
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::MetricRegistry::global().to_prometheus();
+    return resp;
+  }
   Json body = Json::object();
   body.set("requests", metrics_.to_json());
 
@@ -432,6 +450,11 @@ HttpResponse DatasetServer::handle_metrics() const {
   store_json.set("dedup_saved_bytes",
                  static_cast<std::int64_t>(stats.logical_bytes - stats.blob_bytes));
   body.set("store", std::move(store_json));
+
+  // The process-wide registry (ISSUE 5): counters/gauges/histograms from
+  // every layer, plus collector-sourced fault/contract counts.  Additive —
+  // the historical sections above keep their exact shapes.
+  body.set("registry", obs::MetricRegistry::global().to_json());
 
   HttpResponse resp;
   resp.body = body.dump();

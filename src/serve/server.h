@@ -93,7 +93,7 @@ class DatasetServer {
                             std::string_view pdb_id) const;
   HttpResponse handle_artifact(const HttpRequest& request, std::string_view pdb_id,
                                std::string_view filename) const;
-  HttpResponse handle_metrics() const;
+  HttpResponse handle_metrics(const HttpRequest& request) const;
 
   const store::Store& store_;
   ServeOptions options_;

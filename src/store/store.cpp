@@ -11,6 +11,9 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "data/dataset_io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb::store {
 
@@ -274,6 +277,7 @@ const EntryRecord* Store::find(std::string_view pdb_id) const {
 }
 
 IngestStats Store::ingest_dataset(const std::string& dataset_root) {
+  obs::Span span("store.ingest");
   IngestStats st;
   for (const char* group : {"S", "M", "L"}) {
     const fs::path gdir = fs::path(dataset_root) / group;
@@ -350,6 +354,14 @@ IngestStats Store::ingest_dataset(const std::string& dataset_root) {
             "index must round-trip byte-identically");
   fault_site("store.index.write");
   write_file_atomic(index_path(), index_bytes);
+  obs::counter("store.ingested_entries").add(st.entries_seen);
+  obs::counter("store.blobs_written").add(st.blobs_written);
+  obs::counter("store.blobs_deduplicated").add(st.blobs_deduplicated);
+  obs::log_info("store.ingest")
+      .kv("entries", st.entries_seen)
+      .kv("blobs_written", st.blobs_written)
+      .kv("deduplicated", st.blobs_deduplicated)
+      .kv("bytes_written", st.bytes_written);
   return st;
 }
 
@@ -358,7 +370,13 @@ std::shared_ptr<const std::string> Store::read_artifact(const EntryRecord& entry
   const ArtifactRef& ref = entry.artifact(a);
   QDB_REQUIRE(!ref.hash.empty(),
               "entry " << entry.pdb_id << " has no " << artifact_filename(a));
-  if (auto cached = cache_.get(ref.hash)) return cached;
+  static obs::Counter& cache_hits = obs::counter("store.cache.hits");
+  static obs::Counter& cache_misses = obs::counter("store.cache.misses");
+  if (auto cached = cache_.get(ref.hash)) {
+    cache_hits.add();
+    return cached;
+  }
+  cache_misses.add();
   auto blob = std::make_shared<const std::string>(read_file(blob_path(ref.hash)));
   QDB_ASSERT(blob->size() == ref.size,
              "blob " << ref.hash << " size " << blob->size() << " != indexed "

@@ -7,7 +7,8 @@
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/parallel.h"
-#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimize/cobyla.h"
 #include "quantum/ansatz.h"
 #include "quantum/histogram.h"
@@ -76,7 +77,7 @@ double VqeDriver::cvar_weighted(std::vector<std::pair<double, double>> samples,
 }
 
 VqeResult VqeDriver::run() const {
-  Timer wall;
+  obs::Span wall("vqe.run");  // doubles as the sim_wall_time_s stopwatch
   const int nq = h_.num_qubits();
   const EfficientSU2 ansatz(nq, opt_.reps);
 
@@ -177,7 +178,12 @@ VqeResult VqeDriver::run() const {
   std::vector<double> estimates;
   const bool mitigate = opt_.readout_mitigation && !opt_.noise.is_ideal();
   const ReadoutMitigator mitigator(nq, mitigate ? opt_.noise : NoiseModel::ideal());
+  static obs::Counter& eval_count = obs::counter("vqe.stage1.evals");
+  static obs::Counter& shot_count = obs::counter("vqe.shots");
   const Objective objective = [&](const std::vector<double>& params) {
+    QDB_SPAN("vqe.stage1.eval");
+    eval_count.add();
+    shot_count.add(opt_.shots_per_eval);
     fault_site("vqe.stage1.evaluate");  // deterministic fault injection (ISSUE 2)
     const auto xs = sample_bitstrings(params, opt_.shots_per_eval, opt_.noise_trajectories);
     Histogram hist = histogram_from_shots(xs);
@@ -198,7 +204,11 @@ VqeResult VqeDriver::run() const {
   // COBYLA needs a full simplex (one evaluation per parameter) before it can
   // take a single model step; guarantee room for the simplex plus progress.
   const int budget = std::max(opt_.max_evaluations, ansatz.num_parameters() + 20);
-  const OptimResult opt_result = Cobyla().minimize(objective, x0, budget);
+  OptimResult opt_result;
+  {
+    QDB_SPAN("vqe.stage1");
+    opt_result = Cobyla().minimize(objective, x0, budget);
+  }
 
   result.best_params = opt_result.x;
   result.best_cvar = opt_result.fx;
@@ -220,12 +230,15 @@ VqeResult VqeDriver::run() const {
   // Stage 2: freeze the circuit, sample heavily, collapse the shots into a
   // histogram and score each *distinct* bitstring once (100k shots on a
   // <= 22-qubit register concentrate on a few hundred distinct outcomes).
+  obs::Span stage2_span("vqe.stage2");
   fault_site("vqe.stage2.sample");  // deterministic fault injection (ISSUE 2)
+  shot_count.add(opt_.final_shots);
   const auto final_samples =
       sample_bitstrings(result.best_params, opt_.final_shots, 2 * opt_.noise_trajectories);
   QDB_REQUIRE(!final_samples.empty(), "stage-2 sampling produced no shots");
   const auto final_scored = score_histogram(histogram_from_shots(final_samples));
   result.stage2_distinct = final_scored.size();
+  stage2_span.set_attr("distinct", std::to_string(final_scored.size()));
   double lo = std::numeric_limits<double>::infinity();
   std::uint64_t best_x = final_scored.front().x;
   for (const ScoredBit& s : final_scored) {
@@ -255,6 +268,7 @@ VqeResult VqeDriver::run() const {
   // the independent descents fan out across threads.
   double best_e = lo;
   if (opt_.refine_bitstring) {
+    QDB_SPAN("vqe.refine");
     const int free_turns = h_.length() - 3;
 
     auto descend = [&](std::uint64_t x, double e) {
@@ -325,6 +339,8 @@ VqeResult VqeDriver::run() const {
   result.best_bitstring = best_x;
   result.best_energy = best_e;
   result.energy_cache_hits = cache.hits();
+  static obs::Counter& cache_hits = obs::counter("vqe.energy_cache.hits");
+  cache_hits.add(cache.hits());
 
   // Resource metadata.
   result.logical_qubits = nq;

@@ -5,6 +5,8 @@ int a() { return rand(); }
 unsigned b() { srand(static_cast<unsigned>(time(nullptr))); return 0u; }
 void c() { std::cout << "hello"; }
 void d() { printf("%d\n", 1); }
+void c2() { std::cerr << "oops"; }
+void d2() { fprintf(stderr, "%d\n", 2); }
 int* e() { return new int(1); }
 void f(int* p) { delete p; }
 void g() { write_file("out.json", "{}"); }

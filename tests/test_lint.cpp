@@ -68,9 +68,25 @@ TEST(Rules, StdoutOnlyFiresInLibraryCode) {
   EXPECT_EQ(of_rule(lint_source("src/a.cpp", text), "stdout-in-library").size(), 2u);
   EXPECT_TRUE(of_rule(lint_source("bench/a.cpp", text), "stdout-in-library").empty());
   EXPECT_TRUE(of_rule(lint_source("tools/a.cpp", text), "stdout-in-library").empty());
-  // fprintf(stderr, ...) and an identifier containing printf are fine.
-  const std::string ok = "void g() { fprintf(stderr, \"e\"); my_printf_like(1); }";
+  // An identifier containing printf is not a hit (fprintf(stderr, ...) now
+  // belongs to the stderr-in-library rule, tested below).
+  const std::string ok = "void g() { my_printf_like(1); }";
   EXPECT_TRUE(lint_source("src/a.cpp", ok).empty());
+}
+
+TEST(Rules, StderrOnlyFiresInLibraryCodeOutsideObs) {
+  const std::string text =
+      "void f() { std::cerr << 1; fprintf(stderr, \"e\"); "
+      "std::fprintf(stderr, \"e\"); }";
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", text), "stderr-in-library").size(), 3u);
+  // src/obs/ is the sanctioned sink; tools/benches own their terminal.
+  EXPECT_TRUE(of_rule(lint_source("src/obs/log.cpp", text), "stderr-in-library").empty());
+  EXPECT_TRUE(of_rule(lint_source("tools/a.cpp", text), "stderr-in-library").empty());
+  EXPECT_TRUE(of_rule(lint_source("bench/a.cpp", text), "stderr-in-library").empty());
+  // fprintf to a file handle and stderr as a plain identifier are not hits.
+  const std::string ok =
+      "void g(FILE* f) { fprintf(f, \"x\"); FILE* e = stderr; (void)e; }";
+  EXPECT_TRUE(of_rule(lint_source("src/a.cpp", ok), "stderr-in-library").empty());
 }
 
 TEST(Rules, PragmaOnceRequiredInHeadersOnly) {
@@ -132,12 +148,13 @@ TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
 
   EXPECT_EQ(of_rule(diags, "raw-random").size(), 4u);         // 3 in src + 1 in tests
   EXPECT_EQ(of_rule(diags, "stdout-in-library").size(), 2u);  // src only
+  EXPECT_EQ(of_rule(diags, "stderr-in-library").size(), 2u);  // src only
   EXPECT_EQ(of_rule(diags, "naked-new-delete").size(), 2u);
   EXPECT_EQ(of_rule(diags, "non-atomic-write").size(), 2u);   // src only
   EXPECT_EQ(of_rule(diags, "omp-pragma").size(), 1u);
   EXPECT_EQ(of_rule(diags, "missing-pragma-once").size(), 1u);
   EXPECT_EQ(of_rule(diags, "raw-socket").size(), 3u);  // src/raw_socket.cpp
-  EXPECT_EQ(diags.size(), 15u);
+  EXPECT_EQ(diags.size(), 17u);
 
   // The near-miss file and the guarded header stay clean.
   for (const Diagnostic& d : diags) {
@@ -175,7 +192,7 @@ TEST(Allowlist, ParseApplyAndStaleDetectionRoundTrip) {
   // 3 raw-random + 1 omp-pragma suppressed from violations.cpp; the
   // tests/scoped.cpp raw-random hit is NOT (allowlist is per-file), and the
   // raw_socket.cpp hits have no matching entry here.
-  EXPECT_EQ(kept.size(), 15u - 4u);
+  EXPECT_EQ(kept.size(), 17u - 4u);
   EXPECT_EQ(of_rule(kept, "raw-random").size(), 1u);
   EXPECT_EQ(of_rule(kept, "raw-random")[0].file, "tests/scoped.cpp");
   EXPECT_TRUE(of_rule(kept, "omp-pragma").empty());

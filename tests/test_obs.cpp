@@ -1,0 +1,442 @@
+// Tests for src/obs/ (ISSUE 5): metric registry semantics, Prometheus and
+// JSON exposition, trace-span recording across threads, Chrome-trace JSON
+// validity (escaping round-trips through qdb::Json), span self-time math,
+// the trace/registry agreement invariant, and the structured logger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/parallel.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qdb::obs {
+namespace {
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsStableHandles) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(a.value(), 5u);
+
+  Gauge& g = reg.gauge("x.gauge");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("x.gauge").value(), 1.5);
+
+  Histogram& h = reg.histogram("x.hist");
+  h.record(7);
+  EXPECT_EQ(reg.histogram("x.hist").count(), 1u);
+}
+
+TEST(Registry, NameBoundToOneTypeForever) {
+  MetricRegistry reg;
+  reg.counter("telemetry");
+  EXPECT_THROW(reg.gauge("telemetry"), Error);
+  EXPECT_THROW(reg.histogram("telemetry"), Error);
+  reg.gauge("level");
+  EXPECT_THROW(reg.counter("level"), Error);
+}
+
+TEST(Registry, HistogramBucketsArePowerOfTwo) {
+  Histogram h("t");
+  h.record(0);    // bucket 0 (le 1)
+  h.record(1);    // bucket 0
+  h.record(3);    // bucket 1 (le 2? no: bit_width(3)=2 -> b=1, le 2^1=2... 3>2)
+  h.record(100);  // bit_width 7 -> bucket 6 (le 64 < 100 <= 127)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.total(), 104u);
+  // bit_width semantics: value v lands in bucket bit_width(v)-1, whose
+  // nominal le bound is 2^b — an *under*-estimate by design (same convention
+  // as the old serve::LatencyHistogram, kept for continuity).
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(6), 1u);
+  EXPECT_EQ(Histogram::le_bound(3), 8u);
+  // A huge value lands in +Inf.
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets), 1u);
+}
+
+TEST(Registry, SnapshotIsDeterministicallySorted) {
+  MetricRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(3.0);
+  reg.histogram("beta.h").record(4);
+  reg.add_collector([](Snapshot& s) {
+    s.labeled.push_back({"fam", "site", "zz", 1});
+    s.labeled.push_back({"fam", "site", "aa", 2});
+  });
+  const Snapshot s1 = reg.snapshot();
+  const Snapshot s2 = reg.snapshot();
+  ASSERT_EQ(s1.counters.size(), 2u);
+  EXPECT_EQ(s1.counters[0].first, "alpha");  // std::map iterates sorted
+  EXPECT_EQ(s1.counters[1].first, "zeta");
+  ASSERT_EQ(s1.labeled.size(), 2u);
+  EXPECT_EQ(s1.labeled[0].label_value, "aa");  // sorted post-collection
+  // Two quiescent snapshots are identical.
+  EXPECT_EQ(s1.counters, s2.counters);
+  EXPECT_EQ(s1.gauges, s2.gauges);
+  ASSERT_EQ(s2.histograms.size(), 1u);
+  EXPECT_EQ(s1.histograms[0].buckets, s2.histograms[0].buckets);
+}
+
+TEST(Registry, ConcurrentRecordingIsExactAtQuiescence) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("lat");
+  parallel_for_threads(8, 8, [&](std::int64_t t) {
+    for (int i = 0; i < 1000; ++i) {
+      c.add();
+      h.record(static_cast<std::uint64_t>(t));
+    }
+  });
+  EXPECT_EQ(c.value(), 8000u);
+  EXPECT_EQ(h.count(), 8000u);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("n");
+  c.add(9);
+  reg.histogram("h").record(2);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+  EXPECT_EQ(&reg.counter("n"), &c);
+}
+
+// --- exposition -------------------------------------------------------------
+
+TEST(Exposition, PrometheusGoldenText) {
+  MetricRegistry reg;
+  reg.counter("vqe.evals").add(3);
+  reg.gauge("queue.depth").set(2.0);
+  Histogram& h = reg.histogram("span.run");
+  h.record(1);
+  h.record(3);
+  reg.add_collector([](Snapshot& s) {
+    s.labeled.push_back({"fault.fires", "site", "a\"b\\c\nd", 7});
+  });
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE qdb_vqe_evals counter\nqdb_vqe_evals 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE qdb_queue_depth gauge\nqdb_queue_depth 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE qdb_span_run histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("qdb_span_run_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("qdb_span_run_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("qdb_span_run_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("qdb_span_run_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("qdb_span_run_count 2\n"), std::string::npos);
+  // Label values escape backslash, quote, newline.
+  EXPECT_NE(text.find("qdb_fault_fires{site=\"a\\\"b\\\\c\\nd\"} 7\n"),
+            std::string::npos);
+  // Every family has exactly one TYPE line (no duplicates).
+  std::size_t types = 0;
+  for (std::size_t p = text.find("# TYPE"); p != std::string::npos;
+       p = text.find("# TYPE", p + 1)) {
+    ++types;
+  }
+  EXPECT_EQ(types, 4u);
+}
+
+TEST(Exposition, PrometheusNameSanitisation) {
+  EXPECT_EQ(prometheus_name("vqe.stage1.evals"), "qdb_vqe_stage1_evals");
+  EXPECT_EQ(prometheus_name("a-b c"), "qdb_a_b_c");
+  EXPECT_EQ(prometheus_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Exposition, RegistryJsonShape) {
+  MetricRegistry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h").record(2);
+  reg.add_collector([](Snapshot& s) {
+    s.labeled.push_back({"fam", "site", "x", 3});
+  });
+  const Json j = Json::parse(reg.to_json().dump());  // round-trip
+  EXPECT_EQ(j.at("counters").at("c").as_int(), 1);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("g").as_double(), 0.5);
+  EXPECT_EQ(j.at("histograms").at("h").at("count").as_int(), 1);
+  EXPECT_EQ(j.at("histograms").at("h").at("total").as_int(), 2);
+  EXPECT_EQ(j.at("collected").at("fam").at("x").as_int(), 3);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+/// Serialise trace tests: they install the process-wide session.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (TraceSession::current() != nullptr) TraceSession::current()->stop();
+  }
+};
+
+TEST_F(TraceTest, SpansRecordOnlyWhileSessionActive) {
+  { Span s("trace.before"); }  // no session: registry only, no event
+  TraceSession session;
+  session.start();
+  EXPECT_TRUE(session.active());
+  EXPECT_EQ(TraceSession::current(), &session);
+  {
+    Span outer("trace.outer");
+    outer.set_attr("k", "v");
+    { QDB_SPAN("trace.inner"); }
+  }
+  session.stop();
+  EXPECT_FALSE(session.active());
+  ASSERT_EQ(session.events().size(), 2u);
+  // Sorted by (tid, ts, depth): outer starts first.
+  EXPECT_EQ(session.events()[0].name, "trace.outer");
+  EXPECT_EQ(session.events()[0].depth, 0);
+  ASSERT_EQ(session.events()[0].args.size(), 1u);
+  EXPECT_EQ(session.events()[0].args[0].first, "k");
+  EXPECT_EQ(session.events()[1].name, "trace.inner");
+  EXPECT_EQ(session.events()[1].depth, 1);
+  { Span s("trace.after"); }  // after stop: ignored
+  EXPECT_EQ(session.events().size(), 2u);
+}
+
+TEST_F(TraceTest, OnlyOneSessionAtATimeAndNoRestart) {
+  TraceSession a;
+  a.start();
+  TraceSession b;
+  EXPECT_THROW(b.start(), Error);
+  a.stop();
+  EXPECT_THROW(a.start(), Error);  // sessions are single-use
+  b.start();                       // a stopped session frees the slot
+  b.stop();
+}
+
+TEST_F(TraceTest, EightThreadsRecordIntoOneSession) {
+  TraceSession session;
+  session.start();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  parallel_for_threads(kThreads, kThreads, [&](std::int64_t t) {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      Span s("trace.worker");
+      s.set_attr("t", std::to_string(t));
+      { QDB_SPAN("trace.worker.child"); }
+    }
+  });
+  session.stop();
+  EXPECT_EQ(session.events().size(),
+            static_cast<std::size_t>(2 * kThreads * kSpansPerThread));
+  // Events are grouped by tid and time-ordered within each tid.
+  int last_tid = 0;
+  std::uint64_t last_ts = 0;
+  for (const TraceEvent& e : session.events()) {
+    ASSERT_GE(e.tid, last_tid);
+    if (e.tid != last_tid) last_ts = 0;
+    EXPECT_GE(e.ts_us, last_ts);
+    last_tid = e.tid;
+    last_ts = e.ts_us;
+  }
+  const auto summary = session.summary();
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].name, "trace.worker");
+  EXPECT_EQ(summary[0].count, static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(summary[1].name, "trace.worker.child");
+
+  // The acceptance invariant: at quiescence the session's per-span counts
+  // agree exactly with the registry's span.<name> histogram counts recorded
+  // during the session (counted via before/after deltas so other tests'
+  // spans don't interfere — the registry is process-global).
+  const std::uint64_t registry_workers =
+      MetricRegistry::global().histogram("span.trace.worker").count();
+  EXPECT_GE(registry_workers, summary[0].count);
+}
+
+TEST_F(TraceTest, ThreadPoolSurvivesSessionTurnover) {
+  // OpenMP reuses pooled threads across parallel regions; the generation
+  // check must rebind each thread's cached buffer to the *new* session.
+  for (int round = 0; round < 3; ++round) {
+    TraceSession session;
+    session.start();
+    parallel_for_threads(4, 4, [&](std::int64_t) { QDB_SPAN("trace.round"); });
+    session.stop();
+    EXPECT_EQ(session.events().size(), 4u) << "round " << round;
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidAndEscaped) {
+  TraceSession session;
+  session.start();
+  {
+    Span s("trace.escape");
+    s.set_attr("quote\"backslash\\", "ctrl\x01\ttab");
+    s.set_attr("utf8", "prot\xc3\xa9ine \xe2\x9c\x93");
+  }
+  session.stop();
+  const std::string dumped = session.to_chrome_json().dump();
+  const Json parsed = Json::parse(dumped);  // must survive a round-trip
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const JsonArray& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const Json& ev = events[0];
+  EXPECT_EQ(ev.at("name").as_string(), "trace.escape");
+  EXPECT_EQ(ev.at("ph").as_string(), "X");
+  EXPECT_EQ(ev.at("cat").as_string(), "qdb");
+  EXPECT_EQ(ev.at("pid").as_int(), 1);
+  EXPECT_GE(ev.at("dur").as_int(), 0);
+  const Json& args = ev.at("args");
+  EXPECT_EQ(args.at("quote\"backslash\\").as_string(), "ctrl\x01\ttab");
+  // UTF-8 passes through byte-exact.
+  EXPECT_EQ(args.at("utf8").as_string(), "prot\xc3\xa9ine \xe2\x9c\x93");
+}
+
+TEST_F(TraceTest, SummarySelfTimeSubtractsDirectChildren) {
+  // Hand-built events exercise the ancestor-stack attribution without
+  // depending on real clock durations.
+  TraceSession session;
+  session.start();
+  {
+    Span outer("trace.self.outer");
+    {
+      Span mid("trace.self.mid");
+      { QDB_SPAN("trace.self.leaf"); }
+    }
+  }
+  session.stop();
+  const auto rows = session.summary();
+  ASSERT_EQ(rows.size(), 3u);  // sorted by name: leaf < mid < outer
+  const SpanSummary& leaf = rows[0];
+  const SpanSummary& mid = rows[1];
+  const SpanSummary& outer = rows[2];
+  EXPECT_EQ(leaf.name, "trace.self.leaf");
+  EXPECT_EQ(leaf.self_us, leaf.total_us);  // no children
+  // A parent's self time excludes its direct child but never underflows.
+  EXPECT_LE(mid.self_us, mid.total_us);
+  EXPECT_LE(outer.self_us, outer.total_us);
+  EXPECT_GE(mid.total_us, leaf.total_us);
+  EXPECT_GE(outer.total_us, mid.total_us);
+}
+
+TEST_F(TraceTest, SummaryTableRendersEverySpan) {
+  TraceSession session;
+  session.start();
+  { QDB_SPAN("trace.table"); }
+  session.stop();
+  const std::string table = session.summary_table();
+  EXPECT_NE(table.find("trace.table"), std::string::npos);
+  EXPECT_NE(table.find("Span"), std::string::npos);
+  EXPECT_NE(table.find("Self(ms)"), std::string::npos);
+}
+
+// --- logger -----------------------------------------------------------------
+
+/// Capture log lines; restores the stderr sink and Warn level on exit.
+class LogCapture {
+ public:
+  LogCapture() {
+    set_log_sink([this](std::string_view line) { lines_.emplace_back(line); });
+  }
+  ~LogCapture() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::Warn);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(Log, LevelsGateEmission) {
+  LogCapture cap;
+  set_log_level(LogLevel::Warn);
+  log_warn("a");
+  log_info("b");
+  log_debug("c");
+  ASSERT_EQ(cap.lines().size(), 1u);
+  set_log_level(LogLevel::Debug);
+  log_info("d");
+  log_debug("e");
+  EXPECT_EQ(cap.lines().size(), 3u);
+  set_log_level(LogLevel::Off);
+  log_warn("f");
+  EXPECT_EQ(cap.lines().size(), 3u);
+}
+
+TEST(Log, ParseLevelIsCaseInsensitiveWithWarnFallback) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::Warn);  // unknown -> default
+  EXPECT_EQ(parse_log_level(""), LogLevel::Warn);
+}
+
+TEST(Log, KeyValueFormatAndEscaping) {
+  LogCapture cap;
+  set_log_level(LogLevel::Info);
+  log_info("test.event")
+      .kv("plain", "simple")
+      .kv("spaced", "two words")
+      .kv("quoted", "say \"hi\"")
+      .kv("count", 42)
+      .kv("ratio", 0.5)
+      .kv("flag", true)
+      .kv("ctrl", std::string_view("a\nb\x02"));
+  ASSERT_EQ(cap.lines().size(), 1u);
+  const std::string& line = cap.lines()[0];
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single line, always
+  EXPECT_NE(line.find("ts="), std::string::npos);
+  EXPECT_NE(line.find(" level=info"), std::string::npos);
+  EXPECT_NE(line.find(" event=test.event"), std::string::npos);
+  EXPECT_NE(line.find(" plain=simple"), std::string::npos);
+  EXPECT_NE(line.find(" spaced=\"two words\""), std::string::npos);
+  EXPECT_NE(line.find(" quoted=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(line.find(" count=42"), std::string::npos);
+  EXPECT_NE(line.find(" ratio=0.5"), std::string::npos);
+  EXPECT_NE(line.find(" flag=true"), std::string::npos);
+  EXPECT_NE(line.find(" ctrl=\"a\\nb\\x02\""), std::string::npos);
+}
+
+TEST(Log, EscapeValueRules) {
+  EXPECT_EQ(log_escape_value("bare"), "bare");
+  EXPECT_EQ(log_escape_value(""), "\"\"");
+  EXPECT_EQ(log_escape_value("a=b"), "\"a=b\"");
+  EXPECT_EQ(log_escape_value("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(log_escape_value("tab\there"), "\"tab\\there\"");
+}
+
+TEST(Log, DisabledEventsCostNoFormatting) {
+  LogCapture cap;
+  set_log_level(LogLevel::Off);
+  // A disabled builder chain must be inert (and crash-free).
+  log_debug("nope").kv("k", "v").kv("n", 1);
+  EXPECT_TRUE(cap.lines().empty());
+}
+
+TEST(Log, ConcurrentRecordsNeverInterleave) {
+  LogCapture cap;
+  set_log_level(LogLevel::Info);
+  parallel_for_threads(8, 8, [&](std::int64_t t) {
+    for (int i = 0; i < 50; ++i) {
+      log_info("log.thread").kv("t", t).kv("i", i);
+    }
+  });
+  // Sink is mutex-serialised: exactly one line per record, each well-formed.
+  EXPECT_EQ(cap.lines().size(), 400u);
+  for (const std::string& line : cap.lines()) {
+    EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+    EXPECT_NE(line.find(" event=log.thread"), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace qdb::obs

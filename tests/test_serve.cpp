@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>  // getpid for per-process scratch directories
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <memory>
@@ -152,6 +153,51 @@ TEST_F(ServeTest, RouterStatusMatrix) {
   EXPECT_EQ(server.handle(get_request("/entries?min_qubits=banana")).status, 400);
   EXPECT_EQ(server.handle(get_request("/entries?group=X")).status, 400);
   EXPECT_EQ(server.handle(get_request("/entries/1yc4?x=1")).status, 400);
+}
+
+TEST_F(ServeTest, MetricsFormatsAndParameterValidation) {
+  DatasetServer server(*store_, {});
+
+  // Default (no format) stays JSON and carries the process-wide registry
+  // snapshot next to the historical sections.
+  const HttpResponse json_resp = server.handle(get_request("/metrics"));
+  EXPECT_EQ(json_resp.status, 200);
+  EXPECT_EQ(json_resp.content_type, "application/json");
+  const Json body = Json::parse(json_resp.body);
+  EXPECT_TRUE(body.at("requests").is_object());
+  EXPECT_TRUE(body.at("blob_cache").is_object());
+  const Json& registry = body.at("registry");
+  EXPECT_TRUE(registry.at("counters").is_object());
+  EXPECT_TRUE(registry.at("histograms").is_object());
+  // ?format=json is the same document shape.
+  EXPECT_EQ(server.handle(get_request("/metrics?format=json")).status, 200);
+
+  // Prometheus exposition: text content type, qdb_-prefixed families with
+  // TYPE lines, and no duplicated family declarations.
+  const HttpResponse prom =
+      server.handle(get_request("/metrics?format=prometheus"));
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_EQ(prom.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  std::vector<std::string> type_lines;
+  std::size_t pos = 0;
+  while (pos < prom.body.size()) {
+    std::size_t eol = prom.body.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.body.size();
+    const std::string line = prom.body.substr(pos, eol - pos);
+    if (line.rfind("# TYPE ", 0) == 0) type_lines.push_back(line);
+    pos = eol + 1;
+  }
+  std::vector<std::string> sorted = type_lines;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      << "duplicate # TYPE family in prometheus exposition";
+  for (const std::string& line : type_lines) {
+    EXPECT_NE(line.find(" qdb_"), std::string::npos) << line;
+  }
+
+  // Unknown formats and unknown parameters are rejected, not ignored.
+  EXPECT_EQ(server.handle(get_request("/metrics?format=xml")).status, 400);
+  EXPECT_EQ(server.handle(get_request("/metrics?verbose=1")).status, 400);
 }
 
 TEST_F(ServeTest, RouterFiltersMatchRegistry) {

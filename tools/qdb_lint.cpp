@@ -153,6 +153,11 @@ bool socket_call_token(const std::string& text, std::size_t pos, std::size_t len
   return after >= text.size() || !is_ident_char(text[after]);
 }
 
+/// True iff relpath starts with the directory prefix (e.g. "src/obs/").
+bool has_dir_prefix(const std::string& relpath, const char* prefix) {
+  return relpath.rfind(prefix, 0) == 0;
+}
+
 bool first_component_is(const std::string& relpath, const char* component) {
   const std::size_t slash = relpath.find('/');
   return relpath.compare(0, slash == std::string::npos ? relpath.size() : slash,
@@ -207,6 +212,32 @@ std::vector<Diagnostic> lint_source(const std::string& relpath, const std::strin
             "printf in library code — return data; printing belongs to "
             "bench/examples/tools");
       }
+    });
+  }
+
+  // stderr-in-library: library diagnostics are structured obs::log events
+  // (ISSUE 5).  src/obs/ is exempt — the logger's default sink is the one
+  // sanctioned stderr writer in the library.
+  if (library && !has_dir_prefix(relpath, "src/obs/")) {
+    for (std::size_t pos = code.find("std::cerr"); pos != std::string::npos;
+         pos = code.find("std::cerr", pos + 1)) {
+      const bool start_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+      const bool end_ok = pos + 9 >= code.size() || !is_ident_char(code[pos + 9]);
+      if (start_ok && end_ok) {
+        add(pos, "stderr-in-library",
+            "std::cerr in library code — emit a structured obs::log event "
+            "(src/obs/log.cpp owns the stderr sink)");
+      }
+    }
+    for_each_token(code, "fprintf", /*allow_std=*/true, [&](std::size_t pos) {
+      const std::size_t paren = skip_ws(code, pos + 7);
+      if (paren >= code.size() || code[paren] != '(') return;
+      const std::size_t arg = skip_ws(code, paren + 1);
+      if (code.compare(arg, 6, "stderr") != 0) return;
+      if (arg + 6 < code.size() && is_ident_char(code[arg + 6])) return;
+      add(pos, "stderr-in-library",
+          "fprintf(stderr, ...) in library code — emit a structured obs::log "
+          "event (src/obs/log.cpp owns the stderr sink)");
     });
   }
 

@@ -24,6 +24,12 @@
 //                       lives in src/serve/net_socket.* (allowlisted), the
 //                       one place that owns fds, EINTR loops and shutdown
 //                       semantics.
+//   stderr-in-library   std::cerr / fprintf(stderr, ...) in src/ outside
+//                       src/obs/ — diagnostics are structured obs::log
+//                       events (ISSUE 5); the logger's default sink in
+//                       src/obs/log.cpp is the one sanctioned stderr
+//                       writer, so levels, formats and capture stay in
+//                       one place.
 //
 // The scanner strips comments, string/char literals (including raw strings)
 // and matches on identifier boundaries, so prose like "the new atom" or a

@@ -1,0 +1,316 @@
+// qdb_trace_check: schema and consistency checker for qdb_cli --trace dumps.
+//
+//   qdb_trace_check <trace.json> [--require-span <name>]...
+//
+// Validates the Chrome-trace document the CLI writes (ISSUE 5):
+//
+//   1. Top-level shape: "traceEvents" array, "displayTimeUnit" string, plus
+//      the qdb extensions "summary" (array), "registry" (object) and
+//      "prometheus" (string).  Extra top-level keys are legal in the
+//      trace_event format — viewers ignore them — so embedding the metric
+//      snapshot next to the events costs nothing.
+//   2. Every event is a complete ("ph":"X") event carrying name / cat / ts /
+//      dur / pid / tid with the right types and non-negative times.
+//   3. Exact agreement: for every span name, the number of trace events
+//      equals the "summary" count, which equals the registry histogram
+//      `span.<name>` count, and the summed event durations equal the summary
+//      total_us (with self_us <= total_us).  This is the acceptance
+//      criterion that ties the trace layer to the metric layer — the two are
+//      recorded independently on the hot path, so any drift is a bug.
+//   4. The embedded Prometheus exposition declares each family's # TYPE at
+//      most once and every sample line parses as `name{labels} value`.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/io error.  Output lines are
+// `trace.json: message` so CI annotations parse them.
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace {
+
+using qdb::Json;
+
+int g_findings = 0;
+const char* g_path = "";
+
+void fail(const std::string& message) {
+  std::printf("%s: %s\n", g_path, message.c_str());
+  ++g_findings;
+}
+
+/// Per-span-name tallies accumulated from the raw events.
+struct NameTally {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+};
+
+std::map<std::string, NameTally> check_events(const Json& doc) {
+  std::map<std::string, NameTally> by_name;
+  const qdb::JsonArray& events = doc.at("traceEvents").as_array();
+  std::size_t index = 0;
+  for (const Json& ev : events) {
+    const std::string where = "traceEvents[" + std::to_string(index++) + "]";
+    if (!ev.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    bool usable = true;
+    for (const char* key : {"name", "cat", "ph"}) {
+      if (!ev.contains(key) || !ev.at(key).is_string()) {
+        fail(where + " missing string field \"" + key + "\"");
+        usable = false;
+      }
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      if (!ev.contains(key) || !ev.at(key).is_number()) {
+        fail(where + " missing numeric field \"" + key + "\"");
+        usable = false;
+      } else if (ev.at(key).as_int() < 0) {
+        fail(where + " has negative \"" + key + "\"");
+        usable = false;
+      }
+    }
+    if (!usable) continue;
+    if (ev.at("ph").as_string() != "X") {
+      fail(where + " phase is \"" + ev.at("ph").as_string() +
+           "\" (expected complete event \"X\")");
+      continue;
+    }
+    if (ev.at("name").as_string().empty()) {
+      fail(where + " has an empty span name");
+      continue;
+    }
+    if (ev.contains("args") && !ev.at("args").is_object()) {
+      fail(where + " \"args\" is not an object");
+    }
+    NameTally& tally = by_name[ev.at("name").as_string()];
+    tally.count += 1;
+    tally.total_us += static_cast<std::uint64_t>(ev.at("dur").as_int());
+  }
+  return by_name;
+}
+
+void check_summary_agreement(const Json& doc,
+                             const std::map<std::string, NameTally>& by_name) {
+  std::set<std::string> summarized;
+  for (const Json& row : doc.at("summary").as_array()) {
+    const std::string& name = row.at("name").as_string();
+    summarized.insert(name);
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      fail("summary names span \"" + name + "\" with no trace events");
+      continue;
+    }
+    const auto count = static_cast<std::uint64_t>(row.at("count").as_int());
+    const auto total = static_cast<std::uint64_t>(row.at("total_us").as_int());
+    const auto self = static_cast<std::uint64_t>(row.at("self_us").as_int());
+    if (count != it->second.count) {
+      fail("summary count for \"" + name + "\" is " + std::to_string(count) +
+           " but the trace holds " + std::to_string(it->second.count) +
+           " events");
+    }
+    if (total != it->second.total_us) {
+      fail("summary total_us for \"" + name + "\" is " + std::to_string(total) +
+           " but event durations sum to " + std::to_string(it->second.total_us));
+    }
+    if (self > total) {
+      fail("summary self_us for \"" + name + "\" exceeds its total_us");
+    }
+  }
+  for (const auto& [name, tally] : by_name) {
+    (void)tally;
+    if (summarized.count(name) == 0) {
+      fail("span \"" + name + "\" appears in traceEvents but not in summary");
+    }
+  }
+}
+
+void check_registry_agreement(const Json& doc,
+                              const std::map<std::string, NameTally>& by_name) {
+  const Json& histograms = doc.at("registry").at("histograms");
+  if (!histograms.is_object()) {
+    fail("registry.histograms is not an object");
+    return;
+  }
+  for (const auto& [name, tally] : by_name) {
+    const std::string metric = "span." + name;
+    if (!histograms.contains(metric)) {
+      fail("registry has no histogram \"" + metric + "\" for a traced span");
+      continue;
+    }
+    const auto registered =
+        static_cast<std::uint64_t>(histograms.at(metric).at("count").as_int());
+    if (registered != tally.count) {
+      fail("registry histogram \"" + metric + "\" counts " +
+           std::to_string(registered) + " but the trace holds " +
+           std::to_string(tally.count) + " events (must agree exactly)");
+    }
+  }
+}
+
+void check_prometheus(const Json& doc) {
+  const std::string& text = doc.at("prometheus").as_string();
+  std::set<std::string> families;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t name_end = line.find(' ', 7);
+      const std::string family =
+          line.substr(7, name_end == std::string::npos ? std::string::npos
+                                                       : name_end - 7);
+      if (!families.insert(family).second) {
+        fail("prometheus line " + std::to_string(line_no) +
+             ": duplicate # TYPE for family \"" + family + "\"");
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    // Sample line: metric_name[{labels}] value
+    std::size_t name_end = 0;
+    while (name_end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[name_end])) != 0 ||
+            line[name_end] == '_' || line[name_end] == ':')) {
+      ++name_end;
+    }
+    if (name_end == 0) {
+      fail("prometheus line " + std::to_string(line_no) +
+           " does not start with a metric name: " + line);
+      continue;
+    }
+    std::size_t rest = name_end;
+    if (rest < line.size() && line[rest] == '{') {
+      // Labels: scan to the closing brace outside of quoted strings.
+      bool in_quotes = false;
+      bool escaped = false;
+      ++rest;
+      while (rest < line.size()) {
+        const char c = line[rest];
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (c == '"') {
+          in_quotes = !in_quotes;
+        } else if (c == '}' && !in_quotes) {
+          break;
+        }
+        ++rest;
+      }
+      if (rest >= line.size()) {
+        fail("prometheus line " + std::to_string(line_no) +
+             " has an unterminated label set: " + line);
+        continue;
+      }
+      ++rest;  // past '}'
+    }
+    if (rest >= line.size() || line[rest] != ' ') {
+      fail("prometheus line " + std::to_string(line_no) +
+           " is missing the value separator: " + line);
+      continue;
+    }
+    const std::string value = line.substr(rest + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      fail("prometheus line " + std::to_string(line_no) +
+           " has a non-numeric value \"" + value + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required_spans;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-span" && i + 1 < argc) {
+      required_spans.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: qdb_trace_check <trace.json> [--require-span <name>]...\n");
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "qdb_trace_check: more than one input file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: qdb_trace_check <trace.json> [--require-span <name>]...\n");
+    return 2;
+  }
+  g_path = path.c_str();
+
+  Json doc;
+  try {
+    doc = Json::parse(qdb::read_file(path));
+  } catch (const qdb::Error& e) {
+    std::fprintf(stderr, "qdb_trace_check: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    // Top-level shape.
+    if (!doc.contains("traceEvents") || !doc.at("traceEvents").is_array()) {
+      fail("missing top-level \"traceEvents\" array");
+    }
+    if (!doc.contains("displayTimeUnit") ||
+        !doc.at("displayTimeUnit").is_string()) {
+      fail("missing top-level \"displayTimeUnit\" string");
+    }
+    if (!doc.contains("summary") || !doc.at("summary").is_array()) {
+      fail("missing top-level \"summary\" array");
+    }
+    if (!doc.contains("registry") || !doc.at("registry").is_object()) {
+      fail("missing top-level \"registry\" object");
+    }
+    if (!doc.contains("prometheus") || !doc.at("prometheus").is_string()) {
+      fail("missing top-level \"prometheus\" string");
+    }
+    if (g_findings != 0) {
+      std::printf("qdb_trace_check: %d finding(s)\n", g_findings);
+      return 1;
+    }
+
+    const std::map<std::string, NameTally> by_name = check_events(doc);
+    check_summary_agreement(doc, by_name);
+    check_registry_agreement(doc, by_name);
+    check_prometheus(doc);
+    for (const std::string& name : required_spans) {
+      if (by_name.count(name) == 0) {
+        fail("required span \"" + name + "\" has no trace events");
+      }
+    }
+
+    if (g_findings == 0) {
+      std::printf("qdb_trace_check: %s clean (%zu span name%s, %zu events)\n",
+                  path.c_str(), by_name.size(), by_name.size() == 1 ? "" : "s",
+                  doc.at("traceEvents").as_array().size());
+      return 0;
+    }
+    std::printf("qdb_trace_check: %d finding(s)\n", g_findings);
+    return 1;
+  } catch (const qdb::Error& e) {
+    std::fprintf(stderr, "qdb_trace_check: malformed document: %s\n", e.what());
+    return 2;
+  }
+}
