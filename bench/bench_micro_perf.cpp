@@ -15,9 +15,12 @@
 #include "core/qdockbank.h"
 #include "data/batch.h"
 #include "quantum/ansatz.h"
+#include "quantum/fusion.h"
 #include "quantum/histogram.h"
+#include "quantum/kernels.h"
 #include "quantum/mps.h"
 #include "quantum/statevector.h"
+#include "transpile/basis.h"
 
 namespace {
 
@@ -65,6 +68,15 @@ double eval_histogram(const FoldingHamiltonian& h,
   return *std::min_element(energies.begin(), energies.end());
 }
 
+/// The VQE shot-scoring workload: a transpiled (native-basis, simplified)
+/// EfficientSU2(nq, 2) at a fixed random point — the circuit shape both the
+/// fused engine and the legacy Statevector execute per trajectory.
+Circuit transpiled_ansatz(int nq) {
+  const EfficientSU2 ansatz(nq, 2);
+  Rng rng(fnv1a("kernel-bench"));
+  return simplify_native(to_native_basis(ansatz.build(ansatz.initial_point(rng, 0.5))));
+}
+
 void BM_StatevectorGates(benchmark::State& state) {
   const int nq = static_cast<int>(state.range(0));
   Statevector sv(nq);
@@ -78,6 +90,27 @@ void BM_StatevectorGates(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(c.size()));
 }
 BENCHMARK(BM_StatevectorGates)->Arg(10)->Arg(16)->Arg(20);
+
+// Fused engine on the transpiled ansatz: range(0) = qubits, range(1) selects
+// the precision (0 = f64 exact traversal fusion, 1 = f32 matrix fusion).
+// Compare against BM_StatevectorGates / the unfused summary below.
+void BM_FusedAnsatzApply(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  const Precision prec = state.range(1) == 0 ? Precision::f64 : Precision::f32;
+  const Circuit c = transpiled_ansatz(nq);
+  FusedEngine eng(nq, prec);
+  const FusedProgram prog =
+      fuse_circuit(c, FusionOptions{prec == Precision::f32, 0});
+  for (auto _ : state) {
+    eng.reset();
+    eng.apply(prog);
+    benchmark::DoNotOptimize(eng.probability(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(c.size()));
+  state.SetLabel(std::string(precision_name(prec)) + " block=" +
+                 std::to_string(eng.block_qubits()));
+}
+BENCHMARK(BM_FusedAnsatzApply)->Args({10, 0})->Args({16, 0})->Args({16, 1})->Args({20, 1});
 
 void BM_MpsAnsatzApply(benchmark::State& state) {
   const int nq = static_cast<int>(state.range(0));
@@ -214,10 +247,12 @@ void BM_DockingRun(benchmark::State& state) {
 }
 BENCHMARK(BM_DockingRun);
 
+using MetricList = std::vector<std::pair<std::string, double>>;
+
 /// Direct A/B of the stage-2 evaluation pipeline (the acceptance-criterion
-/// workload: 100k shots, 14-residue / 22-qubit fragment) with the results
-/// written to BENCH_micro_perf.json.
-void stage2_speedup_summary() {
+/// workload: 100k shots, 14-residue / 22-qubit fragment).  Returns the
+/// metrics destined for BENCH_micro_perf.json.
+MetricList stage2_speedup_summary() {
   const FoldingHamiltonian h = entry_hamiltonian(entry_by_id("4jpy"));
   const std::size_t kShots = 100000;
   const std::size_t kDistinct = 4096;
@@ -248,15 +283,98 @@ void stage2_speedup_summary() {
   if (naive_lo != hist_lo) {
     std::printf("  WARNING: paths disagree (%.12g vs %.12g)\n", naive_lo, hist_lo);
   }
-  bench::emit_bench_json(
-      "micro_perf",
-      {{"stage2_shots", static_cast<double>(kShots)},
-       {"stage2_distinct", static_cast<double>(distinct)},
-       {"per_shot_naive_ms", naive_best * 1e3},
-       {"histogram_scratch_ms", hist_best * 1e3},
-       {"stage2_speedup", speedup},
-       {"paths_agree", naive_lo == hist_lo ? 1.0 : 0.0},
-       {"hardware_threads", static_cast<double>(hardware_threads())}});
+  return {{"stage2_shots", static_cast<double>(kShots)},
+          {"stage2_distinct", static_cast<double>(distinct)},
+          {"per_shot_naive_ms", naive_best * 1e3},
+          {"histogram_scratch_ms", hist_best * 1e3},
+          {"stage2_speedup", speedup},
+          {"paths_agree", naive_lo == hist_lo ? 1.0 : 0.0},
+          {"hardware_threads", static_cast<double>(hardware_threads())}};
+}
+
+/// Fused-kernel A/B (ISSUE 6 acceptance workload): the 16-qubit transpiled
+/// ansatz applied through (a) the unfused scalar Statevector — the engine on
+/// main before this change — (b) the fused f64 engine (bit-identical path)
+/// and (c) the fused f32 engine (stage-1 path), plus a matrix-fusion depth
+/// sweep.  Keys are appended to BENCH_micro_perf.json *after* the existing
+/// stage-2 keys so diff tooling sees append-only growth.
+MetricList fused_kernel_summary() {
+  const int nq = 16;
+  const Circuit c = transpiled_ansatz(nq);
+  constexpr int kReps = 5;
+
+  double unfused_best = 1e300;
+  {
+    Statevector sv(nq);
+    for (int rep = 0; rep < kReps; ++rep) {
+      sv.reset();
+      obs::Span t("bench.kernel.unfused_f64");
+      sv.apply(c);
+      unfused_best = std::min(unfused_best, t.seconds());
+    }
+  }
+
+  FusedEngine f64(nq, Precision::f64);
+  FusedEngine f32(nq, Precision::f32);
+  const FusedProgram prog64 = fuse_circuit(c, FusionOptions{false, 0});
+  const FusedProgram prog32 = fuse_circuit(c, FusionOptions{true, 0});
+  double f64_best = 1e300, f32_best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    f64.reset();
+    obs::Span t("bench.kernel.fused_f64");
+    f64.apply(prog64);
+    f64_best = std::min(f64_best, t.seconds());
+  }
+  for (int rep = 0; rep < kReps; ++rep) {
+    f32.reset();
+    obs::Span t("bench.kernel.fused_f32");
+    f32.apply(prog32);
+    f32_best = std::min(f32_best, t.seconds());
+  }
+
+  std::printf("\nfused-kernel A/B (%d-qubit transpiled ansatz, %zu gates):\n", nq,
+              c.size());
+  std::printf("  unfused scalar Statevector %8.2f ms\n", unfused_best * 1e3);
+  std::printf("  fused f64 (bit-identical)  %8.2f ms  %6.1fx\n", f64_best * 1e3,
+              unfused_best / f64_best);
+  std::printf("  fused f32 (stage-1)        %8.2f ms  %6.1fx  (acceptance: >= 5x)\n",
+              f32_best * 1e3, unfused_best / f32_best);
+  std::printf("  avx2=%d  block f64=%d f32=%d  fusion ratio f32=%.2f\n",
+              kernels_avx2_active() ? 1 : 0, f64.block_qubits(), f32.block_qubits(),
+              prog32.fusion_ratio());
+
+  MetricList m = {{"kernel.nq", static_cast<double>(nq)},
+                  {"kernel.gates", static_cast<double>(c.size())},
+                  {"kernel.avx2", kernels_avx2_active() ? 1.0 : 0.0},
+                  {"kernel.block_qubits_f64", static_cast<double>(f64.block_qubits())},
+                  {"kernel.block_qubits_f32", static_cast<double>(f32.block_qubits())},
+                  {"kernel.unfused_f64_ms", unfused_best * 1e3},
+                  {"kernel.fused_f64_ms", f64_best * 1e3},
+                  {"kernel.fused_f32_ms", f32_best * 1e3},
+                  {"kernel.speedup_f64", unfused_best / f64_best},
+                  {"kernel.speedup_f32", unfused_best / f32_best},
+                  {"kernel.fusion_ratio_f32", prog32.fusion_ratio()}};
+
+  // Matrix-fusion depth sweep (f32): cap the 1q gates a run may absorb.
+  // max_run 0 = unlimited, the production setting.
+  std::printf("  f32 fusion-depth sweep (max_run: ms / ops):\n");
+  for (const int cap : {1, 2, 4, 8, 0}) {
+    const FusedProgram prog = fuse_circuit(c, FusionOptions{true, cap});
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      f32.reset();
+      obs::Span t("bench.kernel.sweep");
+      f32.apply(prog);
+      best = std::min(best, t.seconds());
+    }
+    std::printf("    max_run=%-2d %8.2f ms  %4zu ops\n", cap, best * 1e3,
+                prog.ops.size());
+    std::string key = "kernel.sweep.max_run_";
+    key += std::to_string(cap);
+    m.emplace_back(key + "_ms", best * 1e3);
+    m.emplace_back(key + "_ops", static_cast<double>(prog.ops.size()));
+  }
+  return m;
 }
 
 }  // namespace
@@ -266,6 +384,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  stage2_speedup_summary();
+  MetricList metrics = stage2_speedup_summary();
+  const MetricList kernel = fused_kernel_summary();
+  metrics.insert(metrics.end(), kernel.begin(), kernel.end());
+  bench::emit_bench_json("micro_perf", metrics);
   return 0;
 }

@@ -23,6 +23,10 @@
 //       --fault-seed S          fault stream seed (default: $QDB_FAULT_SEED)
 //       --limit N               run only the first N selected entries
 //                               (CI-sized subsets for --trace runs)
+//       --stage1-precision f32|f64
+//                               dense-engine precision for stage-1 shot
+//                               scoring (default f32; f64 reproduces the
+//                               pre-fusion scalar engine bit-for-bit)
 //   qdb ingest <dataset_root> <store_root>
 //                                  ingest a §4.2 dataset tree into the
 //                                  content-addressed store (dedup + index)
@@ -168,6 +172,12 @@ int cmd_batch(int argc, char** argv) {
     else if (arg == "--max-attempts") opt.retry.max_attempts = std::atoi(next("--max-attempts"));
     else if (arg == "--fail-fast") opt.fail_fast = true;
     else if (arg == "--limit") limit = std::atol(next("--limit"));
+    else if (arg == "--stage1-precision") {
+      const std::string prec = next("--stage1-precision");
+      if (prec == "f32") opt.vqe.stage1_precision = Precision::f32;
+      else if (prec == "f64") opt.vqe.stage1_precision = Precision::f64;
+      else throw Error("--stage1-precision must be f32 or f64 (got '" + prec + "')");
+    }
     else if (arg == "--fault-rate") fault_rate = std::atof(next("--fault-rate"));
     else if (arg == "--fault-seed") fault_seed =
         static_cast<std::uint64_t>(std::atoll(next("--fault-seed")));

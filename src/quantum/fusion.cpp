@@ -1,0 +1,127 @@
+#include "quantum/fusion.h"
+
+#include "common/check.h"
+#include "quantum/circuit.h"
+#include "transpile/layers.h"
+
+namespace qdb {
+
+std::array<std::array<cplx, 2>, 2> matmul_2x2(
+    const std::array<std::array<cplx, 2>, 2>& a,
+    const std::array<std::array<cplx, 2>, 2>& b) {
+  std::array<std::array<cplx, 2>, 2> out{};
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c)
+      out[r][c] = a[r][0] * b[0][c] + a[r][1] * b[1][c];
+  return out;
+}
+
+std::array<std::array<cplx, 4>, 4> matmul_4x4(
+    const std::array<std::array<cplx, 4>, 4>& a,
+    const std::array<std::array<cplx, 4>, 4>& b) {
+  std::array<std::array<cplx, 4>, 4> out{};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      out[r][c] = ((a[r][0] * b[0][c] + a[r][1] * b[1][c]) + a[r][2] * b[2][c]) +
+                  a[r][3] * b[3][c];
+  return out;
+}
+
+std::array<std::array<cplx, 4>, 4> kron_2x2(
+    const std::array<std::array<cplx, 2>, 2>& hi,
+    const std::array<std::array<cplx, 2>, 2>& lo) {
+  std::array<std::array<cplx, 4>, 4> out{};
+  for (int r1 = 0; r1 < 2; ++r1)
+    for (int r0 = 0; r0 < 2; ++r0)
+      for (int c1 = 0; c1 < 2; ++c1)
+        for (int c0 = 0; c0 < 2; ++c0)
+          out[2 * r1 + r0][2 * c1 + c0] = hi[r1][c1] * lo[r0][c0];
+  return out;
+}
+
+namespace {
+
+constexpr std::array<std::array<cplx, 2>, 2> kId2{{{cplx{1.0, 0.0}, cplx{0.0, 0.0}},
+                                                   {cplx{0.0, 0.0}, cplx{1.0, 0.0}}}};
+
+FusedOp op_from_1q_run(const Circuit& c, const GateRun& run) {
+  FusedOp op;
+  op.two_qubit = false;
+  op.q0 = run.q0;
+  op.gates = run.gates.size();
+  // Later gates multiply from the left: U = m_k * ... * m_1.
+  auto u = kId2;
+  for (std::size_t gi : run.gates) {
+    const Gate& g = c.gates()[gi];
+    u = matmul_2x2(gate_matrix_1q(g.kind, g.angle), u);
+  }
+  op.m2 = u;
+  return op;
+}
+
+FusedOp op_from_2q_run(const Circuit& c, const GateRun& run) {
+  FusedOp op;
+  op.two_qubit = true;
+  op.q0 = run.q0;
+  op.q1 = run.q1;
+  op.gates = run.gates.size();
+  // Absorbed prefixes act per wire; gates on distinct wires commute, so the
+  // prefix factorises as (B on q1) ⊗ (A on q0) in the |q1 q0> basis.
+  auto a = kId2;  // on q0
+  auto b = kId2;  // on q1
+  QDB_ASSERT(!run.gates.empty(), "2q run must contain its own gate");
+  for (std::size_t i = 0; i + 1 < run.gates.size(); ++i) {
+    const Gate& g = c.gates()[run.gates[i]];
+    QDB_ASSERT(!is_two_qubit(g.kind), "2q run prefix must be one-qubit gates");
+    const auto m = gate_matrix_1q(g.kind, g.angle);
+    if (g.q0 == run.q0) {
+      a = matmul_2x2(m, a);
+    } else {
+      QDB_ASSERT(g.q0 == run.q1, "2q run prefix gate on a foreign wire");
+      b = matmul_2x2(m, b);
+    }
+  }
+  const Gate& g2 = c.gates()[run.gates.back()];
+  QDB_ASSERT(is_two_qubit(g2.kind), "2q run must end with its two-qubit gate");
+  op.m4 = matmul_4x4(gate_matrix_2q(g2.kind), kron_2x2(b, a));
+  return op;
+}
+
+}  // namespace
+
+FusedProgram fuse_circuit(const Circuit& c, const FusionOptions& opt) {
+  FusedProgram prog;
+  prog.num_qubits = c.num_qubits();
+  prog.gates_in = c.gates().size();
+
+  if (!opt.fuse_matrices) {
+    // Exact mode: one op per gate; the engine's traversal fusion alone does
+    // not reassociate any arithmetic.
+    prog.ops.reserve(c.gates().size());
+    for (const Gate& g : c.gates()) {
+      FusedOp op;
+      if (is_two_qubit(g.kind)) {
+        op.two_qubit = true;
+        op.q0 = g.q0;
+        op.q1 = g.q1;
+        op.m4 = gate_matrix_2q(g.kind);
+      } else {
+        op.two_qubit = false;
+        op.q0 = g.q0;
+        op.m2 = gate_matrix_1q(g.kind, g.angle);
+      }
+      prog.ops.push_back(op);
+    }
+    return prog;
+  }
+
+  const LayerGrouping grouping = group_wire_runs(c, opt.max_run);
+  prog.ops.reserve(grouping.runs.size());
+  for (const GateRun& run : grouping.runs) {
+    prog.ops.push_back(run.two_qubit ? op_from_2q_run(c, run)
+                                     : op_from_1q_run(c, run));
+  }
+  return prog;
+}
+
+}  // namespace qdb

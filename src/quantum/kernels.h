@@ -1,0 +1,117 @@
+// Fused, cache-blocked, SIMD statevector engine (ISSUE 6).
+//
+// FusedEngine is the hot-path replacement for Statevector in VQE shot
+// scoring.  Three mechanisms stack:
+//
+//  * traversal fusion — consecutive ops that only touch qubits below the
+//    cache-block size are applied block by block while a 2^B-amplitude
+//    window is L1-resident, instead of re-streaming the full 2^n array per
+//    gate.  Updates stay elementwise-identical to the one-gate-at-a-time
+//    loop, so this never changes a single bit of the result.
+//
+//  * matrix fusion (quantum/fusion.h) — wire runs premultiplied into one
+//    2x2/4x4.  Reassociates rounding, so it is reserved for Precision::f32.
+//
+//  * SIMD — split re/im storage (structure of arrays) makes every gate a
+//    contiguous-run loop that AVX2 covers with plain mul/add/sub vectors.
+//    The intrinsic kernels mirror the scalar expression tree exactly and
+//    never use FMA, so f64 SIMD results are bit-identical to scalar; a
+//    runtime `__builtin_cpu_supports` dispatch (plus the QDB_NO_AVX2 build
+//    option) keeps non-AVX2 hosts on the scalar fallback.
+//
+// Precision doctrine: Precision::f64 runs exact programs (no matrix fusion)
+// and reproduces Statevector amplitudes bit-for-bit — it backs stage-2 and
+// every published energy.  Precision::f32 adds matrix fusion and is used
+// only for stage-1 shot scoring, where sampled bitstrings tolerate ~1e-6
+// amplitude error (energies are always scored classically in f64).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "quantum/circuit.h"
+#include "quantum/fusion.h"
+
+namespace qdb {
+
+enum class Precision { f64, f32 };
+
+const char* precision_name(Precision p);
+
+/// AVX2 kernels compiled into this binary (false under -DQDB_NO_AVX2=ON or
+/// on non-x86 targets).
+bool kernels_avx2_compiled();
+/// AVX2 kernels compiled in *and* supported by the running CPU.
+bool kernels_avx2_active();
+
+struct EngineOptions {
+  /// Cache-block size in qubits; 0 consults the tuner (quantum/tuner.h).
+  /// Results-neutral at every value — it only changes traversal order.
+  int block_qubits = 0;
+  /// When false and block_qubits == 0, use the precision's fixed default
+  /// instead of tuning (the tuner itself builds engines this way).
+  bool use_tuner = true;
+  /// Skip the AVX2 dispatch even when available (scalar-vs-SIMD goldens).
+  bool force_scalar = false;
+};
+
+class FusedEngine {
+ public:
+  FusedEngine(int num_qubits, Precision precision, EngineOptions opt = {});
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+  Precision precision() const { return precision_; }
+  /// The resolved cache-block size (after tuner/default resolution).
+  int block_qubits() const { return block_qubits_; }
+
+  /// Reset to |0...0>.
+  void reset();
+
+  /// Fuse with the precision's default policy (f64: exact, f32: matrix
+  /// fusion) and execute.  Mirrors Statevector::apply(Circuit) including
+  /// the fault-injection site and the norm audit.
+  void apply(const Circuit& c);
+
+  /// Execute an already-fused program (bench and sweep entry point).
+  void apply(const FusedProgram& p);
+
+  /// Amplitudes widened to double (exact for f64, value-preserving for f32).
+  std::vector<cplx> amplitudes() const;
+
+  /// Probability of measuring basis state `index`.
+  double probability(std::uint64_t index) const;
+
+  /// <psi| f |psi> for an operator diagonal in the computational basis.
+  double expectation_diagonal(const std::function<double(std::uint64_t)>& f) const;
+
+  /// Sum of |amp|^2 (1.0 up to round-off for unitary circuits).
+  double norm2() const;
+
+  /// Draw `shots` measurement outcomes.  Deterministic given the rng state,
+  /// and for f64 draw-for-draw identical to Statevector::sample on the same
+  /// state.  The CDF prefix pass is cached across calls and invalidated by
+  /// apply/reset, so repeated sampling costs O(shots log shots), not O(dim).
+  std::vector<std::uint64_t> sample(std::size_t shots, Rng& rng) const;
+
+ private:
+  void run_program(const FusedProgram& p);
+  const std::vector<double>& cdf() const;
+
+  int num_qubits_;
+  Precision precision_;
+  EngineOptions opt_;
+  int block_qubits_ = 0;
+  // Split re/im storage; exactly one pair is populated per precision.
+  std::vector<double> re64_, im64_;
+  std::vector<float> re32_, im32_;
+  // Cached sampling state (see sample()).
+  mutable std::vector<double> cdf_scratch_;
+  mutable std::vector<double> draw_scratch_;
+  mutable double cdf_total_ = 1.0;
+  mutable bool cdf_valid_ = false;
+};
+
+}  // namespace qdb

@@ -1,0 +1,57 @@
+// Shared inverse-CDF measurement sampling (ISSUE 6).
+//
+// Statevector and FusedEngine sample from a cumulative distribution the
+// same way: sorted uniform draws walk the CDF once, then a Fisher-Yates
+// pass unsorts the outcomes.  Factoring the walk here guarantees both
+// engines consume the caller's Rng identically — one uniform per shot plus
+// one `below` per unshuffle swap — which is what makes the fused engine a
+// drop-in for the scalar one under the repo's determinism goldens.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qdb::detail {
+
+/// Draw `shots` outcomes from a prefix-sum distribution.  `cdf` is the
+/// inclusive prefix sum of the probability weights and `total` its final
+/// value (already substituted with 1.0 by callers when the state is all
+/// zeros).  `draw_scratch` is a reusable buffer so per-trajectory sampling
+/// does not re-allocate.  Deterministic given the rng state.
+inline std::vector<std::uint64_t> sample_sorted_cdf(
+    const std::vector<double>& cdf, double total, std::size_t shots, Rng& rng,
+    std::vector<double>& draw_scratch) {
+  std::vector<double>& draws = draw_scratch;
+  draws.resize(shots);
+  for (double& d : draws) d = rng.uniform() * total;
+  std::sort(draws.begin(), draws.end());
+
+  std::vector<std::uint64_t> out(shots);
+  // With shots ≪ dim the linear walk touches every CDF entry between
+  // consecutive draws; a binary search over the remaining tail is far
+  // cheaper.  Both strategies locate the first index with cdf[idx] >= draw
+  // (the draws are sorted, so the search start is monotone) and therefore
+  // produce identical outcomes.
+  const bool sparse = shots < cdf.size() / 64;
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < shots; ++s) {
+    if (sparse) {
+      const auto it = std::lower_bound(cdf.begin() + static_cast<std::ptrdiff_t>(idx),
+                                       cdf.end(), draws[s]);
+      idx = std::min(static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
+    } else {
+      while (idx + 1 < cdf.size() && cdf[idx] < draws[s]) ++idx;
+    }
+    out[s] = idx;
+  }
+  // Sorted outcomes would bias consumers that stream shots; shuffle back.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.below(i)]);
+  }
+  return out;
+}
+
+}  // namespace qdb::detail

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/parallel.h"
+#include "quantum/sampling.h"
 
 namespace qdb {
 
@@ -19,6 +20,7 @@ Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
 void Statevector::reset() {
   std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
   amps_[0] = 1.0;
+  cdf_valid_ = false;
 }
 
 void Statevector::apply_1q(const std::array<std::array<cplx, 2>, 2>& u, int q) {
@@ -73,6 +75,7 @@ void Statevector::apply_2q(const std::array<std::array<cplx, 4>, 4>& u, int q0, 
 
 void Statevector::apply(const Gate& g) {
   QDB_REQUIRE(g.q0 < num_qubits_ && g.q1 < num_qubits_, "gate qubit out of range");
+  cdf_valid_ = false;
   if (is_two_qubit(g.kind)) {
     apply_2q(gate_matrix_2q(g.kind), g.q0, g.q1);
   } else {
@@ -117,46 +120,23 @@ double Statevector::norm2() const {
 
 std::vector<std::uint64_t> Statevector::sample(std::size_t shots, Rng& rng) const {
   // Inverse-CDF sampling over sorted uniforms: build the CDF once, then walk
-  // it with the sorted draws — O(dim + shots log shots).  The CDF and draw
-  // buffers are reusable members so repeated sampling (one call per noise
-  // trajectory per COBYLA iteration) does not re-allocate.
-  std::vector<double>& cdf = cdf_scratch_;
-  cdf.resize(amps_.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    acc += std::norm(amps_[i]);
-    cdf[i] = acc;
-  }
-  const double total = acc > 0.0 ? acc : 1.0;
-
-  std::vector<double>& draws = draw_scratch_;
-  draws.resize(shots);
-  for (double& d : draws) d = rng.uniform() * total;
-  std::sort(draws.begin(), draws.end());
-
-  std::vector<std::uint64_t> out(shots);
-  // With shots ≪ dim the linear walk touches every CDF entry between
-  // consecutive draws; a binary search over the remaining tail is far
-  // cheaper.  Both strategies locate the first index with cdf[idx] >= draw
-  // (the draws are sorted, so the search start is monotone) and therefore
-  // produce identical outcomes.
-  const bool sparse = shots < cdf.size() / 64;
-  std::size_t idx = 0;
-  for (std::size_t s = 0; s < shots; ++s) {
-    if (sparse) {
-      const auto it = std::lower_bound(cdf.begin() + static_cast<std::ptrdiff_t>(idx),
-                                       cdf.end(), draws[s]);
-      idx = std::min(static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
-    } else {
-      while (idx + 1 < cdf.size() && cdf[idx] < draws[s]) ++idx;
+  // it with the sorted draws — O(dim + shots log shots).  The prefix pass is
+  // the O(dim) part, and the state rarely changes between calls (one call
+  // per noise trajectory per COBYLA iteration, stage-2's 100k-shot pass),
+  // so the CDF is cached until the next apply/reset rather than rebuilt.
+  if (!cdf_valid_) {
+    std::vector<double>& cdf = cdf_scratch_;
+    cdf.resize(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      acc += std::norm(amps_[i]);
+      cdf[i] = acc;
     }
-    out[s] = idx;
+    cdf_total_ = acc > 0.0 ? acc : 1.0;
+    cdf_valid_ = true;
   }
-  // Sorted outcomes would bias consumers that stream shots; shuffle back.
-  for (std::size_t i = out.size(); i > 1; --i) {
-    std::swap(out[i - 1], out[rng.below(i)]);
-  }
-  return out;
+  return detail::sample_sorted_cdf(cdf_scratch_, cdf_total_, shots, rng,
+                                   draw_scratch_);
 }
 
 double Statevector::fidelity(const Statevector& a, const Statevector& b) {

@@ -42,6 +42,9 @@ class Statevector {
   double norm2() const;
 
   /// Draw `shots` measurement outcomes.  Deterministic given the rng state.
+  /// The CDF prefix pass is cached across calls and invalidated by
+  /// apply/reset, so repeated sampling of an unchanged state costs
+  /// O(shots log shots), not O(dim) per call (ISSUE 6).
   std::vector<std::uint64_t> sample(std::size_t shots, Rng& rng) const;
 
   /// Fidelity |<a|b>|^2 between two states of equal dimension.
@@ -56,8 +59,12 @@ class Statevector {
   // Reusable sampling buffers (see sample()).  Logically const scratch: the
   // simulator state is unchanged by sampling.  sample() already mutates the
   // caller's Rng, so it was never safe to call concurrently on one instance.
+  // cdf_scratch_ doubles as a cache of the prefix sums, valid until the
+  // next apply/reset.
   mutable std::vector<double> cdf_scratch_;
   mutable std::vector<double> draw_scratch_;
+  mutable double cdf_total_ = 1.0;
+  mutable bool cdf_valid_ = false;
 };
 
 }  // namespace qdb

@@ -1,0 +1,60 @@
+#include "transpile/layers.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qdb {
+
+LayerGrouping group_wire_runs(const Circuit& c, int max_run) {
+  QDB_REQUIRE(max_run >= 0, "group_wire_runs: max_run must be >= 0");
+  LayerGrouping grouping;
+  grouping.gates_in = c.gates().size();
+  grouping.runs.reserve(c.gates().size());
+
+  // Per-wire pending one-qubit gate indices, not yet assigned to a run.
+  std::vector<std::vector<std::size_t>> pending(static_cast<std::size_t>(c.num_qubits()));
+
+  auto flush = [&](int q) {
+    auto& p = pending[static_cast<std::size_t>(q)];
+    if (p.empty()) return;
+    GateRun run;
+    run.two_qubit = false;
+    run.q0 = q;
+    run.gates = std::move(p);
+    p.clear();
+    grouping.runs.push_back(std::move(run));
+  };
+
+  const auto& gates = c.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (is_two_qubit(g.kind)) {
+      // The two-qubit gate absorbs the pending one-qubit prefixes on both
+      // operands.  Gates on distinct wires commute, so merging the two
+      // prefixes back into circuit order is a presentation choice; per-wire
+      // order (the correctness requirement) is preserved either way.
+      GateRun run;
+      run.two_qubit = true;
+      run.q0 = g.q0;
+      run.q1 = g.q1;
+      auto& p0 = pending[static_cast<std::size_t>(g.q0)];
+      auto& p1 = pending[static_cast<std::size_t>(g.q1)];
+      run.gates.reserve(p0.size() + p1.size() + 1);
+      std::merge(p0.begin(), p0.end(), p1.begin(), p1.end(),
+                 std::back_inserter(run.gates));
+      p0.clear();
+      p1.clear();
+      run.gates.push_back(i);
+      grouping.runs.push_back(std::move(run));
+    } else {
+      auto& p = pending[static_cast<std::size_t>(g.q0)];
+      p.push_back(i);
+      if (max_run > 0 && p.size() >= static_cast<std::size_t>(max_run)) flush(g.q0);
+    }
+  }
+  for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+  return grouping;
+}
+
+}  // namespace qdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/check.h"
 #include "common/error.h"
@@ -86,10 +87,21 @@ VqeResult VqeDriver::run() const {
 
   Rng rng(opt_.seed);
 
+  // Dense engines are hoisted out of the trajectory loop and reused via
+  // reset(): one allocation per precision for the whole run.  Stage 1 uses
+  // opt_.stage1_precision (f32 by default — see VqeOptions); stage 2 and
+  // everything published always sample at f64.
+  std::optional<FusedEngine> dense_f64, dense_f32;
+  auto dense_engine = [&](Precision prec) -> FusedEngine& {
+    auto& slot = prec == Precision::f64 ? dense_f64 : dense_f32;
+    if (!slot) slot.emplace(nq, prec);
+    return *slot;
+  };
+
   // Draw `shots` measurement outcomes of the ansatz at `params` under the
   // noise model, split across stochastic error trajectories.
   auto sample_bitstrings = [&](const std::vector<double>& params, std::size_t shots,
-                               int trajectories) {
+                               int trajectories, Precision precision) {
     const Circuit logical = ansatz.build(params);
     std::vector<std::uint64_t> all;
     all.reserve(shots);
@@ -114,6 +126,11 @@ VqeResult VqeDriver::run() const {
               std::to_string(opt_.max_truncation_weight) + " at max_bond " +
               std::to_string(opt_.max_bond) + " (retry on the dense engine)");
         }
+        s = sim.sample(want, rng);
+      } else if (opt_.use_fused_engine) {
+        FusedEngine& sim = dense_engine(precision);
+        sim.reset();
+        sim.apply(noisy);
         s = sim.sample(want, rng);
       } else {
         Statevector sim(nq);
@@ -185,7 +202,8 @@ VqeResult VqeDriver::run() const {
     eval_count.add();
     shot_count.add(opt_.shots_per_eval);
     fault_site("vqe.stage1.evaluate");  // deterministic fault injection (ISSUE 2)
-    const auto xs = sample_bitstrings(params, opt_.shots_per_eval, opt_.noise_trajectories);
+    const auto xs = sample_bitstrings(params, opt_.shots_per_eval,
+                                      opt_.noise_trajectories, opt_.stage1_precision);
     Histogram hist = histogram_from_shots(xs);
     if (mitigate) hist = mitigator.mitigate(hist);
     // Both the mitigated (quasi-probability) and the raw (integer-count)
@@ -233,8 +251,9 @@ VqeResult VqeDriver::run() const {
   obs::Span stage2_span("vqe.stage2");
   fault_site("vqe.stage2.sample");  // deterministic fault injection (ISSUE 2)
   shot_count.add(opt_.final_shots);
-  const auto final_samples =
-      sample_bitstrings(result.best_params, opt_.final_shots, 2 * opt_.noise_trajectories);
+  const auto final_samples = sample_bitstrings(
+      result.best_params, opt_.final_shots, 2 * opt_.noise_trajectories,
+      Precision::f64);
   QDB_REQUIRE(!final_samples.empty(), "stage-2 sampling produced no shots");
   const auto final_scored = score_histogram(histogram_from_shots(final_samples));
   result.stage2_distinct = final_scored.size();

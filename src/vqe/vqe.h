@@ -26,6 +26,7 @@
 #include "lattice/allocation.h"
 #include "lattice/hamiltonian.h"
 #include "optimize/optimizer.h"
+#include "quantum/kernels.h"
 #include "quantum/noise.h"
 
 namespace qdb {
@@ -54,6 +55,21 @@ struct VqeOptions {
 
   enum class Engine { Auto, Dense, Mps };
   Engine engine = Engine::Auto;    // Auto: dense <= 14 qubits, MPS above
+
+  // Working precision of the dense engine during stage-1 shot scoring
+  // (ISSUE 6).  f32 runs the fused single-precision kernels: it perturbs
+  // only *which bitstrings get sampled* (amplitudes good to ~1e-6) while
+  // every energy is still scored classically in f64.  Stage 2 and the
+  // refine path always run f64, so published energies and the stage-2
+  // histogram are computed at full precision regardless of this setting.
+  // Set to Precision::f64 to make stage-1 bit-identical to the pre-fusion
+  // scalar engine.
+  Precision stage1_precision = Precision::f32;
+
+  // Escape hatch: route dense sampling through the legacy one-gate-at-a-
+  // time Statevector instead of the fused engine (A/B determinism checks;
+  // with stage1_precision = f64 the two produce identical results).
+  bool use_fused_engine = true;
 
   // Bound on the per-driver bitstring -> energy memo.  COBYLA iterations
   // revisit the same basins, so distinct bitstrings scored in earlier

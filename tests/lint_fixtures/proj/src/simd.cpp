@@ -1,0 +1,9 @@
+// Planted simd-intrinsics violations: raw AVX2 usage outside the kernel
+// home.  Three hits: the include, the vector type, the intrinsic call.
+#include <immintrin.h>
+
+double sum_lanes(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  (void)v;
+  return p[0];
+}

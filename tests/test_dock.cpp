@@ -61,8 +61,11 @@ TEST(Ligand, RigidTransformMovesAllAtoms) {
 
 TEST(Ligand, TorsionRotatesOnlyMovedAtoms) {
   std::vector<LigandAtom> atoms(4);
+  // Copy-assign from a named string, not a literal: `name = "C"` inlined in
+  // this loop trips GCC 12's -Wrestrict false positive (PR105651) at -O2.
+  const std::string carbon = "C";
   for (int i = 0; i < 4; ++i) {
-    atoms[static_cast<std::size_t>(i)].name = "C";
+    atoms[static_cast<std::size_t>(i)].name = carbon;
     atoms[static_cast<std::size_t>(i)].element = 'C';
     atoms[static_cast<std::size_t>(i)].local_pos = {1.5 * i, 0, 0};
   }

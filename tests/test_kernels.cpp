@@ -1,0 +1,343 @@
+// Fused engine goldens (ISSUE 6): f64 bit-identity against the scalar
+// Statevector, f32 tolerance bounds, fusion accounting, tuner caching.
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "quantum/ansatz.h"
+#include "quantum/fusion.h"
+#include "quantum/kernels.h"
+#include "quantum/statevector.h"
+#include "quantum/tuner.h"
+#include "transpile/basis.h"
+#include "transpile/layers.h"
+
+namespace qdb {
+namespace {
+
+Circuit transpiled_ansatz(int nq, std::uint64_t seed) {
+  const EfficientSU2 ansatz(nq, 2);
+  Rng rng(seed);
+  return simplify_native(to_native_basis(ansatz.build(ansatz.initial_point(rng, 0.5))));
+}
+
+// Every supported gate kind at least once, with wire gaps that exercise
+// non-adjacent two-qubit strides.
+Circuit misc_circuit(int nq) {
+  Circuit c(nq);
+  c.h(0).x(1).y(2).z(3).s(0).sdg(1).sx(2).sxdg(3);
+  c.rx(0.3, 0).ry(-0.7, 1).rz(1.1, 2);
+  c.cx(0, 1).cx(1, 0).cz(2, 3).swap(0, 2).ecr(3, 1);
+  c.cx(0, nq - 1).cz(nq - 1, 1).swap(1, nq - 2);
+  c.ry(0.25, nq - 1).rz(-0.4, nq - 2);
+  return c;
+}
+
+// Bitwise equality: EXPECT_EQ on doubles treats -0.0 == 0.0, memcmp does not.
+::testing::AssertionResult bit_identical(const std::vector<cplx>& a,
+                                         const std::vector<cplx>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs " << b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(cplx)) != 0) {
+      return ::testing::AssertionFailure()
+             << "amplitude " << i << " differs: (" << a[i].real() << "," << a[i].imag()
+             << ") vs (" << b[i].real() << "," << b[i].imag() << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Deterministic pseudo-Hamiltonian diagonal for energy-tolerance bounds.
+double diag_energy(std::uint64_t x) {
+  const auto h = x * 0x9e3779b97f4a7c15ull;
+  return -5.0 + static_cast<double>(h >> 40) * 1e-5;
+}
+
+TEST(FusedEngineF64, BitIdenticalToStatevectorOnTranspiledAnsatz) {
+  for (const int nq : {9, 12, 16}) {
+    const Circuit native = transpiled_ansatz(nq, 7 + static_cast<std::uint64_t>(nq));
+    Statevector sv(nq);
+    sv.apply(native);
+    FusedEngine eng(nq, Precision::f64);
+    eng.apply(native);
+    EXPECT_TRUE(bit_identical(eng.amplitudes(), sv.amplitudes())) << "nq=" << nq;
+  }
+}
+
+TEST(FusedEngineF64, BitIdenticalAcrossBlockSizesAndGateKinds) {
+  const int nq = 11;
+  const Circuit c = misc_circuit(nq);
+  Statevector sv(nq);
+  sv.apply(c);
+  const auto want = sv.amplitudes();
+  for (const int block : {2, 4, 7, nq}) {
+    EngineOptions opt;
+    opt.block_qubits = block;
+    FusedEngine eng(nq, Precision::f64, opt);
+    eng.apply(c);
+    EXPECT_TRUE(bit_identical(eng.amplitudes(), want)) << "block=" << block;
+  }
+}
+
+TEST(FusedEngineF64, ScalarFallbackMatchesDispatchBitForBit) {
+  const int nq = 12;
+  const Circuit native = transpiled_ansatz(nq, 3);
+  EngineOptions scalar_opt;
+  scalar_opt.force_scalar = true;
+  FusedEngine scalar(nq, Precision::f64, scalar_opt);
+  FusedEngine dispatch(nq, Precision::f64);
+  scalar.apply(native);
+  dispatch.apply(native);
+  // On AVX2 hosts this proves the SIMD kernels reproduce the scalar
+  // expression tree exactly; elsewhere both sides run the same fallback.
+  EXPECT_TRUE(bit_identical(dispatch.amplitudes(), scalar.amplitudes()));
+}
+
+TEST(FusedEngineF64, ResetAndReuseMatchesFreshEngine) {
+  const int nq = 10;
+  const Circuit a = transpiled_ansatz(nq, 11);
+  const Circuit b = misc_circuit(nq);
+  FusedEngine reused(nq, Precision::f64);
+  reused.apply(a);
+  reused.reset();
+  reused.apply(b);
+  FusedEngine fresh(nq, Precision::f64);
+  fresh.apply(b);
+  EXPECT_TRUE(bit_identical(reused.amplitudes(), fresh.amplitudes()));
+}
+
+TEST(FusedEngineF64, SampleIsDrawForDrawIdenticalToStatevector) {
+  const int nq = 12;
+  const Circuit native = transpiled_ansatz(nq, 21);
+  Statevector sv(nq);
+  sv.apply(native);
+  FusedEngine eng(nq, Precision::f64);
+  eng.apply(native);
+  // Both the sparse (binary search) and dense (linear walk) strategies.
+  for (const std::size_t shots : {std::size_t{5}, std::size_t{4096}}) {
+    Rng rng_sv(99), rng_eng(99);
+    EXPECT_EQ(eng.sample(shots, rng_eng), sv.sample(shots, rng_sv)) << shots;
+  }
+}
+
+TEST(FusedEngineF64, CachedCdfIsInvalidatedByApply) {
+  const int nq = 9;
+  FusedEngine eng(nq, Precision::f64);
+  eng.apply(transpiled_ansatz(nq, 5));
+  Rng rng_a(7);
+  const auto first = eng.sample(100, rng_a);   // builds the CDF
+  const auto second = eng.sample(100, rng_a);  // reuses it
+  {
+    // A fresh engine over the same state must reproduce both calls from the
+    // same rng stream: caching changes cost, never outcomes.
+    FusedEngine fresh(nq, Precision::f64);
+    fresh.apply(transpiled_ansatz(nq, 5));
+    Rng rng_b(7);
+    EXPECT_EQ(first, fresh.sample(100, rng_b));
+    EXPECT_EQ(second, fresh.sample(100, rng_b));
+  }
+  // Applying more gates must invalidate the cache.
+  Circuit more(nq);
+  more.h(0).cx(0, nq - 1);
+  eng.apply(more);
+  Statevector sv(nq);
+  sv.apply(transpiled_ansatz(nq, 5));
+  sv.apply(more);
+  Rng rng_c(13), rng_d(13);
+  EXPECT_EQ(eng.sample(500, rng_c), sv.sample(500, rng_d));
+}
+
+TEST(StatevectorSampleCache, RepeatedSamplingIsDeterministicAcrossInstances) {
+  const int nq = 10;
+  const Circuit c = transpiled_ansatz(nq, 17);
+  Statevector warm(nq);
+  warm.apply(c);
+  Rng rng_a(31);
+  const auto s1 = warm.sample(64, rng_a);  // builds + caches the CDF
+  const auto s2 = warm.sample(64, rng_a);  // cached prefix pass
+  Statevector cold(nq);
+  cold.apply(c);
+  Rng rng_b(31);
+  EXPECT_EQ(s1, cold.sample(64, rng_b));
+  EXPECT_EQ(s2, cold.sample(64, rng_b));
+  // Invalidate by applying another gate: outcomes track the new state.
+  warm.apply(Gate::one(GateKind::H, 0));
+  cold.apply(Gate::one(GateKind::H, 0));
+  Rng rng_c(77), rng_d(77);
+  EXPECT_EQ(warm.sample(256, rng_c), cold.sample(256, rng_d));
+}
+
+TEST(FusedEngineF32, AmplitudeAndEnergyErrorBounded) {
+  const int nq = 12;
+  const Circuit native = transpiled_ansatz(nq, 29);
+  FusedEngine f64(nq, Precision::f64);
+  FusedEngine f32(nq, Precision::f32);
+  f64.apply(native);
+  f32.apply(native);
+  const auto a64 = f64.amplitudes();
+  const auto a32 = f32.amplitudes();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < a64.size(); ++i) {
+    max_err = std::max(max_err, std::abs(a64[i] - a32[i]));
+  }
+  // ~400 native gates of float arithmetic: error should sit near 1e-6 and
+  // must stay far below anything that reorders the sampled histogram tails.
+  EXPECT_LT(max_err, 5e-5);
+  EXPECT_GT(max_err, 0.0);  // it IS single precision, not secretly double
+  EXPECT_NEAR(f32.norm2(), 1.0, 1e-4);
+  // Stage-1 energy bound: a diagonal expectation in the f32 state agrees
+  // with the f64 state to far better than CVaR's shot noise.
+  const double e64 = f64.expectation_diagonal(diag_energy);
+  const double e32 = f32.expectation_diagonal(diag_energy);
+  EXPECT_NEAR(e32, e64, 1e-4 * std::abs(e64));
+}
+
+TEST(Fusion, GroupWireRunsCoversEveryGateOncePreservingWireOrder) {
+  const Circuit c = transpiled_ansatz(10, 41);
+  const LayerGrouping grouping = group_wire_runs(c);
+  std::set<std::size_t> seen;
+  for (const GateRun& run : grouping.runs) {
+    ASSERT_FALSE(run.gates.empty());
+    if (run.two_qubit) {
+      EXPECT_TRUE(is_two_qubit(c.gates()[run.gates.back()].kind));
+    }
+    for (std::size_t gi : run.gates) EXPECT_TRUE(seen.insert(gi).second) << gi;
+  }
+  EXPECT_EQ(seen.size(), c.gates().size());
+  EXPECT_GT(grouping.fusion_ratio(), 2.0);  // RZ/SX runs actually fold
+}
+
+TEST(Fusion, MaxRunCapsAbsorbedOneQubitGates) {
+  const Circuit c = transpiled_ansatz(8, 43);
+  for (const int cap : {1, 2, 4}) {
+    const LayerGrouping grouping = group_wire_runs(c, cap);
+    for (const GateRun& run : grouping.runs) {
+      if (!run.two_qubit) {
+        EXPECT_LE(run.gates.size(), static_cast<std::size_t>(cap));
+      }
+    }
+  }
+  // Tighter caps can only emit more runs.
+  EXPECT_GE(group_wire_runs(c, 1).runs_out(), group_wire_runs(c, 4).runs_out());
+  EXPECT_GE(group_wire_runs(c, 4).runs_out(), group_wire_runs(c).runs_out());
+}
+
+TEST(Fusion, MatrixFusedProgramMatchesUnfusedToRounding) {
+  const int nq = 10;
+  const Circuit native = transpiled_ansatz(nq, 47);
+  Statevector sv(nq);
+  sv.apply(native);
+  const auto want = sv.amplitudes();
+  FusionOptions fo;
+  fo.fuse_matrices = true;
+  const FusedProgram prog = fuse_circuit(native, fo);
+  EXPECT_GT(prog.fusion_ratio(), 2.0);
+  EXPECT_EQ(prog.gates_in, native.gates().size());
+  FusedEngine eng(nq, Precision::f64);
+  eng.apply(prog);
+  const auto got = eng.amplitudes();
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    // Premultiplication reassociates rounding; it must stay at the 1e-12
+    // scale, far from the exact-path guarantee but numerically irrelevant.
+    EXPECT_NEAR(got[i].real(), want[i].real(), 1e-12) << i;
+    EXPECT_NEAR(got[i].imag(), want[i].imag(), 1e-12) << i;
+  }
+}
+
+TEST(Fusion, ExactModeEmitsOneOpPerGate) {
+  const Circuit c = misc_circuit(6);
+  FusionOptions fo;
+  fo.fuse_matrices = false;
+  const FusedProgram prog = fuse_circuit(c, fo);
+  EXPECT_EQ(prog.ops.size(), c.gates().size());
+  EXPECT_DOUBLE_EQ(prog.fusion_ratio(), 1.0);
+}
+
+class TunerCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "qdb_tuner_test";
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "plans.json").string();
+    std::filesystem::remove(path_);
+    ASSERT_EQ(setenv("QDB_TUNER_CACHE", path_.c_str(), 1), 0);
+    Tuner::global().clear_memory();
+  }
+  void TearDown() override {
+    unsetenv("QDB_TUNER_CACHE");
+    Tuner::global().clear_memory();
+    std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(TunerCacheTest, PlansAreCachedInMemoryOnDiskAndVersionInvalidated) {
+  const TunerPlan first = Tuner::global().plan_for(12, Precision::f64);
+  EXPECT_GE(first.block_qubits, 1);
+  EXPECT_LE(first.block_qubits, 12);
+  EXPECT_EQ(first.source, "tuned");
+
+  // Second resolution: in-memory, same plan.
+  const auto mem_hits = obs::counter("kernel.tuner.memory_hit").value();
+  const TunerPlan second = Tuner::global().plan_for(12, Precision::f64);
+  EXPECT_EQ(second.block_qubits, first.block_qubits);
+  EXPECT_EQ(obs::counter("kernel.tuner.memory_hit").value(), mem_hits + 1);
+
+  // New process simulation: drop memory, plan comes back from disk.
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  Tuner::global().clear_memory();
+  const TunerPlan reloaded = Tuner::global().plan_for(12, Precision::f64);
+  EXPECT_EQ(reloaded.block_qubits, first.block_qubits);
+  EXPECT_EQ(reloaded.source, "disk");
+
+  // A version bump retires every persisted plan.
+  Json doc = Json::parse(read_file(path_));
+  doc.set("version", Tuner::kFormatVersion + 1);
+  write_file_atomic(path_, doc.dump());
+  Tuner::global().clear_memory();
+  const TunerPlan retuned = Tuner::global().plan_for(12, Precision::f64);
+  EXPECT_EQ(retuned.source, "tuned");
+}
+
+TEST_F(TunerCacheTest, MalformedCacheIsIgnoredNotFatal) {
+  write_file_atomic(path_, "{not json");
+  const TunerPlan plan = Tuner::global().plan_for(10, Precision::f32);
+  EXPECT_EQ(plan.source, "tuned");
+  // And the rewrite produced a valid file.
+  const Json doc = Json::parse(read_file(path_));
+  EXPECT_EQ(doc.at("version").as_int(), Tuner::kFormatVersion);
+}
+
+TEST_F(TunerCacheTest, SmallRegistersResolveWithoutBenchmarking) {
+  const auto tuned_before = obs::counter("kernel.tuner.tuned").value();
+  const TunerPlan plan = Tuner::global().plan_for(4, Precision::f64);
+  EXPECT_EQ(plan.source, "default");
+  EXPECT_EQ(plan.block_qubits, 4);
+  EXPECT_EQ(obs::counter("kernel.tuner.tuned").value(), tuned_before);
+}
+
+TEST(FusedEngineCounters, FusionAccountingIsRecorded) {
+  const int nq = 9;
+  const Circuit native = transpiled_ansatz(nq, 53);
+  // Construct first: the ctor may run the autotuner, whose benchmark workload
+  // itself bumps the kernel.* counters.
+  FusedEngine eng(nq, Precision::f32);
+  const auto gates_before = obs::counter("kernel.fused.gates_in").value();
+  const auto ops_before = obs::counter("kernel.fused.ops").value();
+  eng.apply(native);
+  const auto gates = obs::counter("kernel.fused.gates_in").value() - gates_before;
+  const auto ops = obs::counter("kernel.fused.ops").value() - ops_before;
+  EXPECT_EQ(gates, native.gates().size());
+  EXPECT_LT(ops, gates);  // the ratio the obs layer reports is > 1
+}
+
+}  // namespace
+}  // namespace qdb

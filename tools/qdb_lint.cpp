@@ -307,6 +307,22 @@ std::vector<Diagnostic> lint_source(const std::string& relpath, const std::strin
     }
   }
 
+  // simd-intrinsics: raw SIMD intrinsics live in exactly one place — the
+  // fused statevector kernels (src/quantum/kernels.*, allowlisted) — so the
+  // scalar-fallback build (-DQDB_NO_AVX2=ON) and non-x86 ports have a single
+  // surface to audit.  Everything else vectorises through the kernel layer.
+  for (const char* tok : {"immintrin.h", "_mm256", "__m256"}) {
+    const std::string token = tok;
+    for (std::size_t pos = code.find(token); pos != std::string::npos;
+         pos = code.find(token, pos + token.size())) {
+      if (pos > 0 && is_ident_char(code[pos - 1])) continue;
+      add(pos, "simd-intrinsics",
+          std::string("raw SIMD intrinsic (") + tok +
+              ") — vector kernels belong to src/quantum/kernels.* behind its "
+              "runtime dispatch and QDB_NO_AVX2 fallback");
+    }
+  }
+
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });
