@@ -38,6 +38,23 @@
 //                               (default 256; 0 disables)
 //       runs until SIGINT/SIGTERM, then shuts down cleanly and prints a
 //       final metrics summary
+//   qdb coordinate <results_store> [S|M|L|all] [batch flags] [flags]
+//                                  lease coordinator for distributed batches
+//                                  (ISSUE 7): serves POST /jobs/lease,
+//                                  /jobs/{id}/heartbeat, /jobs/{id}/complete
+//                                  and GET /jobs/status until the batch
+//                                  drains or SIGINT/SIGTERM:
+//       --port/--host/--serve-threads   as serve
+//       --lease-ttl-ms T        lease deadline per grant/heartbeat (30000)
+//       --max-lease-attempts K  grants per job before terminal Failed (8)
+//       --journal <path>        crash-consistent state; re-run to resume
+//       --report <path>         write the final report as a batch
+//                               checkpoint (byte-comparable to --resume)
+//   qdb work <host> <port> [batch flags] [flags]
+//                                  worker loop against a coordinator; batch
+//                                  flags must match (fingerprint-checked):
+//       --worker-id W --poll-ms N --heartbeat-ms N --no-heartbeats
+//       --max-request-attempts N
 //   qdb get <host> <port> <target>
 //                                  one GET via the in-tree client; prints
 //                                  the body (CI smoke checks)
@@ -70,6 +87,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "data/batch.h"
+#include "data/checkpoint.h"
+#include "orchestrate/api.h"
+#include "orchestrate/coordinator.h"
+#include "orchestrate/worker.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "store/store.h"
@@ -144,70 +165,90 @@ int cmd_evaluate(int argc, char** argv) {
   return 0;
 }
 
-int cmd_batch(int argc, char** argv) {
+/// Batch configuration shared by `batch` (serial executor), `coordinate`
+/// (lease coordinator), and `work` (distributed worker).  All three parse
+/// the same flags with the same defaults: byte-identity across the serial
+/// and distributed paths starts with identical BatchOptions, and the
+/// coordinator/worker fingerprint handshake rejects any drift.
+struct BatchCliConfig {
   BatchOptions opt;
-  opt.run_vqe = true;
-  opt.vqe.max_evaluations = 12;
-  opt.vqe.shots_per_eval = 128;
-  opt.vqe.final_shots = 1000;
   std::string group = "all";
   double fault_rate = 0.0;
   std::uint64_t fault_seed = fault_seed_from_env(1);
   long limit = -1;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
-      return argv[++i];
-    };
-    if (arg == "--account") opt.run_vqe = false;
-    else if (arg == "--threads") opt.threads = std::atoi(next("--threads"));
-    else if (arg == "--evals") opt.vqe.max_evaluations = std::atoi(next("--evals"));
-    else if (arg == "--shots") opt.vqe.shots_per_eval =
-        static_cast<std::size_t>(std::atoll(next("--shots")));
-    else if (arg == "--final-shots") opt.vqe.final_shots =
-        static_cast<std::size_t>(std::atoll(next("--final-shots")));
-    else if (arg == "--resume" || arg == "--checkpoint") opt.checkpoint_path = next("--resume");
-    else if (arg == "--max-attempts") opt.retry.max_attempts = std::atoi(next("--max-attempts"));
-    else if (arg == "--fail-fast") opt.fail_fast = true;
-    else if (arg == "--limit") limit = std::atol(next("--limit"));
-    else if (arg == "--stage1-precision") {
-      const std::string prec = next("--stage1-precision");
-      if (prec == "f32") opt.vqe.stage1_precision = Precision::f32;
-      else if (prec == "f64") opt.vqe.stage1_precision = Precision::f64;
-      else throw Error("--stage1-precision must be f32 or f64 (got '" + prec + "')");
-    }
-    else if (arg == "--fault-rate") fault_rate = std::atof(next("--fault-rate"));
-    else if (arg == "--fault-seed") fault_seed =
-        static_cast<std::uint64_t>(std::atoll(next("--fault-seed")));
-    else if (arg == "S" || arg == "M" || arg == "L" || arg == "all") group = arg;
-    else throw Error("unknown batch flag '" + arg + "'");
+  BatchCliConfig() {
+    opt.run_vqe = true;
+    opt.vqe.max_evaluations = 12;
+    opt.vqe.shots_per_eval = 128;
+    opt.vqe.final_shots = 1000;
   }
+};
 
-  if (fault_rate > 0.0) {
-    FaultInjector& fi = FaultInjector::instance();
-    fi.set_seed(fault_seed);
-    FaultSiteConfig cfg;
-    cfg.probability = fault_rate;
-    cfg.kind = FaultKind::Transient;
-    if (opt.run_vqe) {
-      fi.configure("vqe.stage1.evaluate", cfg);
-      fi.configure("vqe.stage2.sample", cfg);
-    } else {
-      fi.configure("batch.account", cfg);
-    }
+/// Consume argv[i] (advancing i past any value) if it is a shared batch
+/// flag; return false to let the caller try its own flags.
+bool parse_batch_flag(BatchCliConfig& b, int argc, char** argv, int& i) {
+  const std::string arg = argv[i];
+  auto next = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  if (arg == "--account") b.opt.run_vqe = false;
+  else if (arg == "--threads") b.opt.threads = std::atoi(next("--threads"));
+  else if (arg == "--evals") b.opt.vqe.max_evaluations = std::atoi(next("--evals"));
+  else if (arg == "--shots") b.opt.vqe.shots_per_eval =
+      static_cast<std::size_t>(std::atoll(next("--shots")));
+  else if (arg == "--final-shots") b.opt.vqe.final_shots =
+      static_cast<std::size_t>(std::atoll(next("--final-shots")));
+  else if (arg == "--max-attempts") b.opt.retry.max_attempts =
+      std::atoi(next("--max-attempts"));
+  else if (arg == "--fail-fast") b.opt.fail_fast = true;
+  else if (arg == "--limit") b.limit = std::atol(next("--limit"));
+  else if (arg == "--stage1-precision") {
+    const std::string prec = next("--stage1-precision");
+    if (prec == "f32") b.opt.vqe.stage1_precision = Precision::f32;
+    else if (prec == "f64") b.opt.vqe.stage1_precision = Precision::f64;
+    else throw Error("--stage1-precision must be f32 or f64 (got '" + prec + "')");
   }
+  else if (arg == "--fault-rate") b.fault_rate = std::atof(next("--fault-rate"));
+  else if (arg == "--fault-seed") b.fault_seed =
+      static_cast<std::uint64_t>(std::atoll(next("--fault-seed")));
+  else if (arg == "S" || arg == "M" || arg == "L" || arg == "all") b.group = arg;
+  else return false;
+  return true;
+}
 
+/// Arm the fault injector from the shared flags.  Both ends of a
+/// distributed run must call this with identical flags — the injector
+/// seed and site set are part of the options fingerprint.
+void configure_fault_injection(const BatchCliConfig& b) {
+  if (b.fault_rate <= 0.0) return;
+  FaultInjector& fi = FaultInjector::instance();
+  fi.set_seed(b.fault_seed);
+  FaultSiteConfig cfg;
+  cfg.probability = b.fault_rate;
+  cfg.kind = FaultKind::Transient;
+  if (b.opt.run_vqe) {
+    fi.configure("vqe.stage1.evaluate", cfg);
+    fi.configure("vqe.stage2.sample", cfg);
+  } else {
+    fi.configure("batch.account", cfg);
+  }
+}
+
+std::vector<const DatasetEntry*> select_entries(const BatchCliConfig& b) {
   std::vector<const DatasetEntry*> entries;
   for (const DatasetEntry& e : qdockbank_entries()) {
-    if (group == "all" || group == group_name(e.group())) entries.push_back(&e);
+    if (b.group == "all" || b.group == group_name(e.group())) entries.push_back(&e);
   }
-  if (limit >= 0 && static_cast<std::size_t>(limit) < entries.size()) {
-    entries.resize(static_cast<std::size_t>(limit));
+  if (b.limit >= 0 && static_cast<std::size_t>(b.limit) < entries.size()) {
+    entries.resize(static_cast<std::size_t>(b.limit));
   }
-  const BatchReport r = run_batch(entries, opt);
+  return entries;
+}
 
+/// Print the per-job table + summary used by `batch` and `coordinate`.
+void print_batch_report(const BatchReport& r) {
   std::printf("%-6s %-9s %-9s %-8s %-15s %12s %10s\n", "PDB", "Status", "Attempts",
               "Engine", "Degradation", "Device(s)", "Wait(s)");
   for (const BatchJobRecord& j : r.jobs) {
@@ -230,8 +271,26 @@ int cmd_batch(int argc, char** argv) {
   for (const std::string& warn : r.checkpoint_warnings) {
     std::printf("warning: %s\n", warn.c_str());
   }
-  if (!opt.checkpoint_path.empty()) {
-    std::printf("checkpoint: %s\n", opt.checkpoint_path.c_str());
+}
+
+int cmd_batch(int argc, char** argv) {
+  BatchCliConfig b;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (parse_batch_flag(b, argc, argv, i)) continue;
+    if (arg == "--resume" || arg == "--checkpoint") b.opt.checkpoint_path = next("--resume");
+    else throw Error("unknown batch flag '" + arg + "'");
+  }
+
+  configure_fault_injection(b);
+  const BatchReport r = run_batch(select_entries(b), b.opt);
+  print_batch_report(r);
+  if (!b.opt.checkpoint_path.empty()) {
+    std::printf("checkpoint: %s\n", b.opt.checkpoint_path.c_str());
   }
   return r.count(JobStatus::Failed) == 0 ? 0 : 3;
 }
@@ -323,6 +382,133 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+/// `qdb coordinate <results_store> [group] [batch flags] [flags]` — run the
+/// lease coordinator (ISSUE 7): serve the job API until the batch drains or
+/// SIGINT/SIGTERM.  With --journal the state survives a kill; re-running
+/// the same command resumes.  Accepted results are ingested into
+/// <results_store> as content-addressed blobs.
+int cmd_coordinate(int argc, char** argv) {
+  BatchCliConfig b;
+  serve::ServeOptions serve_opt;
+  serve_opt.port = 8080;
+  orchestrate::CoordinatorOptions copt;
+  std::string report_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (parse_batch_flag(b, argc, argv, i)) continue;
+    if (arg == "--port") serve_opt.port =
+        static_cast<std::uint16_t>(std::atoi(next("--port")));
+    else if (arg == "--host") serve_opt.host = next("--host");
+    else if (arg == "--serve-threads") serve_opt.threads =
+        std::atoi(next("--serve-threads"));
+    else if (arg == "--lease-ttl-ms") copt.lease_ttl_ms =
+        static_cast<std::uint64_t>(std::atoll(next("--lease-ttl-ms")));
+    else if (arg == "--max-lease-attempts") copt.max_lease_attempts =
+        std::atoi(next("--max-lease-attempts"));
+    else if (arg == "--journal") copt.journal_path = next("--journal");
+    else if (arg == "--report") report_path = next("--report");
+    else throw Error("unknown coordinate flag '" + arg + "'");
+  }
+
+  configure_fault_injection(b);
+  copt.batch = b.opt;
+  store::Store results(argv[2]);
+  copt.results = &results;
+  orchestrate::Coordinator coordinator(select_entries(b), copt);
+
+  serve::DatasetServer server(results, serve_opt);
+  orchestrate::attach_job_api(server, coordinator);
+  server.start();
+  std::printf("qdb: coordinating %zu jobs on http://%s:%u "
+              "(ttl %llu ms, %d lease attempts, fingerprint %016llx)\n",
+              coordinator.jobs().size(), serve_opt.host.c_str(), server.port(),
+              static_cast<unsigned long long>(copt.lease_ttl_ms),
+              copt.max_lease_attempts,
+              static_cast<unsigned long long>(coordinator.options_fingerprint()));
+  if (!copt.journal_path.empty()) {
+    std::printf("qdb: journal %s (kill + re-run to resume)\n",
+                copt.journal_path.c_str());
+  }
+  std::fflush(stdout);
+
+  g_stop = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop && !coordinator.drained()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  const Json status = coordinator.status_json();
+  if (!coordinator.drained()) {
+    std::printf("qdb: interrupted before drain: %s\n",
+                status.at("states").dump(-1).c_str());
+    return copt.journal_path.empty() ? 130 : 0;
+  }
+
+  const BatchReport r = coordinator.report();
+  print_batch_report(r);
+  const orchestrate::CoordinatorCounters c = coordinator.counters();
+  std::printf("leases %llu (reassigned %llu, expired %llu), completions %llu "
+              "(duplicate %llu, stale %llu)\n",
+              static_cast<unsigned long long>(c.leases_granted),
+              static_cast<unsigned long long>(c.reassignments),
+              static_cast<unsigned long long>(c.lease_expiries),
+              static_cast<unsigned long long>(c.completions),
+              static_cast<unsigned long long>(c.duplicate_completions),
+              static_cast<unsigned long long>(c.stale_completions));
+  if (!report_path.empty()) {
+    // Same format as a serial `batch --resume` checkpoint: the two files
+    // are byte-comparable (the CI chaos job diffs them with cmp).
+    save_batch_checkpoint(report_path, r, batch_options_fingerprint(b.opt));
+    std::printf("report: %s\n", report_path.c_str());
+  }
+  return r.count(JobStatus::Failed) == 0 ? 0 : 3;
+}
+
+/// `qdb work <host> <port> [batch flags] [flags]` — one worker loop against
+/// a running coordinator.  Batch flags (and fault flags) must match the
+/// coordinator's or the worker refuses the fingerprint handshake.
+int cmd_work(int argc, char** argv) {
+  BatchCliConfig b;
+  orchestrate::WorkerOptions wopt;
+  wopt.host = argv[2];
+  wopt.port = static_cast<std::uint16_t>(std::atoi(argv[3]));
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (parse_batch_flag(b, argc, argv, i)) continue;
+    if (arg == "--worker-id") wopt.worker_id = next("--worker-id");
+    else if (arg == "--poll-ms") wopt.poll_interval_ms =
+        static_cast<std::uint64_t>(std::atoll(next("--poll-ms")));
+    else if (arg == "--heartbeat-ms") wopt.heartbeat_interval_ms =
+        static_cast<std::uint64_t>(std::atoll(next("--heartbeat-ms")));
+    else if (arg == "--no-heartbeats") wopt.heartbeats = false;
+    else if (arg == "--max-request-attempts") wopt.max_request_attempts =
+        std::atoi(next("--max-request-attempts"));
+    else throw Error("unknown work flag '" + arg + "'");
+  }
+
+  configure_fault_injection(b);
+  wopt.batch = b.opt;
+  const orchestrate::WorkerStats stats = orchestrate::run_worker(wopt);
+  std::printf("worker %s: %d leases (%d dropped), %d executed, %d crashes, "
+              "%d accepted, %d duplicate acks, %d abandoned%s\n",
+              wopt.worker_id.c_str(), stats.leases_received,
+              stats.leases_dropped, stats.jobs_executed, stats.crashes,
+              stats.completions_accepted, stats.duplicate_acks,
+              stats.completions_abandoned,
+              stats.aborted_io ? " [aborted: coordinator unreachable]" : "");
+  return stats.aborted_io ? 4 : 0;
+}
+
 int cmd_get(char** argv) {
   serve::HttpClient client(argv[2], static_cast<std::uint16_t>(std::atoi(argv[3])));
   const serve::HttpClientResponse r = client.get(argv[4]);
@@ -342,6 +528,8 @@ int dispatch(int argc, char** argv) {
   if (argc >= 4 && cmd == "reference") return cmd_reference(argv);
   if (argc >= 4 && cmd == "ingest") return cmd_ingest(argv);
   if (argc >= 3 && cmd == "serve") return cmd_serve(argc, argv);
+  if (argc >= 3 && cmd == "coordinate") return cmd_coordinate(argc, argv);
+  if (argc >= 4 && cmd == "work") return cmd_work(argc, argv);
   if (argc >= 5 && cmd == "get") return cmd_get(argv);
   std::fprintf(stderr, "qdb: bad arguments for '%s'\n", cmd.c_str());
   return 2;
@@ -393,6 +581,9 @@ int main(int argc, char** argv) {
                  "[--limit N] [flags] "
                  "| ingest <dataset_root> <store_root> "
                  "| serve <store_root> [--port P] [--host H] [--threads N] [--cache N] "
+                 "| coordinate <results_store> [group] [batch flags] [--port P] "
+                 "[--lease-ttl-ms T] [--max-lease-attempts K] [--journal J] [--report R] "
+                 "| work <host> <port> [batch flags] [--worker-id W] "
                  "| get <host> <port> <target>  [--trace out.json]\n");
     return 2;
   }

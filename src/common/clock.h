@@ -1,0 +1,70 @@
+// Injectable monotonic clock (ISSUE 7).
+//
+// The distributed coordinator and worker loops need two primitives —
+// "what time is it" (lease deadlines) and "wait a while" (poll/backoff) —
+// and both must be swappable for a manual clock so chaos tests can expire
+// leases and replay backoff schedules deterministically, without real
+// sleeps.  This header is the one sanctioned home of std::this_thread
+// sleeps inside src/ (the qdb_lint `sleep-in-library` rule bans them
+// everywhere else outside src/common/); library code takes a `Clock*` and
+// defaults to the process-wide steady clock.
+//
+// The clock is *monotonic* (std::chrono::steady_clock), never wall time:
+// lease deadlines must survive NTP steps, and relative arithmetic on a
+// monotonic base cannot go backwards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace qdb {
+
+/// Monotonic millisecond clock + sleep, injectable for deterministic tests.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Milliseconds since an arbitrary (per-clock) monotonic epoch.
+  virtual std::uint64_t now_ms() = 0;
+  /// Block the calling thread for ~ms milliseconds (may be virtual time).
+  virtual void sleep_ms(std::uint64_t ms) = 0;
+};
+
+/// Real monotonic clock over std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ms() override {
+    const auto since = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(since).count());
+  }
+  void sleep_ms(std::uint64_t ms) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+/// The process-wide real clock.  Library code that takes `Clock* clock =
+/// nullptr` should treat nullptr as &steady_clock().
+inline Clock& steady_clock() {
+  static SteadyClock clock;
+  return clock;
+}
+
+/// Deterministic test clock: time only moves when told to.  sleep_ms
+/// advances the clock by the requested amount (so single-threaded retry
+/// loops make progress); advance() moves time from the outside.  All
+/// operations are atomic and safe to share across threads, though
+/// deterministic tests normally drive it from one thread.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ms = 0) : now_(start_ms) {}
+  std::uint64_t now_ms() override { return now_.load(std::memory_order_relaxed); }
+  void sleep_ms(std::uint64_t ms) override { advance(ms); }
+  void advance(std::uint64_t ms) { now_.fetch_add(ms, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace qdb

@@ -29,7 +29,11 @@
 // them):  vqe.stage1.evaluate, vqe.stage2.sample, engine.dense.apply,
 // engine.mps.apply, io.write, batch.account, batch.checkpoint,
 // store.ingest.io (before each new blob write), store.index.write (before
-// the store index rewrite).
+// the store index rewrite), and the distributed-worker death model
+// (ISSUE 7): orchestrate.lease.drop (a granted lease response lost on the
+// wire), orchestrate.worker.crash (worker dies before/after executing the
+// leased job), orchestrate.complete.io (completion acknowledged server-side
+// but the ack lost, forcing a duplicate-completion retry).
 #pragma once
 
 #include <atomic>

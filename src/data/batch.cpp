@@ -230,24 +230,6 @@ BatchJobRecord run_one_resilient(const DatasetEntry& e, const BatchOptions& opti
   return job;
 }
 
-/// Model the device queue in stable entry order: the simulated processor
-/// executes jobs back to back, a retried job re-enters the queue after its
-/// modelled backoff, and failed jobs consume only their waiting time.
-/// Deterministic for every thread count and resume pattern because it runs
-/// after all jobs finished, over per-job fields only.
-void finalize_schedule(BatchReport& report, const BatchOptions& options) {
-  report.total_device_time_s = 0.0;
-  report.total_retry_wait_s = 0.0;
-  double clock_s = 0.0;
-  for (BatchJobRecord& job : report.jobs) {
-    job.queue_start_s = clock_s;
-    clock_s += job.retry_wait_s + job.device_time_s;
-    report.total_device_time_s += job.device_time_s;
-    report.total_retry_wait_s += job.retry_wait_s;
-  }
-  report.total_cost_usd = report.total_device_time_s * options.usd_per_second;
-}
-
 /// Batch accounting contract (ISSUE 3 invariant catalog): every record the
 /// resilient executor emits must tell a self-consistent retry story.  The
 /// checks are cheap field comparisons, so they run at the default (fast)
@@ -296,6 +278,28 @@ void validate_job_record(const BatchJobRecord& job, const RetryPolicy& retry) {
 }
 
 }  // namespace
+
+// Device-queue model in stable entry order: the simulated processor executes
+// jobs back to back, a retried job re-enters the queue after its modelled
+// backoff, and failed jobs consume only their waiting time (see batch.h).
+void finalize_batch_schedule(BatchReport& report, const BatchOptions& options) {
+  report.total_device_time_s = 0.0;
+  report.total_retry_wait_s = 0.0;
+  double clock_s = 0.0;
+  for (BatchJobRecord& job : report.jobs) {
+    job.queue_start_s = clock_s;
+    clock_s += job.retry_wait_s + job.device_time_s;
+    report.total_device_time_s += job.device_time_s;
+    report.total_retry_wait_s += job.retry_wait_s;
+  }
+  report.total_cost_usd = report.total_device_time_s * options.usd_per_second;
+}
+
+BatchJobRecord run_batch_job(const DatasetEntry& entry, const BatchOptions& options) {
+  BatchJobRecord job = run_one_resilient(entry, options, nullptr);
+  validate_job_record(job, options.retry);
+  return job;
+}
 
 BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
                       const BatchOptions& options) {
@@ -351,7 +355,7 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
         partial.jobs.push_back(jobs[static_cast<std::size_t>(i)]);
       }
     }
-    finalize_schedule(partial, options);
+    finalize_batch_schedule(partial, options);
     try {
       save_batch_checkpoint(options.checkpoint_path, partial, fingerprint);
     } catch (const std::exception& ex) {
@@ -389,7 +393,7 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
 
   BatchReport report;
   report.jobs = std::move(jobs);
-  finalize_schedule(report, options);
+  finalize_batch_schedule(report, options);
   report.checkpoint_warnings = std::move(ckpt_warnings);
 
   obs::log_info("batch.done")

@@ -146,4 +146,23 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
 /// Convenience: the whole dataset.
 BatchReport run_batch_all(const BatchOptions& options);
 
+/// Execute exactly one entry through the retry/degradation ladder — the same
+/// code path run_batch uses per job, exposed for the distributed worker loop
+/// (ISSUE 7).  The record is deterministic in (entry, options, fault-injector
+/// seed): per-job VQE seeds derive from the pdb_id and per-attempt fault
+/// streams from (pdb_id, attempt), so re-executing a job on any worker after
+/// a lease expiry reproduces the record byte for byte.  queue_start_s is
+/// left at 0; the coordinator models the queue afterwards with
+/// finalize_batch_schedule.  Never throws for a failing job (Failed record
+/// with failure_log instead); emits the same "batch.job" span and counters
+/// as run_batch.
+BatchJobRecord run_batch_job(const DatasetEntry& entry, const BatchOptions& options);
+
+/// Model the sequential device queue over report.jobs in their current
+/// (stable entry) order and recompute the totals: queue_start_s per job plus
+/// total device time / retry wait / cost.  Runs over per-job fields only, so
+/// the result is identical for every thread count, resume pattern, and — for
+/// ISSUE 7 — however jobs were scattered across distributed workers.
+void finalize_batch_schedule(BatchReport& report, const BatchOptions& options);
+
 }  // namespace qdb

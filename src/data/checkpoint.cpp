@@ -103,6 +103,46 @@ std::uint64_t batch_options_fingerprint(const BatchOptions& o) {
   return fnv1a(d);
 }
 
+Json batch_job_record_json(const BatchJobRecord& j) {
+  Json job = Json::object();
+  job.set("pdb_id", j.pdb_id);
+  job.set("group", group_name(j.group));
+  job.set("qubits", j.qubits);
+  job.set("evaluations", j.evaluations);
+  job.set("shots", static_cast<std::int64_t>(j.shots));
+  set_exact(job, "device_time_s", j.device_time_s);
+  set_exact(job, "lowest_energy", j.lowest_energy);
+  job.set("status", job_status_name(j.status));
+  job.set("attempts", j.attempts);
+  set_exact(job, "retry_wait_s", j.retry_wait_s);
+  job.set("engine_used", j.engine_used);
+  job.set("degradation", j.degradation);
+  Json log = Json::array();
+  for (const std::string& line : j.failure_log) log.push_back(line);
+  job.set("failure_log", std::move(log));
+  return job;
+}
+
+BatchJobRecord batch_job_record_from_json(const Json& job) {
+  BatchJobRecord j;
+  j.pdb_id = job.at("pdb_id").as_string();
+  j.group = group_from_name(job.at("group").as_string());
+  j.qubits = static_cast<int>(job.at("qubits").as_int());
+  j.evaluations = static_cast<int>(job.at("evaluations").as_int());
+  j.shots = static_cast<std::size_t>(job.at("shots").as_int());
+  j.device_time_s = get_exact(job, "device_time_s");
+  j.lowest_energy = get_exact(job, "lowest_energy");
+  j.status = job_status_from_name(job.at("status").as_string());
+  j.attempts = static_cast<int>(job.at("attempts").as_int());
+  j.retry_wait_s = get_exact(job, "retry_wait_s");
+  j.engine_used = job.at("engine_used").as_string();
+  j.degradation = job.at("degradation").as_string();
+  for (const Json& line : job.at("failure_log").as_array()) {
+    j.failure_log.push_back(line.as_string());
+  }
+  return j;
+}
+
 Json batch_checkpoint_json(const BatchReport& report, std::uint64_t fingerprint) {
   Json doc = Json::object();
   doc.set("format", "qdockbank-batch-checkpoint");
@@ -112,23 +152,7 @@ Json batch_checkpoint_json(const BatchReport& report, std::uint64_t fingerprint)
 
   Json jobs = Json::array();
   for (const BatchJobRecord& j : report.jobs) {
-    Json job = Json::object();
-    job.set("pdb_id", j.pdb_id);
-    job.set("group", group_name(j.group));
-    job.set("qubits", j.qubits);
-    job.set("evaluations", j.evaluations);
-    job.set("shots", static_cast<std::int64_t>(j.shots));
-    set_exact(job, "device_time_s", j.device_time_s);
-    set_exact(job, "lowest_energy", j.lowest_energy);
-    job.set("status", job_status_name(j.status));
-    job.set("attempts", j.attempts);
-    set_exact(job, "retry_wait_s", j.retry_wait_s);
-    job.set("engine_used", j.engine_used);
-    job.set("degradation", j.degradation);
-    Json log = Json::array();
-    for (const std::string& line : j.failure_log) log.push_back(line);
-    job.set("failure_log", std::move(log));
-    jobs.push_back(std::move(job));
+    jobs.push_back(batch_job_record_json(j));
   }
   doc.set("jobs", std::move(jobs));
 
@@ -160,23 +184,7 @@ BatchReport batch_checkpoint_from_json(const Json& doc, std::uint64_t fingerprin
 
   BatchReport report;
   for (const Json& job : doc.at("jobs").as_array()) {
-    BatchJobRecord j;
-    j.pdb_id = job.at("pdb_id").as_string();
-    j.group = group_from_name(job.at("group").as_string());
-    j.qubits = static_cast<int>(job.at("qubits").as_int());
-    j.evaluations = static_cast<int>(job.at("evaluations").as_int());
-    j.shots = static_cast<std::size_t>(job.at("shots").as_int());
-    j.device_time_s = get_exact(job, "device_time_s");
-    j.lowest_energy = get_exact(job, "lowest_energy");
-    j.status = job_status_from_name(job.at("status").as_string());
-    j.attempts = static_cast<int>(job.at("attempts").as_int());
-    j.retry_wait_s = get_exact(job, "retry_wait_s");
-    j.engine_used = job.at("engine_used").as_string();
-    j.degradation = job.at("degradation").as_string();
-    for (const Json& line : job.at("failure_log").as_array()) {
-      j.failure_log.push_back(line.as_string());
-    }
-    report.jobs.push_back(std::move(j));
+    report.jobs.push_back(batch_job_record_from_json(job));
   }
   return report;
 }

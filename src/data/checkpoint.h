@@ -29,6 +29,17 @@ namespace qdb {
 /// refuses a checkpoint from a different fault schedule).
 std::uint64_t batch_options_fingerprint(const BatchOptions& options);
 
+/// Serialise one job record with the exact-double "<key>_bits" channel.
+/// This is the unit of result exchange everywhere a record crosses a
+/// process boundary: checkpoint files, the orchestrator journal, and the
+/// /jobs/{id}/complete wire body (ISSUE 7) all embed exactly this shape, so
+/// "byte-identical" means the same thing in all three places.
+Json batch_job_record_json(const BatchJobRecord& record);
+
+/// Inverse of batch_job_record_json; throws qdb::IoError (and the Json
+/// accessors' qdb::Error) on malformed input.
+BatchJobRecord batch_job_record_from_json(const Json& job);
+
 /// Serialise a (partial) report.  queue clocks and totals are included for
 /// human inspection but recomputed from per-job fields on load.
 Json batch_checkpoint_json(const BatchReport& report, std::uint64_t fingerprint);

@@ -1,0 +1,191 @@
+#include "orchestrate/api.h"
+
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "data/checkpoint.h"
+
+namespace qdb::orchestrate {
+
+namespace {
+
+serve::HttpResponse json_response(int status, const Json& body) {
+  serve::HttpResponse resp;
+  resp.status = status;
+  resp.body = body.dump();
+  return resp;
+}
+
+serve::HttpResponse error_response(int status, const std::string& message) {
+  Json body = Json::object();
+  body.set("error", message);
+  return json_response(status, body);
+}
+
+serve::HttpResponse method_not_allowed(const char* allow) {
+  serve::HttpResponse resp = error_response(405, std::string("use ") + allow);
+  resp.extra_headers.emplace_back("Allow", allow);
+  return resp;
+}
+
+const char* lease_state_name(LeaseGrant::State s) {
+  switch (s) {
+    case LeaseGrant::State::Granted: return "granted";
+    case LeaseGrant::State::Wait: return "wait";
+    case LeaseGrant::State::Drained: return "drained";
+  }
+  return "wait";
+}
+
+LeaseGrant::State lease_state_from_name(std::string_view name) {
+  if (name == "granted") return LeaseGrant::State::Granted;
+  if (name == "wait") return LeaseGrant::State::Wait;
+  if (name == "drained") return LeaseGrant::State::Drained;
+  throw ParseError("unknown lease state '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+Json lease_grant_json(const LeaseGrant& grant) {
+  Json doc = Json::object();
+  doc.set("state", lease_state_name(grant.state));
+  doc.set("lease_ttl_ms", static_cast<std::int64_t>(grant.lease_ttl_ms));
+  doc.set("options_fingerprint",
+          static_cast<std::int64_t>(grant.options_fingerprint));
+  switch (grant.state) {
+    case LeaseGrant::State::Granted:
+      doc.set("pdb_id", grant.pdb_id);
+      doc.set("lease_token", static_cast<std::int64_t>(grant.lease_token));
+      doc.set("attempt", grant.attempt);
+      doc.set("deadline_ms", static_cast<std::int64_t>(grant.deadline_ms));
+      break;
+    case LeaseGrant::State::Wait:
+      doc.set("retry_after_ms", static_cast<std::int64_t>(grant.retry_after_ms));
+      break;
+    case LeaseGrant::State::Drained:
+      break;
+  }
+  return doc;
+}
+
+LeaseGrant lease_grant_from_json(const Json& doc) {
+  LeaseGrant grant;
+  grant.state = lease_state_from_name(doc.at("state").as_string());
+  grant.lease_ttl_ms = static_cast<std::uint64_t>(doc.at("lease_ttl_ms").as_int());
+  grant.options_fingerprint =
+      static_cast<std::uint64_t>(doc.at("options_fingerprint").as_int());
+  switch (grant.state) {
+    case LeaseGrant::State::Granted:
+      grant.pdb_id = doc.at("pdb_id").as_string();
+      grant.lease_token = static_cast<std::uint64_t>(doc.at("lease_token").as_int());
+      grant.attempt = static_cast<int>(doc.at("attempt").as_int());
+      grant.deadline_ms = static_cast<std::uint64_t>(doc.at("deadline_ms").as_int());
+      break;
+    case LeaseGrant::State::Wait:
+      grant.retry_after_ms =
+          static_cast<std::uint64_t>(doc.at("retry_after_ms").as_int());
+      break;
+    case LeaseGrant::State::Drained:
+      break;
+  }
+  return grant;
+}
+
+Json heartbeat_result_json(const HeartbeatResult& result) {
+  Json doc = Json::object();
+  doc.set("ok", result.ok);
+  if (result.ok) {
+    doc.set("deadline_ms", static_cast<std::int64_t>(result.deadline_ms));
+  } else {
+    doc.set("error", result.reason);
+  }
+  return doc;
+}
+
+Json complete_result_json(const CompleteResult& result) {
+  Json doc = Json::object();
+  doc.set("accepted", result.accepted);
+  doc.set("duplicate", result.duplicate);
+  doc.set("stale_lease", result.stale_lease);
+  doc.set("result_hash", result.result_hash);
+  return doc;
+}
+
+CompleteResult complete_result_from_json(const Json& doc) {
+  CompleteResult result;
+  result.accepted = doc.at("accepted").as_bool();
+  result.duplicate = doc.at("duplicate").as_bool();
+  result.stale_lease = doc.at("stale_lease").as_bool();
+  result.result_hash = doc.at("result_hash").as_string();
+  return result;
+}
+
+void attach_job_api(serve::DatasetServer& server, Coordinator& coordinator) {
+  server.set_route("/jobs", [&coordinator](const serve::HttpRequest& request,
+                                           const std::string& body) {
+    const std::string_view path = request.path;
+    try {
+      if (path == "/jobs/status") {
+        if (request.method != "GET") return method_not_allowed("GET");
+        if (!request.query.empty()) {
+          return error_response(400, "status takes no parameters");
+        }
+        return json_response(200, coordinator.status_json());
+      }
+      if (path == "/jobs/lease") {
+        if (request.method != "POST") return method_not_allowed("POST");
+        const Json doc = Json::parse(body);
+        const std::string worker = doc.at("worker").as_string();
+        return json_response(200, lease_grant_json(coordinator.lease(worker)));
+      }
+      // /jobs/{pdb_id}/heartbeat | /jobs/{pdb_id}/complete
+      if (starts_with(path, "/jobs/")) {
+        const std::string_view rest = path.substr(6);
+        const std::size_t slash = rest.find('/');
+        if (slash != std::string_view::npos && slash > 0) {
+          const std::string pdb_id(rest.substr(0, slash));
+          const std::string_view action = rest.substr(slash + 1);
+          if (action == "heartbeat") {
+            if (request.method != "POST") return method_not_allowed("POST");
+            const Json doc = Json::parse(body);
+            const auto token =
+                static_cast<std::uint64_t>(doc.at("lease_token").as_int());
+            const HeartbeatResult result = coordinator.heartbeat(pdb_id, token);
+            return json_response(result.ok ? 200 : 409,
+                                 heartbeat_result_json(result));
+          }
+          if (action == "complete") {
+            if (request.method != "POST") return method_not_allowed("POST");
+            const Json doc = Json::parse(body);
+            const auto token =
+                static_cast<std::uint64_t>(doc.at("lease_token").as_int());
+            const BatchJobRecord record =
+                batch_job_record_from_json(doc.at("record"));
+            try {
+              const CompleteResult result =
+                  coordinator.complete(pdb_id, token, record);
+              return json_response(200, complete_result_json(result));
+            } catch (const Error& ex) {
+              // Unknown job / mismatched record identity.
+              const std::string what = ex.what();
+              return error_response(
+                  what.find("unknown job") != std::string::npos ? 404 : 400,
+                  what);
+            }
+          }
+        }
+      }
+      return error_response(404, "no such job endpoint: " + std::string(path));
+    } catch (const ParseError& ex) {
+      return error_response(400, std::string("bad request body: ") + ex.what());
+    } catch (const IoError& ex) {
+      return error_response(400, std::string("bad request body: ") + ex.what());
+    } catch (const Error& ex) {
+      return error_response(400, ex.what());
+    }
+  });
+}
+
+}  // namespace qdb::orchestrate

@@ -1,0 +1,285 @@
+#include "orchestrate/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "data/checkpoint.h"
+#include "data/registry.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "orchestrate/api.h"
+#include "serve/client.h"
+
+namespace qdb::orchestrate {
+
+namespace {
+
+/// Backoff schedule in ms for the (attempt-1)-th retry, exponential + capped.
+std::uint64_t backoff_ms(const WorkerOptions& opts, int retry_index) {
+  double wait = static_cast<double>(opts.backoff_initial_ms);
+  for (int i = 0; i < retry_index; ++i) {
+    wait *= opts.backoff_multiplier;
+    if (wait >= static_cast<double>(opts.backoff_max_ms)) {
+      return opts.backoff_max_ms;
+    }
+  }
+  return std::min(static_cast<std::uint64_t>(wait), opts.backoff_max_ms);
+}
+
+/// POST with bounded retry on transport errors, backing off on the
+/// injectable clock.  Throws IoError once the budget is exhausted; protocol
+/// errors (non-2xx) are returned to the caller, not retried.
+serve::HttpClientResponse post_with_retry(serve::HttpClient& client,
+                                          const WorkerOptions& opts,
+                                          Clock& clock,
+                                          const std::string& target,
+                                          const std::string& body) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return client.post(target, body);
+    } catch (const IoError& ex) {
+      if (attempt >= opts.max_request_attempts) throw;
+      obs::counter("orchestrate.worker.request_retries").add();
+      obs::log_warn("orchestrate.worker.retry")
+          .kv("worker", opts.worker_id)
+          .kv("target", target)
+          .kv("attempt", attempt)
+          .kv("error", ex.what());
+      clock.sleep_ms(backoff_ms(opts, attempt - 1));
+      client.close();
+    }
+  }
+}
+
+/// Background lease keep-alive: POST a heartbeat every interval until
+/// stopped.  Uses its own connection (HttpClient is not thread-safe).  A
+/// rejected heartbeat (409: the lease expired or was reassigned) stops the
+/// pump — the worker finishes anyway and relies on the coordinator's
+/// stale-completion acceptance.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(const WorkerOptions& opts, std::string pdb_id,
+                std::uint64_t token, std::uint64_t interval_ms)
+      : opts_(opts), pdb_id_(std::move(pdb_id)), token_(token),
+        interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatPump() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    serve::HttpClient client(opts_.host, opts_.port);
+    Json body = Json::object();
+    body.set("worker", opts_.worker_id);
+    body.set("lease_token", static_cast<std::int64_t>(token_));
+    const std::string payload = body.dump();
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        // Real-time wait (not the injectable clock): the pump's only job is
+        // to outpace a real TTL; deterministic tests run without pumps.
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stopped_; });
+        if (stopped_) return;
+      }
+      try {
+        const serve::HttpClientResponse resp =
+            client.post("/jobs/" + pdb_id_ + "/heartbeat", payload);
+        if (resp.status != 200) return;  // lease gone; completion will say so
+        obs::counter("orchestrate.worker.heartbeats_sent").add();
+      } catch (const IoError&) {
+        return;  // coordinator unreachable; the main loop handles it
+      }
+    }
+  }
+
+  const WorkerOptions& opts_;
+  std::string pdb_id_;
+  std::uint64_t token_ = 0;
+  std::uint64_t interval_ms_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+WorkerStats run_worker(const WorkerOptions& options) {
+  Clock& clock = options.clock != nullptr ? *options.clock : steady_clock();
+  serve::HttpClient client(options.host, options.port);
+  WorkerStats stats;
+
+  const std::uint64_t fingerprint = batch_options_fingerprint(options.batch);
+
+  Json lease_body = Json::object();
+  lease_body.set("worker", options.worker_id);
+  const std::string lease_payload = lease_body.dump();
+
+  obs::log_info("orchestrate.worker.start")
+      .kv("worker", options.worker_id)
+      .kv("coordinator", options.host + ":" + std::to_string(options.port));
+
+  for (;;) {
+    LeaseGrant grant;
+    try {
+      const serve::HttpClientResponse resp =
+          post_with_retry(client, options, clock, "/jobs/lease", lease_payload);
+      if (resp.status != 200) {
+        throw Error("lease rejected: HTTP " + std::to_string(resp.status) +
+                    " " + resp.body);
+      }
+      grant = lease_grant_from_json(Json::parse(resp.body));
+    } catch (const IoError& ex) {
+      obs::log_warn("orchestrate.worker.aborted")
+          .kv("worker", options.worker_id)
+          .kv("error", ex.what());
+      stats.aborted_io = true;
+      return stats;
+    }
+
+    if (grant.state == LeaseGrant::State::Drained) break;
+    if (grant.state == LeaseGrant::State::Wait) {
+      clock.sleep_ms(options.poll_interval_ms != 0 ? options.poll_interval_ms
+                                                   : grant.retry_after_ms);
+      continue;
+    }
+
+    ++stats.leases_received;
+    if (grant.options_fingerprint != fingerprint) {
+      throw Error("worker batch options disagree with the coordinator "
+                  "(fingerprint mismatch) — results would not be "
+                  "byte-identical; refusing to work");
+    }
+
+    // One fault stream per (job, lease attempt): deterministic in the
+    // injector seed regardless of which worker thread drew the lease.
+    FaultScope fault_scope(grant.pdb_id, grant.attempt);
+
+    try {
+      // Models the grant response lost on the wire: the coordinator thinks
+      // the job is leased, nobody works on it, and only lease expiry
+      // recovers it — the reassignment path the chaos gate must exercise.
+      fault_site("orchestrate.lease.drop");
+    } catch (const std::exception&) {
+      ++stats.leases_dropped;
+      obs::counter("orchestrate.worker.leases_dropped").add();
+      continue;
+    }
+
+    // Throws qdb::Error if the coordinator leased an id outside the dataset
+    // registry — a protocol violation, not a retryable condition.
+    const DatasetEntry& entry = entry_by_id(grant.pdb_id);
+
+    const std::uint64_t hb_interval =
+        options.heartbeat_interval_ms != 0 ? options.heartbeat_interval_ms
+                                           : std::max<std::uint64_t>(
+                                                 grant.lease_ttl_ms / 3, 1);
+    std::unique_ptr<HeartbeatPump> pump;
+    if (options.heartbeats) {
+      pump = std::make_unique<HeartbeatPump>(options, grant.pdb_id,
+                                             grant.lease_token, hb_interval);
+    }
+
+    BatchJobRecord record;
+    try {
+      obs::Span span("orchestrate.job");
+      span.set_attr("pdb_id", grant.pdb_id);
+      span.set_attr("worker", options.worker_id);
+      span.set_attr("lease_attempt", std::to_string(grant.attempt));
+      // Worker death, modelled at both edges of the execution: before (the
+      // job dies with the worker, nothing to show) and after (the worker
+      // dies holding a finished record it never posts).  Either way the
+      // lease expires and a replacement re-executes byte-identically.
+      fault_site("orchestrate.worker.crash");
+      record = run_batch_job(entry, options.batch);
+      fault_site("orchestrate.worker.crash");
+    } catch (const std::exception& ex) {
+      pump.reset();  // stop heartbeating: the "dead" worker must let the lease lapse
+      ++stats.crashes;
+      obs::counter("orchestrate.worker.crashes").add();
+      obs::log_warn("orchestrate.worker.crashed")
+          .kv("worker", options.worker_id)
+          .kv("job", grant.pdb_id)
+          .kv("error", ex.what());
+      continue;
+    }
+    pump.reset();
+    ++stats.jobs_executed;
+    obs::counter("orchestrate.worker.jobs_executed").add();
+
+    Json complete_body = Json::object();
+    complete_body.set("worker", options.worker_id);
+    complete_body.set("lease_token", static_cast<std::int64_t>(grant.lease_token));
+    complete_body.set("record", batch_job_record_json(record));
+    const std::string complete_payload = complete_body.dump();
+    const std::string complete_target = "/jobs/" + grant.pdb_id + "/complete";
+
+    bool acked = false;
+    for (int attempt = 1; attempt <= options.max_request_attempts; ++attempt) {
+      try {
+        const serve::HttpClientResponse resp =
+            post_with_retry(client, options, clock, complete_target,
+                            complete_payload);
+        if (resp.status != 200) {
+          throw Error("completion rejected: HTTP " +
+                      std::to_string(resp.status) + " " + resp.body);
+        }
+        const CompleteResult result =
+            complete_result_from_json(Json::parse(resp.body));
+        // The ack lost *after* the server committed the completion: the
+        // worker must retry, and the retry exercises the coordinator's
+        // duplicate / first-writer-wins path.
+        fault_site("orchestrate.complete.io");
+        if (result.duplicate) {
+          ++stats.duplicate_acks;
+        } else {
+          ++stats.completions_accepted;
+        }
+        acked = true;
+        break;
+      } catch (const IoError&) {
+        clock.sleep_ms(backoff_ms(options, attempt - 1));
+        client.close();
+      } catch (const Error& ex) {
+        if (!is_retryable_fault(ex)) throw;
+        clock.sleep_ms(backoff_ms(options, attempt - 1));
+      }
+    }
+    if (!acked) {
+      // The record reached the coordinator (first POST commits it) even if
+      // every ack was lost; a replacement attempt would just be a duplicate.
+      ++stats.completions_abandoned;
+      obs::counter("orchestrate.worker.completions_abandoned").add();
+    }
+  }
+
+  obs::log_info("orchestrate.worker.done")
+      .kv("worker", options.worker_id)
+      .kv("leases", stats.leases_received)
+      .kv("executed", stats.jobs_executed)
+      .kv("accepted", stats.completions_accepted)
+      .kv("crashes", stats.crashes);
+  return stats;
+}
+
+}  // namespace qdb::orchestrate

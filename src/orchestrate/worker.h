@@ -1,0 +1,65 @@
+// The distributed batch worker loop (ISSUE 7): lease → execute → complete.
+//
+// run_worker() connects to a coordinator (serve::HttpClient over the job
+// API), pulls leases until the batch drains, executes each leased job with
+// run_batch_job — the exact code path the serial executor uses, so results
+// are byte-identical by construction — and posts the record back.  A
+// heartbeat pump thread keeps long jobs' leases alive at ttl/3.
+//
+// Failure handling is layered on the PR 2 typed error taxonomy:
+//  * transport failures (IoError) and retryable device faults back off
+//    exponentially on the injectable clock and retry, bounded per request;
+//  * the chaos fault sites model worker death: orchestrate.lease.drop
+//    silently abandons a granted lease (the grant response "lost on the
+//    wire"), orchestrate.worker.crash abandons the job mid-execution (the
+//    worker "dies" and its replacement re-polls), orchestrate.complete.io
+//    fires after a completion POST landed, forcing a retry that exercises
+//    the coordinator's duplicate/first-writer path;
+//  * a worker whose batch-options fingerprint disagrees with the
+//    coordinator's refuses to work (it would poison byte-identity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "data/batch.h"
+
+namespace qdb::orchestrate {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string worker_id = "worker";
+  /// Must match the coordinator's batch options (fingerprint-checked).
+  BatchOptions batch;
+  Clock* clock = nullptr;  ///< nullptr = process steady clock
+
+  int max_request_attempts = 6;         ///< per HTTP operation
+  std::uint64_t backoff_initial_ms = 50;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max_ms = 2000;
+  std::uint64_t poll_interval_ms = 0;   ///< 0 = use the coordinator's hint
+  std::uint64_t heartbeat_interval_ms = 0;  ///< 0 = lease_ttl / 3
+  bool heartbeats = true;
+};
+
+/// What one worker process/thread did; the chaos gate cross-checks these
+/// against the coordinator's counters for exact accounting.
+struct WorkerStats {
+  int leases_received = 0;
+  int leases_dropped = 0;      ///< orchestrate.lease.drop fires
+  int crashes = 0;             ///< orchestrate.worker.crash fires
+  int jobs_executed = 0;       ///< run_batch_job completed (any status)
+  int completions_accepted = 0;
+  int duplicate_acks = 0;      ///< completion answered "duplicate"
+  int completions_abandoned = 0;  ///< gave up posting after bounded retries
+  bool aborted_io = false;     ///< coordinator unreachable beyond retries
+};
+
+/// Run the loop until the coordinator reports the batch drained (returns
+/// normally) or it stays unreachable past the retry budget (returns with
+/// aborted_io=true).  Throws qdb::Error on a fingerprint mismatch.
+WorkerStats run_worker(const WorkerOptions& options);
+
+}  // namespace qdb::orchestrate

@@ -24,30 +24,48 @@ void HttpClient::ensure_connected() {
 HttpClientResponse HttpClient::get(
     const std::string& target,
     const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  return request("GET", target, "", extra_headers);
+}
+
+HttpClientResponse HttpClient::post(
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  return request("POST", target, body, extra_headers);
+}
+
+HttpClientResponse HttpClient::request(
+    const std::string& method, const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   const bool fresh = !sock_.valid();
   try {
-    return get_once(target, extra_headers);
+    return request_once(method, target, body, extra_headers);
   } catch (const IoError&) {
     if (fresh) throw;  // a brand-new connection failing is a real error
     // A stale keep-alive connection the server has since closed: reconnect
-    // once and retry (idempotent — only GETs go through here).
+    // once and retry.  GETs are idempotent outright; the POSTing job
+    // endpoints are idempotent at the application layer (see post()).
     close();
-    return get_once(target, extra_headers);
+    return request_once(method, target, body, extra_headers);
   }
 }
 
-HttpClientResponse HttpClient::get_once(
-    const std::string& target,
+HttpClientResponse HttpClient::request_once(
+    const std::string& method, const std::string& target, const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   ensure_connected();
 
-  std::string request = "GET " + target + " HTTP/1.1\r\n";
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
   request += "Connection: keep-alive\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "Content-Type: application/json\r\n";
+  }
   for (const auto& [name, value] : extra_headers) {
     request += name + ": " + value + "\r\n";
   }
   request += "\r\n";
+  request += body;
   send_all(sock_, request);
 
   // Read until the head is complete.

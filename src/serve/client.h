@@ -31,12 +31,23 @@ class HttpClient {
       const std::string& target,
       const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
 
+  /// POST `body` to `target` (ISSUE 7 job API).  Same keep-alive reuse and
+  /// single stale-connection retry as get(): the job endpoints are designed
+  /// idempotent (leases are re-extendable, completions first-writer-wins),
+  /// so replaying a request whose connection died mid-exchange is safe.
+  HttpClientResponse post(
+      const std::string& target, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
   /// Drop the connection (next get() reconnects).
   void close();
 
  private:
-  HttpClientResponse get_once(
-      const std::string& target,
+  HttpClientResponse request_once(
+      const std::string& method, const std::string& target, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers);
+  HttpClientResponse request(
+      const std::string& method, const std::string& target, const std::string& body,
       const std::vector<std::pair<std::string, std::string>>& extra_headers);
   void ensure_connected();
 

@@ -1,7 +1,8 @@
 // Dependency-free HTTP/1.1 message parsing and serialisation (ISSUE 4).
 //
 // Covers exactly the subset the dataset service needs: GET requests with
-// headers and query strings, fixed Content-Length responses, keep-alive.
+// headers and query strings, POSTs with fixed Content-Length JSON bodies
+// (the ISSUE 7 job API), fixed Content-Length responses, keep-alive.
 // No chunked transfer, no continuation lines, no percent-decoding (PDB ids
 // and query values are plain ASCII).  Pure functions over byte buffers —
 // sockets live in net_socket.*, so every branch here is unit-testable

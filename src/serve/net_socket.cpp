@@ -141,4 +141,8 @@ void shutdown_fd(int fd) noexcept {
   if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
 }
 
+void shutdown_fd_read(int fd) noexcept {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RD);
+}
+
 }  // namespace qdb::serve

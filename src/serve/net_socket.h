@@ -75,4 +75,11 @@ void shutdown_socket(const Socket& sock) noexcept;
 /// set stores fds, not Socket handles).
 void shutdown_fd(int fd) noexcept;
 
+/// Half-close the READ side only (best-effort, never throws).  Unblocks a
+/// thread blocked in recv_some while letting an in-flight response finish
+/// writing — the shutdown-ordering guarantee for long-lived worker
+/// connections (ISSUE 7): a stop() during a lease exchange must deliver the
+/// complete body, never cut it mid-write.
+void shutdown_fd_read(int fd) noexcept;
+
 }  // namespace qdb::serve

@@ -23,6 +23,18 @@ HttpResponse error_response(int status, const std::string& message) {
   return resp;
 }
 
+/// Strict Content-Length parsing: digits only, whole value must consume.
+bool parse_content_length(const std::string& s, std::size_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  std::size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
 /// Strict numeric query parsing: the whole value must consume.
 std::optional<double> parse_double(const std::string& s) {
   if (s.empty()) return std::nullopt;
@@ -179,8 +191,14 @@ void DatasetServer::stop() {
   shutdown_socket(listener_);
   queue_cv_.notify_all();
   {
+    // Read-half close only (ISSUE 7 shutdown-ordering fix): a full
+    // SHUT_RDWR here could cut a response mid-body on a long-lived worker
+    // connection whose lease exchange is being written right now.  SHUT_RD
+    // wakes workers blocked between requests, while an in-flight write
+    // completes; the 503-when-stopping check in serve_connection plus
+    // keep_alive=false ensure the worker loop exits right after.
     std::lock_guard<std::mutex> lock(active_mu_);
-    for (int fd : active_fds_) shutdown_fd(fd);
+    for (int fd : active_fds_) shutdown_fd_read(fd);
   }
   if (acceptor_.joinable()) acceptor_.join();
   listener_.close();
@@ -270,18 +288,67 @@ void DatasetServer::serve_connection(Socket conn) {
 
     HttpResponse response;
     std::uint64_t micros = 0;
+    bool dispatch = false;
+    std::size_t body_len = 0;
     if (!parsed) {
       response = error_response(400, "malformed request");
       keep_alive = false;
     } else {
       const std::string* len = request.header("content-length");
-      if (len != nullptr && *len != "0") {
+      if (len != nullptr && !parse_content_length(*len, &body_len)) {
+        response = error_response(400, "bad Content-Length '" + *len + "'");
+        keep_alive = false;
+      } else if (body_len > options_.max_body_bytes) {
+        // Draining an oversized body would let a client hold the worker;
+        // answer and drop the connection instead.
+        response = error_response(413, "request body too large");
+        keep_alive = false;
+      } else if (body_len > 0 && route_for(request.path) == nullptr) {
         response = error_response(400, "request bodies are not accepted");
+        keep_alive = false;
+      } else {
+        dispatch = true;
+      }
+    }
+
+    std::string body;
+    if (dispatch && body_len > 0) {
+      // The pipelined buffer may already hold (part of) the body.
+      bool aborted = false;
+      while (buffer.size() < body_len && !aborted) {
+        std::size_t n = 0;
+        try {
+          n = recv_some(conn, chunk, sizeof chunk);
+        } catch (const IoError&) {
+          n = 0;
+        }
+        if (n == 0) {
+          aborted = true;  // peer died (or stop() half-closed us) mid-body
+        } else {
+          buffer.append(chunk, n);
+        }
+      }
+      if (aborted) break;  // nothing sensible to answer; close quietly
+      body = buffer.substr(0, body_len);
+      buffer.erase(0, body_len);
+    }
+
+    if (dispatch) {
+      bool stopping_now = false;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        stopping_now = stopping_;
+      }
+      if (stopping_now) {
+        // Shutdown ordering (ISSUE 7): requests read after stop() began are
+        // refused — but refused *properly*, with a complete 503 body, never
+        // a mid-stream close.
+        response = error_response(503, "server is shutting down");
         keep_alive = false;
       } else {
         const auto t0 = std::chrono::steady_clock::now();
         try {
-          response = handle(request);
+          response = handle(request, body);
         } catch (const std::exception& e) {
           response = error_response(500, e.what());
         }
@@ -313,7 +380,42 @@ void DatasetServer::serve_connection(Socket conn) {
   }
 }
 
+void DatasetServer::set_route(std::string prefix, RouteHandler handler) {
+  QDB_REQUIRE(!running_, "set_route must be called before start()");
+  QDB_REQUIRE(!prefix.empty() && prefix.front() == '/' &&
+                  (prefix.size() == 1 || prefix.back() != '/'),
+              "route prefix must start with '/' and not end with one, got '"
+                  << prefix << "'");
+  for (auto& [p, h] : routes_) {
+    if (p == prefix) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  routes_.emplace_back(std::move(prefix), std::move(handler));
+}
+
+const RouteHandler* DatasetServer::route_for(std::string_view path) const {
+  for (const auto& [prefix, handler] : routes_) {
+    if (path == prefix ||
+        (path.size() > prefix.size() && starts_with(path, prefix) &&
+         path[prefix.size()] == '/')) {
+      return &handler;
+    }
+  }
+  return nullptr;
+}
+
 HttpResponse DatasetServer::handle(const HttpRequest& request) const {
+  return handle(request, std::string());
+}
+
+HttpResponse DatasetServer::handle(const HttpRequest& request,
+                                   const std::string& body) const {
+  // Mounted sub-APIs route first and do their own method validation.
+  if (const RouteHandler* route = route_for(request.path)) {
+    return (*route)(request, body);
+  }
   if (request.method != "GET") {
     HttpResponse resp = error_response(405, "only GET is supported");
     resp.extra_headers.emplace_back("Allow", "GET");
@@ -321,11 +423,11 @@ HttpResponse DatasetServer::handle(const HttpRequest& request) const {
   }
   const std::string& path = request.path;
   if (path == "/healthz") {
-    Json body = Json::object();
-    body.set("status", "ok");
-    body.set("entries", static_cast<std::int64_t>(store_.entries().size()));
+    Json health = Json::object();
+    health.set("status", "ok");
+    health.set("entries", static_cast<std::int64_t>(store_.entries().size()));
     HttpResponse resp;
-    resp.body = body.dump();
+    resp.body = health.dump();
     return resp;
   }
   if (path == "/metrics") return handle_metrics(request);

@@ -26,15 +26,26 @@
 // index order, blobs verbatim), which is what lets the concurrent-load
 // golden test demand byte-identical bodies across thread counts.
 //
-// Shutdown is cooperative and clean: stop() shuts the listener down,
-// wakes the workers, half-closes every in-flight connection, and joins all
-// threads; it is idempotent and also runs from the destructor.
+// Sub-APIs (ISSUE 7): set_route() mounts a prefix handler (the orchestrator
+// job API mounts "/jobs") that routes ahead of the built-ins and may accept
+// POSTed JSON bodies up to max_body_bytes; paths without a mounted handler
+// still reject bodies outright.
+//
+// Shutdown is cooperative and clean: stop() shuts the listener down, wakes
+// the workers, and read-half-closes every in-flight connection — blocked
+// reads wake immediately, but a response already being produced or written
+// is always delivered in full (never cut mid-body; the ISSUE 7 regression
+// test holds a lease exchange across stop() to prove it).  Requests read
+// after stop() began get a 503 instead of dispatch.  stop() joins all
+// threads, is idempotent, and also runs from the destructor.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 #include <mutex>
 #include <condition_variable>
@@ -52,8 +63,16 @@ struct ServeOptions {
   std::uint16_t port = 0;  ///< 0 = kernel-assigned; read back via port()
   int threads = 4;         ///< worker pool size (>= 1)
   std::size_t max_header_bytes = 64 * 1024;  ///< request head cap (431 above)
+  std::size_t max_body_bytes = 256 * 1024;   ///< request body cap (413 above)
   std::size_t max_queued_connections = 256;  ///< accept backpressure bound
 };
+
+/// A mounted sub-API handler (ISSUE 7): receives the parsed request plus the
+/// raw body bytes and produces the full response, including its own method
+/// and parameter validation.  Must be thread-safe — the worker pool calls it
+/// concurrently.
+using RouteHandler =
+    std::function<HttpResponse(const HttpRequest& request, const std::string& body)>;
 
 class DatasetServer {
  public:
@@ -79,11 +98,22 @@ class DatasetServer {
 
   const ServerMetrics& metrics() const { return metrics_; }
 
+  /// Mount a handler under `prefix` (e.g. "/jobs"): requests whose path is
+  /// the prefix or starts with prefix + "/" route to it, before the built-in
+  /// dataset endpoints, and are the only requests allowed to carry bodies.
+  /// Call before start(); later registrations of the same prefix replace
+  /// earlier ones.
+  void set_route(std::string prefix, RouteHandler handler);
+
   /// Pure request → response routing; exposed so tests can drive the
   /// router without a socket in the loop.  Thread-safe.
   HttpResponse handle(const HttpRequest& request) const;
 
+  /// Routing including mounted sub-APIs and the request body (ISSUE 7).
+  HttpResponse handle(const HttpRequest& request, const std::string& body) const;
+
  private:
+  const RouteHandler* route_for(std::string_view path) const;
   void accept_loop();
   void worker_loop();
   void serve_connection(Socket conn);
@@ -98,6 +128,7 @@ class DatasetServer {
   const store::Store& store_;
   ServeOptions options_;
   ServerMetrics metrics_;
+  std::vector<std::pair<std::string, RouteHandler>> routes_;
 
   Socket listener_;
   std::uint16_t port_ = 0;

@@ -365,6 +365,34 @@ IngestStats Store::ingest_dataset(const std::string& dataset_root) {
   return st;
 }
 
+std::string Store::put_blob(std::string_view bytes) const {
+  const std::string hash = content_hash(bytes).hex();
+  const std::string bp = blob_path(hash);
+  if (fs::exists(bp)) {
+    obs::counter("store.blobs_deduplicated").add();
+    return hash;
+  }
+  // Same crash-consistency argument as ingest_dataset: tmp + fsync + rename
+  // leaves either no blob or a complete one, and a complete content-addressed
+  // blob is always correct.  Concurrent writers of the same bytes rename onto
+  // the same path with identical contents, so last-rename-wins is harmless.
+  fault_site("store.ingest.io");
+  write_file_atomic(bp, std::string(bytes));
+  obs::counter("store.blobs_written").add();
+  return hash;
+}
+
+bool Store::has_blob(const std::string& hash) const {
+  return fs::exists(blob_path(hash));
+}
+
+std::shared_ptr<const std::string> Store::read_blob(const std::string& hash) const {
+  if (auto cached = cache_.get(hash)) return cached;
+  auto blob = std::make_shared<const std::string>(read_file(blob_path(hash)));
+  cache_.put(hash, blob);
+  return blob;
+}
+
 std::shared_ptr<const std::string> Store::read_artifact(const EntryRecord& entry,
                                                         Artifact a) const {
   const ArtifactRef& ref = entry.artifact(a);

@@ -137,6 +137,22 @@ class Store {
   std::shared_ptr<const std::string> read_artifact(const EntryRecord& entry,
                                                    Artifact a) const;
 
+  /// Write one blob by content hash and return its 32-hex key (ISSUE 7:
+  /// distributed job results ingest through here).  Idempotent and
+  /// first-writer-wins by construction: the blob path is a pure function of
+  /// the bytes, an existing blob is left untouched, and the write itself is
+  /// atomic (tmp + fsync + rename) — so two workers completing the same job
+  /// concurrently converge on one identical blob.  Passes the
+  /// `store.ingest.io` fault site like the dataset ingest path.  Thread-safe.
+  std::string put_blob(std::string_view bytes) const;
+
+  /// True if a blob with this 32-hex key exists on disk.
+  bool has_blob(const std::string& hash) const;
+
+  /// Raw blob bytes by 32-hex key, bypassing the entry index (but using the
+  /// LRU cache); throws qdb::IoError if absent or unreadable.  Thread-safe.
+  std::shared_ptr<const std::string> read_blob(const std::string& hash) const;
+
   StoreStats stats() const;
   const BlobCache& cache() const { return cache_; }
 

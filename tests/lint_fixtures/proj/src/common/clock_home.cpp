@@ -1,0 +1,9 @@
+// src/common/ is the sanctioned home of the one real sleep (the injectable
+// Clock's SteadyClock backend) — the sleep-in-library rule must stay quiet
+// here.
+#include <chrono>
+#include <thread>
+
+void real_sleep(unsigned ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}

@@ -1,0 +1,25 @@
+// Planted sleep-in-library violations (4) plus near-misses that must stay
+// clean: members, substrings, and a non-call use of the token.
+#include <chrono>
+#include <thread>
+
+struct Timer;
+Timer* timer();
+
+void my_sleep_for(int) {}
+void sleep_forever() {}
+
+void pause_badly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));          // hit
+  std::this_thread::sleep_until(std::chrono::steady_clock::now());    // hit
+  ::usleep(100);                                                      // hit
+  nanosleep(nullptr, nullptr);                                        // hit
+}
+
+void near_misses() {
+  timer()->sleep_for(2);  // member of another API
+  my_sleep_for(1);       // substring on the left
+  sleep_forever();       // substring on the right
+  int sleep_until = 0;   // not a call
+  (void)sleep_until;
+}

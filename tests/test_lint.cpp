@@ -159,6 +159,28 @@ TEST(Rules, OmpPragmaAllowedOnlyInParallelHeader) {
   EXPECT_TRUE(of_rule(lint_source("src/common/parallel.h", omp), "omp-pragma").empty());
 }
 
+TEST(Rules, SleepOnlyFiresInLibraryOutsideCommon) {
+  const std::string bad =
+      "void f() { std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "  std::this_thread::sleep_until(later);\n"
+      "  ::usleep(100);\n"
+      "  nanosleep(&ts, nullptr); }\n";
+  EXPECT_EQ(of_rule(lint_source("src/a.cpp", bad), "sleep-in-library").size(), 4u);
+  // src/common/ owns the injectable Clock's one real sleep; non-library
+  // trees (tests drive wall-clock servers, examples own their main loops)
+  // are free to block.
+  EXPECT_TRUE(of_rule(lint_source("src/common/clock.cpp", bad), "sleep-in-library").empty());
+  EXPECT_TRUE(of_rule(lint_source("tests/a.cpp", bad), "sleep-in-library").empty());
+  EXPECT_TRUE(of_rule(lint_source("examples/a.cpp", bad), "sleep-in-library").empty());
+  const std::string ok =
+      "void g(qdb::Clock& c) { c.sleep_ms(5); my_sleep_for(1); sleep_forever();\n"
+      "  timer.sleep_for(2); timer->sleep_until(t); int sleep_until = 0;\n"
+      "  (void)sleep_until; }\n"
+      "// std::this_thread::sleep_for in a comment\n"
+      "const char* s = \"usleep( nanosleep(\";\n";
+  EXPECT_TRUE(of_rule(lint_source("src/a.cpp", ok), "sleep-in-library").empty());
+}
+
 TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
   const std::filesystem::path root =
       std::filesystem::path(QDB_SOURCE_DIR) / "tests" / "lint_fixtures" / "proj";
@@ -174,12 +196,15 @@ TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
   EXPECT_EQ(of_rule(diags, "missing-pragma-once").size(), 1u);
   EXPECT_EQ(of_rule(diags, "raw-socket").size(), 3u);  // src/raw_socket.cpp
   EXPECT_EQ(of_rule(diags, "simd-intrinsics").size(), 3u);  // src/simd.cpp
-  EXPECT_EQ(diags.size(), 20u);
+  EXPECT_EQ(of_rule(diags, "sleep-in-library").size(), 4u);  // src/sleepy.cpp
+  EXPECT_EQ(diags.size(), 24u);
 
-  // The near-miss file and the guarded header stay clean.
+  // The near-miss files, the guarded header, and the sanctioned sleep home
+  // (src/common/) stay clean.
   for (const Diagnostic& d : diags) {
     EXPECT_NE(d.file, "src/clean.cpp") << format_diagnostic(d);
     EXPECT_NE(d.file, "src/guarded.h") << format_diagnostic(d);
+    EXPECT_NE(d.file, "src/common/clock_home.cpp") << format_diagnostic(d);
     EXPECT_GT(d.line, 0);
   }
   // Output is deterministically ordered (path, then line, then rule).
@@ -211,8 +236,8 @@ TEST(Allowlist, ParseApplyAndStaleDetectionRoundTrip) {
 
   // 3 raw-random + 1 omp-pragma suppressed from violations.cpp; the
   // tests/scoped.cpp raw-random hit is NOT (allowlist is per-file), and the
-  // raw_socket.cpp / simd.cpp hits have no matching entry here.
-  EXPECT_EQ(kept.size(), 20u - 4u);
+  // raw_socket.cpp / simd.cpp / sleepy.cpp hits have no matching entry here.
+  EXPECT_EQ(kept.size(), 24u - 4u);
   EXPECT_EQ(of_rule(kept, "raw-random").size(), 1u);
   EXPECT_EQ(of_rule(kept, "raw-random")[0].file, "tests/scoped.cpp");
   EXPECT_TRUE(of_rule(kept, "omp-pragma").empty());

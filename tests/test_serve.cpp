@@ -9,8 +9,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -401,6 +403,97 @@ TEST_F(ServeTest, StopUnblocksIdleKeepAliveConnections) {
   server.stop();
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 5);
+}
+
+// --- mounted sub-API routes (ISSUE 7) ----------------------------------------
+
+TEST_F(ServeTest, MountedRouteAcceptsBodiesUnmountedPathsReject) {
+  ServeOptions opt = ephemeral_options(2);
+  opt.max_body_bytes = 1024;  // small enough that an oversized POST still
+                              // fits in the socket buffers before the 413
+  DatasetServer server(*store_, opt);
+  server.set_route("/echo", [](const HttpRequest& request, const std::string& body) {
+    Json j = Json::object();
+    j.set("method", request.method);
+    j.set("body", body);
+    HttpResponse resp;
+    resp.body = j.dump();
+    return resp;
+  });
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+
+  // A POSTed body reaches the mounted handler verbatim.
+  const HttpClientResponse ok = client.post("/echo", "{\"x\": 1}");
+  ASSERT_EQ(ok.status, 200);
+  EXPECT_EQ(Json::parse(ok.body).at("body").as_string(), "{\"x\": 1}");
+  EXPECT_EQ(Json::parse(ok.body).at("method").as_string(), "POST");
+  // Prefix routing covers sub-paths too.
+  EXPECT_EQ(client.post("/echo/sub/path", "{}").status, 200);
+
+  // Paths without a mounted handler still reject bodies outright.
+  EXPECT_EQ(client.post("/healthz", "{}").status, 400);
+  // Oversized bodies get a complete 413 even on a mounted route (the server
+  // answers and drops the connection without draining the body).
+  EXPECT_EQ(client.post("/echo", std::string(2048, 'x')).status, 413);
+  server.stop();
+}
+
+TEST_F(ServeTest, StopDeliversInFlightResponseCompletely) {
+  // The ISSUE 7 shutdown-ordering regression: a response being produced when
+  // stop() lands must be delivered in full (never cut mid-body); requests
+  // read after stop() began get a clean 503 instead.
+  DatasetServer server(*store_, ephemeral_options(2));
+  const std::string payload(64 * 1024, 'z');
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  server.set_route("/slow", [&](const HttpRequest&, const std::string&) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    HttpResponse resp;
+    resp.content_type = "text/plain";
+    resp.body = payload;
+    return resp;
+  });
+  server.start();
+  const std::uint16_t port = server.port();
+
+  HttpClientResponse got;
+  std::string client_error;
+  std::thread client_thread([&] {
+    try {
+      HttpClient client("127.0.0.1", port);
+      got = client.post("/slow", "{}");
+    } catch (const std::exception& e) {
+      client_error = e.what();  // a truncated response surfaces here
+    }
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  // stop() begins while the handler holds the request; it must block on the
+  // in-flight exchange rather than cut the connection.
+  std::thread stopper([&] { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  stopper.join();
+  client_thread.join();
+
+  EXPECT_EQ(client_error, "");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, payload);
+  EXPECT_FALSE(server.running());
 }
 
 }  // namespace

@@ -307,6 +307,39 @@ std::vector<Diagnostic> lint_source(const std::string& relpath, const std::strin
     }
   }
 
+  // sleep-in-library: blocking sleeps in src/ outside src/common/ (ISSUE 7).
+  // Library code takes time from the injectable qdb::Clock (common/clock.h,
+  // the one sanctioned sleep_for site) so lease-expiry and backoff tests run
+  // on a ManualClock in microseconds instead of wall-clock minutes.  The
+  // matcher is a plain find with identifier-boundary checks — unlike
+  // standalone_token it must accept the qualified `this_thread::sleep_for`
+  // spelling, which is exactly the call being banned.
+  if (library && !has_dir_prefix(relpath, "src/common/")) {
+    for (const char* tok : {"sleep_for", "sleep_until", "usleep", "nanosleep"}) {
+      const std::string token = tok;
+      for (std::size_t pos = code.find(token); pos != std::string::npos;
+           pos = code.find(token, pos + 1)) {
+        if (pos > 0) {
+          const char prev = code[pos - 1];
+          // Qualified spellings (std::this_thread::sleep_for, ::usleep) are
+          // the banned calls; members (`x.sleep_for`) and substrings
+          // (`my_sleep_for`, `sleep_forever`) are somebody else's API.
+          if (is_ident_char(prev) || prev == '.') continue;
+          if (prev == '>' && pos > 1 && code[pos - 2] == '-') continue;
+        }
+        const std::size_t after = pos + token.size();
+        if (after < code.size() && is_ident_char(code[after])) continue;
+        const std::size_t paren = skip_ws(code, after);
+        if (paren < code.size() && code[paren] == '(') {
+          add(pos, "sleep-in-library",
+              std::string("blocking ") + tok +
+                  "() in library code — take time from an injectable "
+                  "qdb::Clock (common/clock.h) so tests control the clock");
+        }
+      }
+    }
+  }
+
   // simd-intrinsics: raw SIMD intrinsics live in exactly one place — the
   // fused statevector kernels (src/quantum/kernels.*, allowlisted) — so the
   // scalar-fallback build (-DQDB_NO_AVX2=ON) and non-x86 ports have a single

@@ -30,6 +30,11 @@
 //                       src/obs/log.cpp is the one sanctioned stderr
 //                       writer, so levels, formats and capture stay in
 //                       one place.
+//   sleep-in-library    sleep_for/sleep_until/usleep/nanosleep in src/
+//                       outside src/common/ — library code takes time from
+//                       the injectable qdb::Clock (common/clock.h owns the
+//                       one real sleep) so lease/backoff tests run on a
+//                       ManualClock instead of wall-clock time.
 //
 // The scanner strips comments, string/char literals (including raw strings)
 // and matches on identifier boundaries, so prose like "the new atom" or a
