@@ -1,6 +1,7 @@
 #include "common/check.h"
 
-#include <mutex>
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace qdb::check {
 
@@ -10,8 +11,8 @@ namespace {
 /// on first violation, so construction (registration) is rare and a mutex is
 /// fine; counting itself is a lock-free atomic increment.
 struct Registry {
-  std::mutex mu;
-  std::vector<Site*> sites;
+  Mutex mu;
+  std::vector<Site*> sites QDB_GUARDED_BY(mu);
 
   static Registry& instance() {
     static Registry r;
@@ -34,13 +35,13 @@ const char* kind_name(Kind k) {
 Site::Site(const char* file_, int line_, const char* expr_, Kind kind_)
     : file(file_), line(line_), expr(expr_), kind(kind_) {
   Registry& r = Registry::instance();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   r.sites.push_back(this);
 }
 
 std::vector<SiteReport> violation_report() {
   Registry& r = Registry::instance();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   std::vector<SiteReport> out;
   out.reserve(r.sites.size());
   for (const Site* s : r.sites) {
@@ -59,7 +60,7 @@ std::vector<SiteReport> violation_report() {
 
 std::uint64_t total_violations() {
   Registry& r = Registry::instance();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   std::uint64_t total = 0;
   for (const Site* s : r.sites) total += s->violations.load(std::memory_order_relaxed);
   return total;
@@ -67,7 +68,7 @@ std::uint64_t total_violations() {
 
 std::uint64_t total_violations(Kind kind) {
   Registry& r = Registry::instance();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   std::uint64_t total = 0;
   for (const Site* s : r.sites) {
     if (s->kind == kind) total += s->violations.load(std::memory_order_relaxed);
@@ -77,7 +78,7 @@ std::uint64_t total_violations(Kind kind) {
 
 void reset_violations() {
   Registry& r = Registry::instance();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   for (Site* s : r.sites) s->violations.store(0, std::memory_order_relaxed);
 }
 

@@ -56,30 +56,30 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::configure(const std::string& site, FaultSiteConfig cfg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   sites_[site] = Site{cfg, 0};
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::unconfigure(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   sites_.erase(site);
   enabled_.store(!sites_.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   sites_.clear();
   enabled_.store(false, std::memory_order_relaxed);
 }
 
 void FaultInjector::set_seed(std::uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   seed_ = seed;
 }
 
 std::uint64_t FaultInjector::seed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return seed_;
 }
 
@@ -89,7 +89,7 @@ void FaultInjector::check(std::string_view site) {
 
   FaultSiteConfig cfg;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = sites_.find(site);
     if (it == sites_.end()) return;
     cfg = it->second.cfg;
@@ -113,7 +113,7 @@ void FaultInjector::check(std::string_view site) {
   if (!fire) return;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = sites_.find(site);
     if (it != sites_.end()) ++it->second.fires;
   }
@@ -121,13 +121,13 @@ void FaultInjector::check(std::string_view site) {
 }
 
 std::size_t FaultInjector::fire_count(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }
 
 std::size_t FaultInjector::total_fires() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& [name, site] : sites_) {
     (void)name;
@@ -137,7 +137,7 @@ std::size_t FaultInjector::total_fires() const {
 }
 
 std::vector<std::string> FaultInjector::configured_sites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(sites_.size());
   for (const auto& [name, site] : sites_) {

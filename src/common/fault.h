@@ -39,10 +39,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace qdb {
 
@@ -71,16 +73,16 @@ class FaultInjector {
  public:
   static FaultInjector& instance();
 
-  /// Register (or replace) a named site.
-  void configure(const std::string& site, FaultSiteConfig cfg);
+  /// Register (or replace) a named site.  Acquires mu_ internally.
+  void configure(const std::string& site, FaultSiteConfig cfg) QDB_EXCLUDES(mu_);
   /// Remove one site.
-  void unconfigure(const std::string& site);
+  void unconfigure(const std::string& site) QDB_EXCLUDES(mu_);
   /// Remove every site and reset fire counts; disables the fast path.
-  void clear();
+  void clear() QDB_EXCLUDES(mu_);
 
   /// Base seed for all per-scope streams (default 0).
-  void set_seed(std::uint64_t seed);
-  std::uint64_t seed() const;
+  void set_seed(std::uint64_t seed) QDB_EXCLUDES(mu_);
+  std::uint64_t seed() const QDB_EXCLUDES(mu_);
 
   /// True when at least one site is configured (fast-path gate).
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -88,14 +90,14 @@ class FaultInjector {
   /// The site check: throws the configured typed exception if `site` fires
   /// for the current thread's armed scope.  No-op when the injector is
   /// disabled, the site is unconfigured, or no scope is armed.
-  void check(std::string_view site);
+  void check(std::string_view site) QDB_EXCLUDES(mu_);
 
   /// How many times `site` has fired since the last clear().
-  std::size_t fire_count(std::string_view site) const;
+  std::size_t fire_count(std::string_view site) const QDB_EXCLUDES(mu_);
   /// Total fires across all sites since the last clear().
-  std::size_t total_fires() const;
+  std::size_t total_fires() const QDB_EXCLUDES(mu_);
   /// Names of all configured sites (sorted).
-  std::vector<std::string> configured_sites() const;
+  std::vector<std::string> configured_sites() const QDB_EXCLUDES(mu_);
 
  private:
   FaultInjector() = default;
@@ -105,10 +107,10 @@ class FaultInjector {
     std::size_t fires = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Site, std::less<>> sites_;
+  mutable Mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_ QDB_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{false};
-  std::uint64_t seed_ = 0;
+  std::uint64_t seed_ QDB_GUARDED_BY(mu_) = 0;
 };
 
 /// Inline wrapper used at fault points; one relaxed atomic load when the

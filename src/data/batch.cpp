@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "data/checkpoint.h"
 #include "data/reference.h"
 #include "lattice/lattice.h"
@@ -344,9 +345,9 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
   // (in stable entry order) crash-consistently.  Serialised by a mutex; a
   // failing write is recorded as a warning and retried on the next
   // completion rather than killing the batch.
-  std::mutex ckpt_mu;
+  Mutex ckpt_mu;
   std::vector<std::string> ckpt_warnings;
-  auto checkpoint_locked = [&]() {
+  auto checkpoint_locked = [&]() QDB_REQUIRES(ckpt_mu) {
     if (options.checkpoint_path.empty()) return;
     QDB_SPAN("batch.checkpoint");
     BatchReport partial;
@@ -369,7 +370,7 @@ BatchReport run_batch(const std::vector<const DatasetEntry*>& entries,
     BatchJobRecord job =
         run_one_resilient(*e, options, &fatal[static_cast<std::size_t>(i)]);
     validate_job_record(job, options.retry);
-    std::lock_guard<std::mutex> lock(ckpt_mu);
+    const MutexLock lock(ckpt_mu);
     jobs[static_cast<std::size_t>(i)] = std::move(job);
     finished[static_cast<std::size_t>(i)] = 1;
     // The checkpoint writer is itself a fault site; scope it to the job so

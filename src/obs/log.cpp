@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/strings.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace qdb::obs {
@@ -15,14 +16,17 @@ namespace {
 
 std::atomic<int> g_level{-1};  // -1 = not yet initialised from QDB_LOG
 
-std::mutex& sink_mutex() {
-  static std::mutex mu;
-  return mu;
-}
+/// The installed sink and the mutex that serialises every write through it.
+/// One struct so the guarded_by relation is expressible: the sink slot may
+/// only be touched holding its own mutex.
+struct SinkState {
+  Mutex mu;
+  std::function<void(std::string_view)> sink QDB_GUARDED_BY(mu);
+};
 
-std::function<void(std::string_view)>& sink_slot() {
-  static std::function<void(std::string_view)> sink;
-  return sink;
+SinkState& sink_state() {
+  static SinkState state;
+  return state;
 }
 
 void default_sink(std::string_view line) {
@@ -33,10 +37,10 @@ void default_sink(std::string_view line) {
 }
 
 void emit(std::string_view line) {
-  const std::lock_guard<std::mutex> lock(sink_mutex());
-  const auto& sink = sink_slot();
-  if (sink) {
-    sink(line);
+  SinkState& state = sink_state();
+  const MutexLock lock(state.mu);
+  if (state.sink) {
+    state.sink(line);
   } else {
     default_sink(line);
   }
@@ -94,8 +98,9 @@ bool log_enabled(LogLevel level) {
 }
 
 void set_log_sink(std::function<void(std::string_view)> sink) {
-  const std::lock_guard<std::mutex> lock(sink_mutex());
-  sink_slot() = std::move(sink);
+  SinkState& state = sink_state();
+  const MutexLock lock(state.mu);
+  state.sink = std::move(sink);
 }
 
 std::string log_escape_value(std::string_view value) {

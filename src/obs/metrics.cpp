@@ -76,7 +76,7 @@ MetricRegistry& MetricRegistry::global() {
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
     throw Error("metric '" + std::string(name) + "' already registered with another type");
   }
@@ -89,7 +89,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
     throw Error("metric '" + std::string(name) + "' already registered with another type");
   }
@@ -102,7 +102,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
     throw Error("metric '" + std::string(name) + "' already registered with another type");
   }
@@ -115,7 +115,7 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
 }
 
 void MetricRegistry::add_collector(Collector fn) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   collectors_.push_back(std::move(fn));
 }
 
@@ -123,7 +123,7 @@ Snapshot MetricRegistry::snapshot() const {
   Snapshot snap;
   std::vector<const Collector*> collectors;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     snap.counters.reserve(counters_.size());
     for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
     snap.gauges.reserve(gauges_.size());
@@ -265,7 +265,7 @@ std::string MetricRegistry::to_prometheus() const {
 }
 
 void MetricRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

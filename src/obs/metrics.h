@@ -34,12 +34,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/json.h"
+#include "common/sync.h"
 
 namespace qdb::obs {
 
@@ -170,16 +171,18 @@ class MetricRegistry {
 
   /// Get-or-create by name.  A name is bound to one metric type forever;
   /// requesting an existing name as a different type throws qdb::Error.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  /// Each acquires the registry mutex internally.
+  Counter& counter(std::string_view name) QDB_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) QDB_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) QDB_EXCLUDES(mu_);
 
   /// Register a snapshot-time collector (kept for the registry's lifetime).
-  void add_collector(Collector fn);
+  void add_collector(Collector fn) QDB_EXCLUDES(mu_);
 
   /// Deterministic snapshot: metrics sorted by name, labeled samples sorted
-  /// by (family, label_value).
-  Snapshot snapshot() const;
+  /// by (family, label_value).  Copies registrations under mu_, then runs
+  /// collectors with the lock released (they may take subsystem locks).
+  Snapshot snapshot() const QDB_EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...},
   ///  "collected": {family: {label: value}}}
@@ -192,14 +195,18 @@ class MetricRegistry {
 
   /// Zero every counter, gauge and histogram (registrations and collectors
   /// stay).  Test helper; never called on the hot path.
-  void reset();
+  void reset() QDB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::vector<Collector> collectors_;
+  // mu_ guards the registration maps and collector list, never metric
+  // values — Counter/Gauge/Histogram are relaxed atomics with stable
+  // addresses, so static handles read them lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ QDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ QDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      QDB_GUARDED_BY(mu_);
+  std::vector<Collector> collectors_ QDB_GUARDED_BY(mu_);
 };
 
 /// Shorthands for the global registry (the static-handle idiom).

@@ -74,7 +74,7 @@ void TraceSession::stop() {
   // Drain at quiescence: every recording thread has been joined by its
   // fan-out (common/parallel.h), which gives this thread a happens-before
   // edge over all buffered events.
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& buf : buffers_) total += buf->events.size();
   drained_.reserve(total);
@@ -93,7 +93,7 @@ void TraceSession::stop() {
 }
 
 TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<ThreadBuffer>());
   buffers_.back()->tid = static_cast<int>(buffers_.size());
   return buffers_.back().get();

@@ -32,13 +32,14 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/json.h"
+#include "common/sync.h"
 
 namespace qdb::obs {
 
@@ -72,8 +73,9 @@ class TraceSession {
   void start();
 
   /// Uninstall and drain all per-thread buffers.  Must be called at
-  /// quiescence (see header comment).  Idempotent.
-  void stop();
+  /// quiescence (see header comment).  Idempotent.  Acquires mu_ to drain
+  /// the registered buffers.
+  void stop() QDB_EXCLUDES(mu_);
 
   bool active() const;
 
@@ -111,11 +113,16 @@ class TraceSession {
 
   /// Register (or look up) the calling thread's buffer.  Called once per
   /// (thread, session) via the Span thread-local cache.
-  ThreadBuffer* buffer_for_this_thread();
+  ThreadBuffer* buffer_for_this_thread() QDB_EXCLUDES(mu_);
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  // guards buffers_ registration only
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // guards buffers_ registration only
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ QDB_GUARDED_BY(mu_);
+  // drained_ / started_ / stopped_ are deliberately unguarded: start() and
+  // stop() run on the owning thread, and drained_ is only read after stop()
+  // (the parallel.h joins give that thread a happens-before edge over every
+  // buffered event), so a mutex here would assert a protocol that does not
+  // exist.  The quiescence contract is the guard.
   std::vector<TraceEvent> drained_;
   bool started_ = false;
   bool stopped_ = false;

@@ -156,6 +156,10 @@ Coordinator::Coordinator(std::vector<const DatasetEntry*> entries,
                   << options_.max_lease_attempts);
   fingerprint_ = batch_options_fingerprint(options_.batch);
 
+  // No other thread can see this object yet, but taking the lock lets the
+  // construction path share the QDB_REQUIRES(mu_) helpers (load_journal)
+  // without a thread-safety-analysis escape hatch.
+  const MutexLock lock(mu_);
   jobs_.reserve(entries.size());
   for (const DatasetEntry* e : entries) {
     QDB_REQUIRE(e != nullptr, "null entry handed to coordinator");
@@ -349,7 +353,7 @@ LeaseGrant Coordinator::grant_locked(const std::string& worker_id,
 }
 
 LeaseGrant Coordinator::lease(const std::string& worker_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const std::uint64_t now = clock_->now_ms();
   sweep_expired_locked(now);
   LeaseGrant grant = grant_locked(worker_id, now);
@@ -359,7 +363,7 @@ LeaseGrant Coordinator::lease(const std::string& worker_id) {
 
 HeartbeatResult Coordinator::heartbeat(const std::string& pdb_id,
                                        std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   HeartbeatResult result;
   const auto it = by_id_.find(pdb_id);
   if (it == by_id_.end()) {
@@ -393,7 +397,7 @@ HeartbeatResult Coordinator::heartbeat(const std::string& pdb_id,
 CompleteResult Coordinator::complete(const std::string& pdb_id,
                                      std::uint64_t token,
                                      const BatchJobRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = by_id_.find(pdb_id);
   if (it == by_id_.end()) {
     throw Error("complete: unknown job '" + pdb_id + "'");
@@ -448,7 +452,7 @@ CompleteResult Coordinator::complete(const std::string& pdb_id,
 }
 
 bool Coordinator::drained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const JobSnapshot& job : jobs_) {
     if (job.state == JobState::Pending || job.state == JobState::Leased) {
       return false;
@@ -458,7 +462,7 @@ bool Coordinator::drained() const {
 }
 
 Json Coordinator::status_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   int pending = 0, leased = 0, done = 0, failed = 0;
   Json detail = Json::array();
   for (const JobSnapshot& job : jobs_) {
@@ -491,17 +495,17 @@ Json Coordinator::status_json() const {
 }
 
 CoordinatorCounters Coordinator::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return counters_;
 }
 
 std::vector<JobSnapshot> Coordinator::jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return jobs_;
 }
 
 BatchReport Coordinator::report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   BatchReport report;
   report.jobs.reserve(jobs_.size());
   for (const JobSnapshot& job : jobs_) {

@@ -41,13 +41,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/json.h"
+#include "common/sync.h"
 #include "data/batch.h"
 #include "data/registry.h"
 #include "store/store.h"
@@ -143,51 +144,56 @@ class Coordinator {
   /// Grant the next pending job to `worker_id`.  Sweeps expired leases
   /// first, so lease-expiry reassignment needs no background thread: any
   /// polling worker drives the sweep.
-  LeaseGrant lease(const std::string& worker_id);
+  LeaseGrant lease(const std::string& worker_id) QDB_EXCLUDES(mu_);
 
   /// Extend the lease deadline by lease_ttl_ms from now.  Fails (ok=false)
   /// for unknown jobs, jobs not currently leased, or a stale token.
-  HeartbeatResult heartbeat(const std::string& pdb_id, std::uint64_t token);
+  HeartbeatResult heartbeat(const std::string& pdb_id, std::uint64_t token)
+      QDB_EXCLUDES(mu_);
 
   /// Submit an executed record.  First writer wins; see the header comment
   /// for the idempotency contract.  Throws qdb::Error for an unknown job or
   /// a record whose pdb_id disagrees.
   CompleteResult complete(const std::string& pdb_id, std::uint64_t token,
-                          const BatchJobRecord& record);
+                          const BatchJobRecord& record) QDB_EXCLUDES(mu_);
 
   /// True once every job is Done or Failed.
-  bool drained() const;
+  bool drained() const QDB_EXCLUDES(mu_);
 
   /// Exact scheduling accounting for GET /jobs/status.
-  Json status_json() const;
+  Json status_json() const QDB_EXCLUDES(mu_);
 
-  CoordinatorCounters counters() const;
-  std::vector<JobSnapshot> jobs() const;
+  CoordinatorCounters counters() const QDB_EXCLUDES(mu_);
+  std::vector<JobSnapshot> jobs() const QDB_EXCLUDES(mu_);
 
   /// The final batch report: records in stable entry order, queue clock and
   /// totals modelled by finalize_batch_schedule — byte-identical to the
   /// serial run_batch report.  Requires drained().
-  BatchReport report() const;
+  BatchReport report() const QDB_EXCLUDES(mu_);
 
   std::uint64_t options_fingerprint() const { return fingerprint_; }
   const CoordinatorOptions& options() const { return options_; }
 
  private:
-  void sweep_expired_locked(std::uint64_t now_ms);
-  LeaseGrant grant_locked(const std::string& worker_id, std::uint64_t now_ms);
-  void journal_locked();
-  void load_journal(const Json& doc);
+  // *_locked helpers and load_journal run with mu_ held (the constructor
+  // takes the lock before populating state so the contract holds from the
+  // first instruction Clang analyses).
+  void sweep_expired_locked(std::uint64_t now_ms) QDB_REQUIRES(mu_);
+  LeaseGrant grant_locked(const std::string& worker_id, std::uint64_t now_ms)
+      QDB_REQUIRES(mu_);
+  void journal_locked() QDB_REQUIRES(mu_);
+  void load_journal(const Json& doc) QDB_REQUIRES(mu_);
 
-  CoordinatorOptions options_;
+  CoordinatorOptions options_;   // immutable after construction
   Clock* clock_;                 // never null after construction
   std::uint64_t fingerprint_ = 0;
 
-  mutable std::mutex mu_;
-  std::vector<JobSnapshot> jobs_;  // stable entry order
-  std::unordered_map<std::string, std::size_t> by_id_;
-  std::deque<std::size_t> queue_;  // Pending job indices, FIFO
-  CoordinatorCounters counters_;
-  std::uint64_t next_token_ = 1;
+  mutable Mutex mu_;
+  std::vector<JobSnapshot> jobs_ QDB_GUARDED_BY(mu_);  // stable entry order
+  std::unordered_map<std::string, std::size_t> by_id_ QDB_GUARDED_BY(mu_);
+  std::deque<std::size_t> queue_ QDB_GUARDED_BY(mu_);  // Pending job indices, FIFO
+  CoordinatorCounters counters_ QDB_GUARDED_BY(mu_);
+  std::uint64_t next_token_ QDB_GUARDED_BY(mu_) = 1;
 };
 
 // --- journal round-trip (exposed for the lease-state round-trip tests) ------

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/sync.h"
 #include "data/checkpoint.h"
 #include "data/registry.h"
 #include "obs/log.h"
@@ -75,9 +75,9 @@ class HeartbeatPump {
 
   ~HeartbeatPump() { stop(); }
 
-  void stop() {
+  void stop() QDB_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (stopped_) return;
       stopped_ = true;
     }
@@ -94,11 +94,11 @@ class HeartbeatPump {
     const std::string payload = body.dump();
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         // Real-time wait (not the injectable clock): the pump's only job is
         // to outpace a real TTL; deterministic tests run without pumps.
-        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                     [this] { return stopped_; });
+        cv_.wait_for_ms(mu_, interval_ms_,
+                        [this]() QDB_REQUIRES(mu_) { return stopped_; });
         if (stopped_) return;
       }
       try {
@@ -116,9 +116,9 @@ class HeartbeatPump {
   std::string pdb_id_;
   std::uint64_t token_ = 0;
   std::uint64_t interval_ms_ = 0;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopped_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopped_ QDB_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

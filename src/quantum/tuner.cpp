@@ -58,7 +58,7 @@ std::string Tuner::cache_path() {
 }
 
 void Tuner::clear_memory() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   plans_.clear();
   disk_loaded_ = false;
 }
@@ -70,7 +70,7 @@ TunerPlan Tuner::plan_for(int num_qubits, Precision precision) {
   static obs::Counter& disk_hits = obs::counter("kernel.tuner.disk_hit");
   static obs::Counter& tuned = obs::counter("kernel.tuner.tuned");
 
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const std::string key = plan_key(num_qubits, precision);
   if (auto it = plans_.find(key); it != plans_.end()) {
     memory_hits.add(1);

@@ -29,9 +29,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.h"
+#include "common/sync.h"
 #include "quantum/kernels.h"
 
 namespace qdb {
@@ -50,26 +51,30 @@ class Tuner {
 
   /// Resolve the plan for (num_qubits, precision), benchmarking on first
   /// use.  Thread-safe; concurrent callers serialise on the plan mutex.
-  TunerPlan plan_for(int num_qubits, Precision precision);
+  TunerPlan plan_for(int num_qubits, Precision precision) QDB_EXCLUDES(mu_);
 
   /// Cache file path ($QDB_TUNER_CACHE or ".qdb_tuner.json"); empty when
   /// persistence is disabled via QDB_TUNER_CACHE=off.
   static std::string cache_path();
 
   /// Drop the in-process cache and force a disk reload on next use (tests).
-  void clear_memory();
+  void clear_memory() QDB_EXCLUDES(mu_);
 
   /// On-disk format version; bumping it retires every persisted plan.
   static constexpr int kFormatVersion = 1;
 
  private:
-  TunerPlan tune_locked(int num_qubits, Precision precision);
-  void load_disk_locked();
-  void save_disk_locked();
+  // *_locked helpers run with mu_ held by the caller (the QDB_REQUIRES
+  // contract Clang enforces); tune_locked keeps the lock across the
+  // benchmark on purpose so concurrent first-use callers do not race
+  // duplicate timings onto the same cores.
+  TunerPlan tune_locked(int num_qubits, Precision precision) QDB_REQUIRES(mu_);
+  void load_disk_locked() QDB_REQUIRES(mu_);
+  void save_disk_locked() QDB_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::map<std::string, TunerPlan> plans_;
-  bool disk_loaded_ = false;
+  Mutex mu_;
+  std::map<std::string, TunerPlan> plans_ QDB_GUARDED_BY(mu_);
+  bool disk_loaded_ QDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qdb

@@ -2,9 +2,15 @@
 //
 // Used by the serve tests, the CI serve-smoke job, and `qdb_cli get` — a
 // dependency-free way to exercise the full endpoint matrix (including
-// If-None-Match/304 handling) against a live server.  One HttpClient holds
-// one keep-alive connection; it is NOT thread-safe — give each thread its
-// own instance (the concurrent-load golden test does exactly that).
+// If-None-Match/304 handling) against a live server.
+//
+// Locking contract (ISSUE 8): one HttpClient holds one keep-alive
+// connection and NO mutex; it is deliberately NOT thread-safe.  Give each
+// thread its own instance (the concurrent-load golden test and the worker's
+// HeartbeatPump do exactly that) — a shared client would interleave two
+// requests' bytes on one socket, which no lock short of serialising whole
+// exchanges could fix.  There is therefore no guarded state to annotate;
+// keeping the class single-threaded IS the contract.
 #pragma once
 
 #include <cstdint>

@@ -167,8 +167,14 @@ void DatasetServer::start() {
   QDB_REQUIRE(!running_, "server already started");
   listener_ = tcp_listen(options_.host, options_.port);
   port_ = local_port(listener_);
-  stopping_ = false;
-  running_ = true;
+  {
+    // A previous stop() leaves stopping_ true; reset it under its lock so
+    // the write is ordered against any worker from that earlier generation
+    // still draining (the restart race -Werror=thread-safety surfaced).
+    const MutexLock lock(queue_mu_);
+    stopping_ = false;
+  }
+  running_.store(true, std::memory_order_release);
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int t = 0; t < options_.threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -177,9 +183,9 @@ void DatasetServer::start() {
 }
 
 void DatasetServer::stop() {
-  if (!running_) return;
+  if (!running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    const MutexLock lock(queue_mu_);
     stopping_ = true;
   }
   // Unblock the acceptor, then the workers, then any in-flight reads.
@@ -197,7 +203,7 @@ void DatasetServer::stop() {
     // wakes workers blocked between requests, while an in-flight write
     // completes; the 503-when-stopping check in serve_connection plus
     // keep_alive=false ensure the worker loop exits right after.
-    std::lock_guard<std::mutex> lock(active_mu_);
+    const MutexLock lock(active_mu_);
     for (int fd : active_fds_) shutdown_fd_read(fd);
   }
   if (acceptor_.joinable()) acceptor_.join();
@@ -208,10 +214,10 @@ void DatasetServer::stop() {
   workers_.clear();
   {
     // Connections accepted but never claimed by a worker: close them.
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    const MutexLock lock(queue_mu_);
     queue_.clear();
   }
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void DatasetServer::accept_loop() {
@@ -219,13 +225,14 @@ void DatasetServer::accept_loop() {
     Socket conn = tcp_accept(listener_);
     if (!conn.valid()) return;  // listener shut down
     metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_cv_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.max_queued_connections;
-    });
-    if (stopping_) return;  // conn closes on scope exit
-    queue_.push_back(std::move(conn));
-    lock.unlock();
+    {
+      const MutexLock lock(queue_mu_);
+      queue_cv_.wait(queue_mu_, [this]() QDB_REQUIRES(queue_mu_) {
+        return stopping_ || queue_.size() < options_.max_queued_connections;
+      });
+      if (stopping_) return;  // conn closes on scope exit
+      queue_.push_back(std::move(conn));
+    }
     queue_cv_.notify_one();
   }
 }
@@ -234,8 +241,9 @@ void DatasetServer::worker_loop() {
   for (;;) {
     Socket conn;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(queue_mu_);
+      queue_cv_.wait(queue_mu_,
+                     [this]() QDB_REQUIRES(queue_mu_) { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       conn = std::move(queue_.front());
       queue_.pop_front();
@@ -248,7 +256,7 @@ void DatasetServer::worker_loop() {
 void DatasetServer::serve_connection(Socket conn) {
   const int fd = conn.fd();
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    const MutexLock lock(active_mu_);
     active_fds_.insert(fd);
   }
 
@@ -336,7 +344,7 @@ void DatasetServer::serve_connection(Socket conn) {
     if (dispatch) {
       bool stopping_now = false;
       {
-        std::lock_guard<std::mutex> lock(queue_mu_);
+        const MutexLock lock(queue_mu_);
         stopping_now = stopping_;
       }
       if (stopping_now) {
@@ -361,7 +369,7 @@ void DatasetServer::serve_connection(Socket conn) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      const MutexLock lock(queue_mu_);
       if (stopping_) keep_alive = false;
     }
     const std::string wire = serialize_response(response, keep_alive);
@@ -375,7 +383,7 @@ void DatasetServer::serve_connection(Socket conn) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    const MutexLock lock(active_mu_);
     active_fds_.erase(fd);
   }
 }

@@ -40,17 +40,18 @@
 // threads, is idempotent, and also runs from the destructor.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
-#include <mutex>
-#include <condition_variable>
-#include <deque>
 
+#include "common/annotations.h"
+#include "common/sync.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/net_socket.h"
@@ -86,12 +87,12 @@ class DatasetServer {
 
   /// Bind, listen, and launch the acceptor + worker threads.  Throws
   /// qdb::IoError (e.g. port in use).
-  void start();
+  void start() QDB_EXCLUDES(queue_mu_);
 
   /// Drain and join everything; idempotent.
-  void stop();
+  void stop() QDB_EXCLUDES(queue_mu_, active_mu_);
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Actual bound port (after start()).
   std::uint16_t port() const { return port_; }
@@ -114,9 +115,9 @@ class DatasetServer {
 
  private:
   const RouteHandler* route_for(std::string_view path) const;
-  void accept_loop();
-  void worker_loop();
-  void serve_connection(Socket conn);
+  void accept_loop() QDB_EXCLUDES(queue_mu_);
+  void worker_loop() QDB_EXCLUDES(queue_mu_);
+  void serve_connection(Socket conn) QDB_EXCLUDES(queue_mu_, active_mu_);
 
   HttpResponse handle_entries(const HttpRequest& request) const;
   HttpResponse handle_entry(const HttpRequest& request,
@@ -132,20 +133,24 @@ class DatasetServer {
 
   Socket listener_;
   std::uint16_t port_ = 0;
-  bool running_ = false;
+  // Written by start()/stop() (one controlling thread), read by running()
+  // from anywhere — atomic so a monitoring thread's poll is race-free.
+  std::atomic<bool> running_{false};
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  // Connection handoff queue (acceptor -> workers).
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Socket> queue_;
-  bool stopping_ = false;
+  // Connection handoff queue (acceptor -> workers).  queue_mu_ guards the
+  // queue and the stopping_ flag; queue_cv_ signals both "queue no longer
+  // full" (acceptor waits) and "queue non-empty or stopping" (workers wait).
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Socket> queue_ QDB_GUARDED_BY(queue_mu_);
+  bool stopping_ QDB_GUARDED_BY(queue_mu_) = false;
 
   // In-flight connection fds, so stop() can unblock blocked reads.
-  std::mutex active_mu_;
-  std::unordered_set<int> active_fds_;
+  Mutex active_mu_;
+  std::unordered_set<int> active_fds_ QDB_GUARDED_BY(active_mu_);
 };
 
 }  // namespace qdb::serve

@@ -18,10 +18,12 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "common/annotations.h"
+#include "common/sync.h"
 
 namespace qdb::store {
 
@@ -37,13 +39,13 @@ class BlobCache {
   BlobCache& operator=(const BlobCache&) = delete;
 
   /// The cached blob, or nullptr on a miss.  A hit moves the entry to the
-  /// front of the recency list.
-  Value get(const std::string& key) {
+  /// front of the recency list.  Acquires mu_ internally.
+  Value get(const std::string& key) QDB_EXCLUDES(mu_) {
     if (capacity_ == 0) {
       misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it == map_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -56,10 +58,10 @@ class BlobCache {
 
   /// Insert (or refresh) a blob, evicting the least-recently-used entry when
   /// at capacity.  Re-inserting an existing key refreshes its recency and
-  /// replaces the value.
-  void put(const std::string& key, Value value) {
+  /// replaces the value.  Acquires mu_ internally.
+  void put(const std::string& key, Value value) QDB_EXCLUDES(mu_) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -75,8 +77,8 @@ class BlobCache {
     map_.emplace(key, lru_.begin());
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const QDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return lru_.size();
   }
   std::size_t capacity() const { return capacity_; }
@@ -98,9 +100,9 @@ class BlobCache {
   using LruList = std::list<std::pair<std::string, Value>>;
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> map_;
+  mutable Mutex mu_;
+  LruList lru_ QDB_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> map_ QDB_GUARDED_BY(mu_);
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
   mutable std::atomic<std::size_t> evictions_{0};

@@ -21,9 +21,15 @@
 // sweep exercises the ingest path's atomicity (a failed ingest must leave
 // the previous index intact and re-ingest must converge).
 //
-// Reads go through a thread-safe LRU blob cache (store/cache.h); everything
-// else is immutable after ingest, so the server can share one Store across
-// its worker pool without locking.
+// Locking contract (ISSUE 8): the Store itself holds no mutex.  Reads go
+// through the annotated LRU blob cache (store/cache.h, qdb::Mutex inside);
+// everything else — root path, entry table, index — is immutable after
+// ingest, so the server shares one Store across its worker pool without
+// locking.  Ingest (ingest_dataset / put_blob on a fresh root) must finish
+// before the store is published to other threads; the ROADMAP's
+// ingest-while-serving item will replace this "freeze then share" contract
+// with snapshot swaps, at which point the index pointer becomes guarded
+// state.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,6 @@
+// analyze fixture: one half of a deliberate file-level include cycle.
+#pragma once
+
+#include "common/cycle_b.h"
+
+inline int cycle_a_value() { return 1; }

@@ -1,0 +1,7 @@
+// analyze fixture: the other half of the cycle — the DFS visits cycle_a.h
+// first (sorted order), so THIS file's include is the reported back edge.
+#pragma once
+
+#include "common/cycle_a.h"
+
+inline int cycle_b_value() { return 2; }

@@ -1,0 +1,10 @@
+// analyze fixture: an upward include — common (layer 0) -> serve (layer 5).
+#pragma once
+
+#include "serve/handler.h"
+
+// A commented-out upward include must NOT produce a second violation:
+// #include "serve/zzz.h"
+/* #include "serve/zzz.h" */
+
+inline int upward_value() { return 4; }

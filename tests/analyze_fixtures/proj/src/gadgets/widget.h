@@ -1,0 +1,4 @@
+// analyze fixture: a src/ module that is absent from the declared layer map.
+#pragma once
+
+inline int widget_value() { return 3; }

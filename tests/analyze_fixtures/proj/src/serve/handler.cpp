@@ -1,0 +1,26 @@
+// analyze fixture: one lock-hygiene violation per marked line;
+// tests/test_analyze.cpp asserts these exact file:line pairs.
+#include "serve/handler.h"
+
+namespace fixture {
+
+std::mutex g_mu;               // line 7: unannotated-mutex
+std::condition_variable g_cv;  // line 8: unannotated-mutex
+
+void hygiene(std::thread& worker) {
+  g_mu.lock();                // line 11: naked-lock
+  std::unique_lock lk(g_mu);  // line 12: unannotated-mutex
+  g_cv.wait(lk);              // line 13: cv-wait-no-predicate
+  g_mu.unlock();              // line 14: naked-lock
+  worker.detach();            // line 15: thread-detach
+}
+
+// Near-misses that must stay silent: a predicated wait, a free-function
+// wait, and a try_lock (different token from lock/unlock).
+void quiet(int lk) {
+  g_cv.wait(lk, [] { return true; });
+  wait(nullptr);
+  (void)g_mu.try_lock();
+}
+
+}  // namespace fixture

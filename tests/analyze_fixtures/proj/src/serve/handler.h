@@ -1,0 +1,8 @@
+// analyze fixture: a serve-layer header whose include points DOWN the layer
+// map (legal), and which reaches a file that sits on the cycle — the cycle
+// must still be reported exactly once.
+#pragma once
+
+#include "common/cycle_a.h"
+
+inline int serve_fixture_value() { return cycle_a_value(); }

@@ -281,6 +281,29 @@ TEST_F(ServeTest, LiveRoundTripAndKeepAlive) {
   server.stop();
 }
 
+TEST_F(ServeTest, RestartServesAgainAndRunningIsRaceFree) {
+  // Regression test (ISSUE 8): start() used to clear `stopping_` without
+  // holding queue_mu_, unsynchronized against a previous generation's
+  // draining workers, and running() read a plain bool that start()/stop()
+  // wrote from other threads.  A stop/start cycle with a concurrent
+  // running() poller exercises both.
+  DatasetServer server(*store_, ephemeral_options(2));
+  std::atomic<bool> poll{true};
+  std::thread poller([&] {
+    while (poll.load(std::memory_order_acquire)) server.running();
+  });
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    server.start();
+    EXPECT_TRUE(server.running());
+    HttpClient client("127.0.0.1", server.port());
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    server.stop();
+    EXPECT_FALSE(server.running());
+  }
+  poll.store(false, std::memory_order_release);
+  poller.join();
+}
+
 TEST_F(ServeTest, LiveClientSurvivesServerSideConnectionClose) {
   ServeOptions opt = ephemeral_options(1);
   DatasetServer server(*store_, opt);

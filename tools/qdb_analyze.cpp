@@ -1,0 +1,461 @@
+#include "tools/qdb_analyze.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tools/scan_util.h"
+
+namespace qdb::analyze {
+
+namespace {
+
+using qdb::scan::LineIndex;
+using qdb::scan::first_component_is;
+using qdb::scan::has_dir_prefix;
+using qdb::scan::is_ident_char;
+using qdb::scan::skip_ws;
+
+/// The declared layer map.  Lower layer = closer to the bottom; a module may
+/// include its own layer and below, never above.  Kept here (not in a config
+/// file) so changing the architecture is a reviewed code change, and the
+/// rationale stays next to the data:
+///
+///   0  common       leaf utilities: error, json, rng, clock, sync, contracts
+///   1  obs          metrics/trace/log — everything above may instrument
+///   2  geom quantum lattice optimize transpile structure   domain cores
+///   3  vqe data dock baseline core    pipelines over the domain cores
+///   4  store        content-addressed artifact store over data records
+///   5  serve        HTTP service over the store
+///   6  orchestrate  distributed coordination over serve + store
+///
+/// This deviates from the first sketch in ISSUE 8 (which put obs beside
+/// store and omitted structure/vqe): the lattice/quantum/dock layers log and
+/// count through obs, so obs must sit low; see DESIGN.md §13.
+struct LayerEntry {
+  const char* module;
+  int layer;
+};
+constexpr LayerEntry kLayers[] = {
+    {"common", 0},   {"obs", 1},      {"geom", 2},      {"quantum", 2},
+    {"lattice", 2},  {"optimize", 2}, {"transpile", 2}, {"structure", 2},
+    {"vqe", 3},      {"data", 3},     {"dock", 3},      {"baseline", 3},
+    {"core", 3},     {"store", 4},    {"serve", 5},     {"orchestrate", 6},
+};
+
+/// Module of a path under the analysis root: "src/serve/server.cpp" ->
+/// "serve"; anything not under src/ (tools, tests, bench) -> "".
+std::string module_of_path(const std::string& relpath) {
+  if (!first_component_is(relpath, "src")) return "";
+  const std::size_t start = relpath.find('/');
+  if (start == std::string::npos) return "";
+  const std::size_t end = relpath.find('/', start + 1);
+  if (end == std::string::npos) return "";
+  return relpath.substr(start + 1, end - start - 1);
+}
+
+/// Module of an include target as written: "serve/http.h" -> "serve" iff
+/// the first component names a mapped (or src-resident) module.
+std::string module_of_include(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  return target.substr(0, slash);
+}
+
+/// True when the member-call token at [pos, pos+len) is written `.tok` or
+/// `->tok` (the only spellings that can be the banned member functions).
+bool member_call_token(const std::string& text, std::size_t pos, std::size_t len) {
+  if (pos == 0) return false;
+  const char prev = text[pos - 1];
+  const bool member = prev == '.' || (prev == '>' && pos > 1 && text[pos - 2] == '-');
+  if (!member) return false;
+  const std::size_t after = pos + len;
+  if (after < text.size() && is_ident_char(text[after])) return false;
+  const std::size_t paren = skip_ws(text, after);
+  return paren < text.size() && text[paren] == '(';
+}
+
+/// Count the arguments of the call whose '(' is at `open` (balanced parens,
+/// brackets and braces; commas at top level separate arguments).  Returns -1
+/// when the call is unterminated (truncated file).
+int count_call_args(const std::string& text, std::size_t open) {
+  int depth = 0;
+  int commas = 0;
+  bool any_tokens = false;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return any_tokens ? commas + 1 : 0;
+    } else if (depth == 1) {
+      if (c == ',') ++commas;
+      else if (!std::isspace(static_cast<unsigned char>(c))) any_tokens = true;
+    }
+  }
+  return -1;
+}
+
+/// Find `needle` as a qualified-name token: the character before must not be
+/// an identifier character or ':' (so `xstd::mutex` and `mystd::mutex` and
+/// `::std::mutex`'s inner match are rejected) and the character after must
+/// not be an identifier character (so `std::condition_variable` does not
+/// match inside `std::condition_variable_any`).
+template <typename Fn>
+void for_each_qualified_token(const std::string& text, const std::string& needle, Fn&& fn) {
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    if (pos > 0 && (is_ident_char(text[pos - 1]) || text[pos - 1] == ':')) continue;
+    const std::size_t after = pos + needle.size();
+    if (after < text.size() && is_ident_char(text[after])) continue;
+    fn(pos);
+  }
+}
+
+}  // namespace
+
+int layer_of(const std::string& module) {
+  for (const LayerEntry& e : kLayers) {
+    if (module == e.module) return e.layer;
+  }
+  return -1;
+}
+
+std::vector<std::pair<std::string, int>> layer_map() {
+  std::vector<std::pair<std::string, int>> out;
+  for (const LayerEntry& e : kLayers) out.emplace_back(e.module, e.layer);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  return out;
+}
+
+IncludeGraph build_include_graph(const std::filesystem::path& root,
+                                 const std::vector<std::string>& dirs) {
+  IncludeGraph graph;
+  qdb::scan::for_each_source_file(root, dirs, [&](const std::string& relpath,
+                                                  const std::string& text) {
+    graph.files.push_back(relpath);
+    graph.module_of[relpath] = module_of_path(relpath);
+    // Include paths live inside string literals, which the stripper blanks;
+    // parse them from the RAW text and use the stripped text only to reject
+    // directives sitting inside block comments.
+    const std::string code = qdb::scan::strip_comments_and_strings(text);
+    const LineIndex lines(text);
+    for (std::size_t pos = text.find("#include"); pos != std::string::npos;
+         pos = text.find("#include", pos + 1)) {
+      if (code.compare(pos, 8, "#include") != 0) continue;  // commented out
+      std::size_t q = skip_ws(text, pos + 8);
+      if (q >= text.size() || text[q] != '"') continue;  // <...> or malformed
+      const std::size_t close = text.find('"', q + 1);
+      if (close == std::string::npos) continue;
+      IncludeEdge edge;
+      edge.from_file = relpath;
+      edge.to_file = text.substr(q + 1, close - q - 1);
+      edge.line = lines.line_of(pos);
+      graph.edges.push_back(std::move(edge));
+    }
+  });
+  std::sort(graph.files.begin(), graph.files.end());
+  std::sort(graph.edges.begin(), graph.edges.end(),
+            [](const IncludeEdge& a, const IncludeEdge& b) {
+              if (a.from_file != b.from_file) return a.from_file < b.from_file;
+              return a.line != b.line ? a.line < b.line
+                                      : a.to_file < b.to_file;
+            });
+  return graph;
+}
+
+namespace {
+
+/// Resolve an include target to a scanned file: as written from the root
+/// ("tools/scan_util.h"), under src/ (the src include convention), or next
+/// to the includer (tests' same-directory fixtures).  Empty when the target
+/// is outside the scanned tree (system-adjacent or generated).
+std::string resolve_target(const std::set<std::string>& files,
+                           const std::string& from_file, const std::string& target) {
+  if (files.count(target) != 0) return target;
+  const std::string under_src = "src/" + target;
+  if (files.count(under_src) != 0) return under_src;
+  const std::size_t slash = from_file.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = from_file.substr(0, slash + 1) + target;
+    if (files.count(sibling) != 0) return sibling;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_architecture(const IncludeGraph& graph) {
+  std::vector<Diagnostic> diags;
+  const std::set<std::string> files(graph.files.begin(), graph.files.end());
+
+  // unknown-module: every src/ module must appear in the layer map, so a new
+  // top-level directory is a deliberate, reviewed placement.
+  std::set<std::string> reported_unknown;
+  for (const std::string& file : graph.files) {
+    const std::string mod = graph.module_of.at(file);
+    if (mod.empty() || layer_of(mod) >= 0) continue;
+    if (!reported_unknown.insert(mod).second) continue;
+    diags.push_back({file, 1, "unknown-module",
+                     "module 'src/" + mod +
+                         "' is not in the declared layer map — add it to "
+                         "kLayers in tools/qdb_analyze.cpp (and DESIGN.md §13) "
+                         "at a deliberate layer"});
+  }
+
+  // layer-violation: a src/ file may include modules at its own layer or
+  // below, never above.
+  for (const IncludeEdge& e : graph.edges) {
+    const std::string from_mod = graph.module_of.at(e.from_file);
+    if (from_mod.empty()) continue;  // tools/tests/bench see every layer
+    const int from_layer = layer_of(from_mod);
+    if (from_layer < 0) continue;  // already reported as unknown-module
+    const std::string to_mod = module_of_include(e.to_file);
+    if (to_mod.empty() || to_mod == from_mod) continue;
+    const int to_layer = layer_of(to_mod);
+    if (to_layer < 0) {
+      // An include of an unmapped module from src/ is drift even if the
+      // directory itself was never scanned (e.g. a stale path).
+      if (files.count("src/" + e.to_file) == 0) continue;  // not a src module
+      continue;  // scanned files already produced unknown-module above
+    }
+    if (to_layer > from_layer) {
+      diags.push_back(
+          {e.from_file, e.line, "layer-violation",
+           "'" + from_mod + "' (layer " + std::to_string(from_layer) +
+               ") includes '" + e.to_file + "' from '" + to_mod + "' (layer " +
+               std::to_string(to_layer) +
+               ") — dependencies must point down the layer map (DESIGN.md §13)"});
+    }
+  }
+
+  // include-cycle: file-level DFS over resolved edges.  Runs on the full
+  // graph (not just src/) so a tools/tests header cycle is caught too.
+  // Same-layer module cycles (quantum <-> transpile) are legal only while
+  // the *files* stay acyclic, which is exactly what this enforces.
+  std::unordered_map<std::string, std::vector<const IncludeEdge*>> adj;
+  for (const IncludeEdge& e : graph.edges) {
+    const std::string target = resolve_target(files, e.from_file, e.to_file);
+    if (!target.empty() && target != e.from_file) adj[e.from_file].push_back(&e);
+  }
+  // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+  std::unordered_map<std::string, int> color;
+  std::vector<std::pair<std::string, const IncludeEdge*>> path;  // (file, edge taken)
+  // Iterative DFS so a deep include chain cannot overflow the stack.
+  struct Frame {
+    std::string file;
+    std::size_t next = 0;
+  };
+  for (const std::string& start : graph.files) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start, 0});
+    color[start] = 1;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto it = adj.find(top.file);
+      const std::size_t fanout = it == adj.end() ? 0 : it->second.size();
+      if (top.next >= fanout) {
+        color[top.file] = 2;
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+        continue;
+      }
+      const IncludeEdge* e = it->second[top.next++];
+      const std::string target = resolve_target(files, e->from_file, e->to_file);
+      if (color[target] == 1) {
+        // Back edge: reconstruct the cycle from the DFS path.
+        std::string chain = target;
+        bool in_cycle = false;
+        for (const auto& [file, edge] : path) {
+          if (file == target) in_cycle = true;
+          (void)edge;
+          if (in_cycle) chain += " -> " + file;
+        }
+        chain += " -> " + e->from_file + " -> " + target;
+        // The path above starts at `target`, so drop the duplicated head.
+        const std::string head = target + " -> " + target;
+        if (chain.compare(0, head.size(), head) == 0) {
+          chain = chain.substr(target.size() + 4);
+        }
+        diags.push_back({e->from_file, e->line, "include-cycle",
+                         "include cycle: " + chain});
+      } else if (color[target] == 0) {
+        color[target] = 1;
+        path.emplace_back(top.file, e);
+        stack.push_back({target, 0});
+      }
+    }
+  }
+
+  qdb::scan::sort_diagnostics(diags);
+  return diags;
+}
+
+std::vector<Diagnostic> check_lock_hygiene(const std::string& relpath,
+                                           const std::string& text) {
+  std::vector<Diagnostic> diags;
+  const std::string code = qdb::scan::strip_comments_and_strings(text);
+  const LineIndex lines(code);
+  const bool library = first_component_is(relpath, "src");
+  auto add = [&](std::size_t offset, const char* rule, std::string message) {
+    diags.push_back({relpath, lines.line_of(offset), rule, std::move(message)});
+  };
+
+  // naked-lock: .lock()/.unlock() member calls in src/.  RAII guards
+  // (qdb::MutexLock) are the only sanctioned acquisition pattern; the
+  // wrapper internals in common/sync.h carry an allowlist entry.
+  if (library) {
+    for (const char* tok : {"lock", "unlock"}) {
+      const std::string token = tok;
+      for (std::size_t pos = code.find(token); pos != std::string::npos;
+           pos = code.find(token, pos + 1)) {
+        if (pos > 0 && is_ident_char(code[pos - 1])) continue;  // try_lock etc.
+        if (!member_call_token(code, pos, token.size())) continue;
+        add(pos, "naked-lock",
+            std::string("naked .") + tok +
+                "() — scope a qdb::MutexLock instead so the unlock is "
+                "exception-safe and visible to Clang thread-safety analysis");
+      }
+    }
+  }
+
+  // cv-wait-no-predicate: condition-variable waits must carry a predicate.
+  // `.wait(x)` (one argument) is the lost-wakeup-prone raw overload;
+  // `.wait_for(x, dur)` / `.wait_until(x, tp)` without a third argument
+  // return on spurious wakeups too.  qdb::CondVar's API makes the predicate
+  // structural; this rule catches regressions to the raw types.
+  if (library) {
+    struct WaitRule {
+      const char* token;
+      int min_args;
+    };
+    for (const WaitRule& w : {WaitRule{"wait", 2}, WaitRule{"wait_for", 3},
+                              WaitRule{"wait_until", 3}, WaitRule{"wait_for_ms", 3}}) {
+      const std::string token = w.token;
+      for (std::size_t pos = code.find(token); pos != std::string::npos;
+           pos = code.find(token, pos + 1)) {
+        if (pos > 0 && is_ident_char(code[pos - 1])) continue;
+        if (!member_call_token(code, pos, token.size())) continue;
+        const std::size_t open = skip_ws(code, pos + token.size());
+        const int args = count_call_args(code, open);
+        if (args < 0 || args >= w.min_args) continue;
+        add(pos, "cv-wait-no-predicate",
+            std::string(".") + w.token + "() without a predicate argument — " +
+                "spurious wakeups and missed notifications are silent here; "
+                "pass the condition as a lambda (qdb::CondVar requires it)");
+      }
+    }
+  }
+
+  // thread-detach: banned repo-wide.  A detached thread cannot be joined, so
+  // shutdown order becomes unprovable and TSan loses the happens-before edge
+  // every drain invariant relies on.
+  {
+    const std::string token = "detach";
+    for (std::size_t pos = code.find(token); pos != std::string::npos;
+         pos = code.find(token, pos + 1)) {
+      if (pos > 0 && is_ident_char(code[pos - 1])) continue;
+      if (!member_call_token(code, pos, token.size())) continue;
+      add(pos, "thread-detach",
+          ".detach() — every thread must be joined (owning RAII member or "
+          "explicit join in stop()) so shutdown is provable");
+    }
+  }
+
+  // unannotated-mutex: raw standard sync primitives in src/.  All locking
+  // goes through the annotated wrappers in common/sync.h so the Clang
+  // thread-safety CI job sees every acquisition; sync.h itself carries the
+  // allowlist entry (it is the sanctioned home of the raw types).
+  if (library) {
+    for (const char* tok :
+         {"std::mutex", "std::timed_mutex", "std::recursive_mutex",
+          "std::shared_mutex", "std::condition_variable",
+          "std::condition_variable_any", "std::lock_guard", "std::unique_lock",
+          "std::scoped_lock"}) {
+      const std::string token = tok;
+      for_each_qualified_token(code, token, [&](std::size_t pos) {
+        add(pos, "unannotated-mutex",
+            std::string("raw ") + tok +
+                " — use the annotated qdb::Mutex / qdb::MutexLock / "
+                "qdb::CondVar wrappers (common/sync.h) so "
+                "-Werror=thread-safety can check the lock discipline");
+      });
+    }
+  }
+
+  qdb::scan::sort_diagnostics(diags);
+  return diags;
+}
+
+std::vector<Diagnostic> analyze_tree(const std::filesystem::path& root,
+                                     const std::vector<std::string>& dirs) {
+  std::vector<Diagnostic> all = check_architecture(build_include_graph(root, dirs));
+  qdb::scan::for_each_source_file(
+      root, dirs, [&](const std::string& relpath, const std::string& text) {
+        std::vector<Diagnostic> diags = check_lock_hygiene(relpath, text);
+        all.insert(all.end(), diags.begin(), diags.end());
+      });
+  qdb::scan::sort_diagnostics(all);
+  return all;
+}
+
+std::string graph_dot(const IncludeGraph& graph) {
+  std::ostringstream out;
+  out << "digraph qdb_include_graph {\n";
+  out << "  rankdir=BT;\n";
+  out << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  // Collect the modules that actually appear (as includer or include target
+  // of a src/ file), so the picture tracks the tree, not the map.
+  std::set<std::string> present;
+  std::set<std::pair<std::string, std::string>> module_edges;
+  for (const auto& [file, mod] : graph.module_of) {
+    (void)file;
+    if (!mod.empty()) present.insert(mod);
+  }
+  for (const IncludeEdge& e : graph.edges) {
+    const auto it = graph.module_of.find(e.from_file);
+    const std::string from_mod = it == graph.module_of.end() ? "" : it->second;
+    if (from_mod.empty()) continue;
+    present.insert(from_mod);
+    const std::string to_mod = module_of_include(e.to_file);
+    if (to_mod.empty() || layer_of(to_mod) < 0) continue;
+    present.insert(to_mod);
+    if (to_mod != from_mod) module_edges.emplace(from_mod, to_mod);
+  }
+  // One rank row per layer (bottom-up thanks to rankdir=BT); unknown modules
+  // get their own red row at the top so drift is visible in the picture.
+  int max_layer = 0;
+  for (const auto& [mod, layer] : layer_map()) {
+    (void)mod;
+    max_layer = std::max(max_layer, layer);
+  }
+  for (int layer = 0; layer <= max_layer; ++layer) {
+    std::string row;
+    for (const auto& [mod, mod_layer] : layer_map()) {
+      if (mod_layer != layer || present.count(mod) == 0) continue;
+      row += " \"" + mod + "\";";
+    }
+    if (!row.empty()) {
+      out << "  { rank=same;" << row << " }  // layer " << layer << "\n";
+    }
+  }
+  for (const std::string& mod : present) {
+    if (layer_of(mod) < 0) {
+      out << "  \"" << mod << "\" [color=red, fontcolor=red];  // unknown module\n";
+    }
+  }
+  for (const auto& [from, to] : module_edges) {
+    out << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace qdb::analyze

@@ -1,0 +1,103 @@
+// qdb_analyze: architecture conformance + lock hygiene (ISSUE 8).
+//
+// qdb_lint enforces line-level conventions; this tool enforces the two
+// structural properties the repo's concurrency story rests on:
+//
+// 1. Include-graph conformance.  Every `#include "mod/..."` between src/
+//    modules is an edge in the include DAG.  The DAG must match the declared
+//    layer map (see kLayers in qdb_analyze.cpp and DESIGN.md §13): a module
+//    may include modules in strictly lower layers or its own layer, never a
+//    higher one (`layer-violation`), file-level include cycles are hard
+//    errors even within a layer (`include-cycle`), and a src/ module absent
+//    from the map is itself an error (`unknown-module`) so new directories
+//    must be placed deliberately.
+//
+// 2. Lock hygiene.  Token rules over the stripped source:
+//      naked-lock           .lock()/.unlock() calls outside the RAII types
+//                           in src/common/sync.h (src/ only)
+//      cv-wait-no-predicate a condition-variable wait without a predicate
+//                           argument (src/ only; qdb::CondVar makes the
+//                           predicate mandatory, this catches regressions
+//                           to the raw API)
+//      thread-detach        std::thread::detach() — banned repo-wide; every
+//                           thread must be joined so shutdown is provable
+//      unannotated-mutex    raw std::mutex / std::condition_variable /
+//                           std::lock_guard / std::unique_lock /
+//                           std::scoped_lock / std::shared_mutex in src/
+//                           outside src/common/sync.h — all locking goes
+//                           through the annotated qdb::Mutex wrappers so
+//                           Clang's -Wthread-safety sees every acquisition
+//
+// Shares the scanner core (tools/scan_util.h) and the per-(file,rule)
+// allowlist + stale-entry machinery with qdb_lint; the repo gate runs as a
+// ctest (qdb_analyze.repo) and in the CI lint job.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/scan_util.h"
+
+namespace qdb::analyze {
+
+using qdb::scan::AllowEntry;
+using qdb::scan::Diagnostic;
+using qdb::scan::apply_allowlist;
+using qdb::scan::format_diagnostic;
+using qdb::scan::parse_allowlist;
+
+/// One parsed project-local include directive.
+struct IncludeEdge {
+  std::string from_file;  ///< includer, relative path ("src/serve/server.cpp")
+  std::string to_file;    ///< included header as written ("serve/server.h")
+  int line = 0;           ///< 1-based line of the #include
+};
+
+/// The include graph of a source tree: per-file edges plus the module each
+/// file belongs to (first path component under src/).
+struct IncludeGraph {
+  std::vector<IncludeEdge> edges;              ///< sorted by (from, line)
+  std::vector<std::string> files;              ///< all scanned files, sorted
+  std::map<std::string, std::string> module_of;  ///< file -> module ("" = not src/)
+};
+
+/// Layer number for a src/ module, or -1 when the module is not in the
+/// declared layer map.  Layer 0 is the bottom (common); higher layers may
+/// include lower ones and peers in the same layer, never upward.
+int layer_of(const std::string& module);
+
+/// All modules in the declared layer map, sorted by (layer, name) — the
+/// ranked rows of the --graph output.
+std::vector<std::pair<std::string, int>> layer_map();
+
+/// Parse every project-local `#include "..."` under `root`/`dirs`.
+/// System includes (<...>) are ignored.  Include paths are read from the
+/// RAW text (the stripper blanks string literal contents — include paths
+/// included), with the stripped text consulted only to skip directives that
+/// sit inside block comments.
+IncludeGraph build_include_graph(const std::filesystem::path& root,
+                                 const std::vector<std::string>& dirs);
+
+/// Architecture rules over a graph: include-cycle (file-level DFS),
+/// layer-violation (module edge upward in the layer map), unknown-module.
+std::vector<Diagnostic> check_architecture(const IncludeGraph& graph);
+
+/// Lock-hygiene token rules for one translation unit (see header comment
+/// for the rule set and scoping).
+std::vector<Diagnostic> check_lock_hygiene(const std::string& relpath,
+                                           const std::string& text);
+
+/// Full analysis of a tree: architecture rules + lock hygiene over every
+/// .h/.cpp file.  Directories ending in "_fixtures" are skipped (same walker
+/// as qdb_lint).  Sorted by (file, line, rule).
+std::vector<Diagnostic> analyze_tree(const std::filesystem::path& root,
+                                     const std::vector<std::string>& dirs);
+
+/// The include DAG as a Graphviz digraph: one node per module, `rank=same`
+/// rows per layer, de-duplicated module edges; unknown modules are rendered
+/// in red so drift is visible in the picture too.
+std::string graph_dot(const IncludeGraph& graph);
+
+}  // namespace qdb::analyze

@@ -36,10 +36,12 @@
 //                       one real sleep) so lease/backoff tests run on a
 //                       ManualClock instead of wall-clock time.
 //
-// The scanner strips comments, string/char literals (including raw strings)
-// and matches on identifier boundaries, so prose like "the new atom" or a
-// pattern string "rand(" never trips a rule.  Findings can be suppressed per
-// (file, rule) via an allowlist; unused allowlist entries are themselves
+// The scanner core (comment/string stripping, token-boundary matching, tree
+// walking, allowlist machinery) lives in tools/scan_util.h, shared with
+// qdb_analyze; this header re-exports it under qdb::lint so existing callers
+// (tests, the CLI) see one coherent API.  Prose like "the new atom" or a
+// pattern string "rand(" never trips a rule, and findings can be suppressed
+// per (file, rule) via an allowlist whose unused entries are themselves
 // reported so suppressions cannot go stale silently.
 #pragma once
 
@@ -47,51 +49,27 @@
 #include <string>
 #include <vector>
 
+#include "tools/scan_util.h"
+
 namespace qdb::lint {
 
-struct Diagnostic {
-  std::string file;  ///< path relative to the scan root, '/'-separated
-  int line = 0;      ///< 1-based
-  std::string rule;
-  std::string message;
-};
-
-/// One allowlist line: suppress `rule` in `file` (exact relative path).
-struct AllowEntry {
-  std::string file;
-  std::string rule;
-};
-
-/// Replace comments and string/char literal contents with spaces, preserving
-/// newlines (so byte offsets map to the same line numbers).  Handles //, /**/,
-/// "..." with escapes, '...' (but not digit separators like 1'000), and raw
-/// strings R"delim(...)delim".
-std::string strip_comments_and_strings(const std::string& text);
+using qdb::scan::AllowEntry;
+using qdb::scan::Diagnostic;
+using qdb::scan::apply_allowlist;
+using qdb::scan::format_diagnostic;
+using qdb::scan::parse_allowlist;
+using qdb::scan::strip_comments_and_strings;
 
 /// Lint a single translation unit.  `relpath` decides rule applicability
 /// (library-only rules fire iff the first path component is "src").
 std::vector<Diagnostic> lint_source(const std::string& relpath, const std::string& text);
 
 /// Walk `root`/`dir` for each dir, linting every .h/.cpp file.  Directories
-/// named "lint_fixtures" are skipped so test fixtures with deliberate
-/// violations never fail the repo-wide gate.  Results are sorted by path
-/// then line for deterministic output.
+/// whose name ends in "_fixtures" (lint_fixtures, analyze_fixtures) are
+/// skipped so test fixtures with deliberate violations never fail the
+/// repo-wide gate.  Results are sorted by path then line for deterministic
+/// output.
 std::vector<Diagnostic> lint_tree(const std::filesystem::path& root,
                                   const std::vector<std::string>& dirs);
-
-/// Parse allowlist text: one `<path> <rule>` pair per line, `#` comments and
-/// blank lines ignored; anything after the rule token is justification.
-std::vector<AllowEntry> parse_allowlist(const std::string& text);
-
-/// Drop diagnostics matched by the allowlist.  Entries that matched nothing
-/// are appended to `unused` (if non-null) — stale suppressions are findings
-/// too.
-std::vector<Diagnostic> apply_allowlist(const std::vector<Diagnostic>& diags,
-                                        const std::vector<AllowEntry>& allow,
-                                        std::vector<AllowEntry>* unused);
-
-/// `file:line: [rule] message` — the format compilers use, so editors and CI
-/// annotations pick the locations up for free.
-std::string format_diagnostic(const Diagnostic& d);
 
 }  // namespace qdb::lint

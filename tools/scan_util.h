@@ -1,0 +1,274 @@
+// Shared comment/string-aware scanner core for the project's source checkers
+// (ISSUE 8).  qdb_lint (convention rules) and qdb_analyze (architecture +
+// lock-hygiene rules) both need the same substrate: strip comments and
+// literals without disturbing line numbers, match identifiers on token
+// boundaries, walk the source tree deterministically, and run findings
+// through a per-(file,rule) allowlist whose stale entries are themselves
+// findings.  Factoring it here keeps the two tools byte-for-byte consistent
+// about what counts as code versus prose.
+//
+// Everything is header-only and dependency-free (std only) so either tool
+// can be built standalone in CI with a bare `g++ file.cpp`.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qdb::scan {
+
+/// One finding: `file:line: [rule] message`.
+struct Diagnostic {
+  std::string file;  ///< path relative to the scan root, '/'-separated
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One allowlist line: suppress `rule` in `file` (exact relative path).
+struct AllowEntry {
+  std::string file;
+  std::string rule;
+};
+
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replace comments and string/char literal contents with spaces, preserving
+/// newlines (so byte offsets map to the same line numbers).  Handles //, /**/,
+/// "..." with escapes, '...' (but not digit separators like 1'000), and raw
+/// strings R"delim(...)delim".
+inline std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  auto blank = [&](std::size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      blank(i++);
+      blank(i++);
+      while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) blank(i++);
+      if (i < n) blank(i++);  // '*'
+      if (i < n) blank(i++);  // '/'
+    } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+      // Raw string literal R"delim( ... )delim".  Find the delimiter, then
+      // scan for the closing sequence; newlines inside are preserved.
+      std::size_t p = i + 1;
+      std::string delim;
+      while (p < n && text[p] != '(') delim += text[p++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, p);
+      end = (end == std::string::npos) ? n : end + close.size();
+      while (i < end && i < n) blank(i++);
+    } else if (c == '"') {
+      blank(i++);
+      while (i < n && text[i] != '"' && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n && text[i] == '"') blank(i++);
+    } else if (c == '\'' && (i == 0 || !is_ident_char(text[i - 1]))) {
+      // Char literal — but not a digit separator (1'000'000), which follows
+      // an identifier character.
+      blank(i++);
+      while (i < n && text[i] != '\'' && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n && text[i] == '\'') blank(i++);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Map byte offset -> 1-based line number.
+class LineIndex {
+ public:
+  explicit LineIndex(const std::string& text) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts_.push_back(i + 1);
+    }
+  }
+  int line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<int>(it - starts_.begin());
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+/// Is the identifier token at [pos, pos+len) free-standing?  Qualified
+/// (`foo::tok`), member (`x.tok`, `p->tok`) and substring (`my_tok`, `tokx`)
+/// occurrences are rejected — except a `std::` qualifier, which `allow_std`
+/// lets through (std::rand is still rand).
+inline bool standalone_token(const std::string& text, std::size_t pos, std::size_t len,
+                             bool allow_std) {
+  if (pos > 0) {
+    const char prev = text[pos - 1];
+    if (is_ident_char(prev) || prev == '.') return false;
+    if (prev == '>' && pos > 1 && text[pos - 2] == '-') return false;
+    if (prev == ':') {
+      const bool std_qualified = pos >= 5 && text.compare(pos - 5, 5, "std::") == 0;
+      return allow_std && std_qualified;
+    }
+  }
+  const std::size_t after = pos + len;
+  return after >= text.size() || !is_ident_char(text[after]);
+}
+
+/// First non-space char at or after `pos` (same line semantics not needed —
+/// a call's '(' may legally sit on the next line).
+inline std::size_t skip_ws(const std::string& text, std::size_t pos) {
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  return pos;
+}
+
+/// Word immediately before `pos`, skipping whitespace (for `operator new`).
+inline std::string previous_word(const std::string& text, std::size_t pos) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1])) != 0) --pos;
+  std::size_t end = pos;
+  while (pos > 0 && is_ident_char(text[pos - 1])) --pos;
+  return text.substr(pos, end - pos);
+}
+
+inline char previous_nonspace(const std::string& text, std::size_t pos) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1])) != 0) --pos;
+  return pos > 0 ? text[pos - 1] : '\0';
+}
+
+/// For every standalone occurrence of `token`, call fn(offset).
+template <typename Fn>
+void for_each_token(const std::string& text, const std::string& token, bool allow_std,
+                    Fn&& fn) {
+  for (std::size_t pos = text.find(token); pos != std::string::npos;
+       pos = text.find(token, pos + 1)) {
+    if (standalone_token(text, pos, token.size(), allow_std)) fn(pos);
+  }
+}
+
+/// True iff relpath starts with the directory prefix (e.g. "src/obs/").
+inline bool has_dir_prefix(const std::string& relpath, const char* prefix) {
+  return relpath.rfind(prefix, 0) == 0;
+}
+
+inline bool first_component_is(const std::string& relpath, const char* component) {
+  const std::size_t slash = relpath.find('/');
+  return relpath.compare(0, slash == std::string::npos ? relpath.size() : slash,
+                         component) == 0;
+}
+
+inline bool is_header(const std::string& relpath) {
+  return relpath.size() >= 2 && relpath.compare(relpath.size() - 2, 2, ".h") == 0;
+}
+
+/// Does this directory hold deliberate-violation test fixtures?  Any
+/// directory whose name ends in "_fixtures" (lint_fixtures, analyze_fixtures)
+/// is skipped by the tree walkers so fixtures never fail the repo gates.
+inline bool is_fixture_dir(const std::string& dirname) {
+  static const std::string kSuffix = "_fixtures";
+  return dirname.size() >= kSuffix.size() &&
+         dirname.compare(dirname.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0;
+}
+
+/// Walk `root`/`dir` for each dir and call fn(relpath, text) for every
+/// .h/.cpp file, skipping *_fixtures directories.  Traversal order follows
+/// the directory iterator; callers that need determinism sort their results
+/// (the diagnostics sort below) rather than rely on walk order.
+template <typename Fn>
+void for_each_source_file(const std::filesystem::path& root,
+                          const std::vector<std::string>& dirs, Fn&& fn) {
+  namespace fs = std::filesystem;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && is_fixture_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      std::string relpath = fs::relative(it->path(), root).generic_string();
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      fn(relpath, buf.str());
+    }
+  }
+}
+
+/// Sort diagnostics by (file, line, rule) for deterministic output.
+inline void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+}
+
+/// Parse allowlist text: one `<path> <rule>` pair per line, `#` comments and
+/// blank lines ignored; anything after the rule token is justification.
+inline std::vector<AllowEntry> parse_allowlist(const std::string& text) {
+  std::vector<AllowEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    AllowEntry e;
+    if (fields >> e.file >> e.rule) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+/// Drop diagnostics matched by the allowlist.  Entries that matched nothing
+/// are appended to `unused` (if non-null) — stale suppressions are findings
+/// too.
+inline std::vector<Diagnostic> apply_allowlist(const std::vector<Diagnostic>& diags,
+                                               const std::vector<AllowEntry>& allow,
+                                               std::vector<AllowEntry>* unused) {
+  std::vector<bool> used(allow.size(), false);
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : diags) {
+    bool suppressed = false;
+    for (std::size_t i = 0; i < allow.size(); ++i) {
+      if (allow[i].file == d.file && allow[i].rule == d.rule) {
+        used[i] = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  if (unused != nullptr) {
+    for (std::size_t i = 0; i < allow.size(); ++i) {
+      if (!used[i]) unused->push_back(allow[i]);
+    }
+  }
+  return kept;
+}
+
+/// `file:line: [rule] message` — the format compilers use, so editors and CI
+/// annotations pick the locations up for free.
+inline std::string format_diagnostic(const Diagnostic& d) {
+  std::ostringstream out;
+  out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return out.str();
+}
+
+}  // namespace qdb::scan
