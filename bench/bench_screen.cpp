@@ -1,0 +1,138 @@
+// Virtual-screening funnel benchmark (ISSUE 9 acceptance): grid build cost,
+// stage-1 filter throughput against full Vina rescoring on the SAME poses
+// (acceptance: the grid filter is >= 10x cheaper per ligand), and the
+// end-to-end two-stage funnel rate.  Numbers land in BENCH_screen.json so
+// the screening-throughput trajectory is tracked across PRs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "screen/funnel.h"
+#include "screen/grid.h"
+#include "screen/library.h"
+
+int main() {
+  using namespace qdb;
+  using namespace qdb::screen;
+  bench::header("Virtual screening - two-stage funnel over the 4jpy pocket");
+  bench::ScopedBenchTrace trace;
+
+  const DatasetEntry& entry = entry_by_id("4jpy");
+  const Structure receptor = reference_structure(entry);
+
+  ScreenOptions opt;
+  opt.library = {1, 256};
+  opt.top_k = 16;
+  opt.stage1_keep = 0.125;
+  opt.poses_per_ligand = 16;
+  opt.poses_rescored = 4;
+
+  // --- grid build (the amortised one-off cost) ------------------------------
+  double grid_build_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::Span t("bench.screen.grid_build");
+    GridParams gp;
+    gp.spacing = opt.grid_spacing;
+    gp.padding = opt.grid_padding;
+    const screen::ReceptorGrid g(receptor, gp);
+    grid_build_s = std::min(grid_build_s, t.seconds());
+  }
+  const PreparedReceptor prepared = prepare_receptor(receptor, opt);
+  const std::int64_t nodes = prepared.grid.num_nodes();
+
+  // --- stage-1 filter vs full rescoring, same ligands, same poses -----------
+  // The funnel's economics rest on this ratio: the filter must be an order
+  // of magnitude cheaper per ligand so stage 1 can afford the whole library.
+  const int kAbLigands = 64;
+  const int kAbPoses = 8;
+  std::vector<Ligand> ligands;
+  std::vector<std::vector<Vec3>> confs;
+  for (int i = 0; i < kAbLigands; ++i) {
+    Ligand lig = library_ligand(opt.library, static_cast<std::uint64_t>(i));
+    Rng rng(library_ligand_id(opt.library, static_cast<std::uint64_t>(i)),
+            "bench.screen.ab", opt.library.seed);
+    for (int p = 0; p < kAbPoses; ++p) {
+      Pose pose = lig.neutral_pose();
+      const double tx = rng.uniform(prepared.grid.box_lo().x, prepared.grid.box_hi().x);
+      const double ty = rng.uniform(prepared.grid.box_lo().y, prepared.grid.box_hi().y);
+      const double tz = rng.uniform(prepared.grid.box_lo().z, prepared.grid.box_hi().z);
+      pose.translation = {tx, ty, tz};
+      confs.push_back(lig.conformation(pose));
+    }
+    ligands.push_back(std::move(lig));
+  }
+  double filter_s = 1e300, exact_s = 1e300;
+  double filter_sink = 0.0, exact_sink = 0.0;  // defeat dead-code elimination
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      obs::Span t("bench.screen.stage1_filter");
+      double acc = 0.0;
+      for (int i = 0; i < kAbLigands; ++i) {
+        for (int p = 0; p < kAbPoses; ++p) {
+          acc += prepared.grid.filter_affinity(
+              ligands[static_cast<std::size_t>(i)],
+              confs[static_cast<std::size_t>(i * kAbPoses + p)]);
+        }
+      }
+      filter_sink = acc;
+      filter_s = std::min(filter_s, t.seconds());
+    }
+    {
+      obs::Span t("bench.screen.full_rescore");
+      double acc = 0.0;
+      for (int i = 0; i < kAbLigands; ++i) {
+        const Ligand& lig = ligands[static_cast<std::size_t>(i)];
+        for (int p = 0; p < kAbPoses; ++p) {
+          const double e = intermolecular_energy(
+              prepared.rescoring, lig,
+              confs[static_cast<std::size_t>(i * kAbPoses + p)], opt.weights);
+          acc += affinity_from_energy(e, lig.num_torsions(), opt.weights);
+        }
+      }
+      exact_sink = acc;
+      exact_s = std::min(exact_s, t.seconds());
+    }
+  }
+  const double filter_us_per_ligand = filter_s * 1e6 / kAbLigands;
+  const double exact_us_per_ligand = exact_s * 1e6 / kAbLigands;
+  const double speedup = exact_s / filter_s;
+  const double stage1_ligands_per_s = kAbLigands / filter_s;
+
+  // --- end-to-end funnel ----------------------------------------------------
+  obs::Span funnel_span("bench.screen.funnel");
+  const ScreenReport report = run_screen(prepared, entry.pdb_id, opt);
+  const double funnel_s = funnel_span.seconds();
+  const double ligands_per_s = static_cast<double>(report.ligands_screened) / funnel_s;
+
+  Table t({"Metric", "Value"});
+  t.add_row({"grid nodes", format("%lld", static_cast<long long>(nodes))});
+  t.add_row({"grid build", format("%.1f ms", grid_build_s * 1e3)});
+  t.add_row({"stage-1 filter / ligand", format("%.1f us", filter_us_per_ligand)});
+  t.add_row({"full rescore / ligand", format("%.1f us", exact_us_per_ligand)});
+  t.add_row({"stage-1 speedup", format("%.1fx  (acceptance: >= 10x)", speedup)});
+  t.add_row({"funnel end-to-end", format("%.0f ligands/s", ligands_per_s)});
+  t.add_row({"funnel keep rate", format("%.3f", report.keep_rate())});
+  t.add_row({"ranked hits", format("%zu", report.hits.size())});
+  std::printf("%s\n", t.to_string().c_str());
+  if (!report.hits.empty()) {
+    std::printf("best hit: %s  affinity %.3f kcal/mol (stage-1 %.3f)\n",
+                report.hits.front().id.c_str(), report.hits.front().affinity,
+                report.hits.front().stage1_score);
+  }
+  std::printf("(filter/exact accumulator check: %.6g / %.6g)\n", filter_sink,
+              exact_sink);
+
+  bench::emit_bench_json(
+      "screen",
+      {{"screen.grid_nodes", static_cast<double>(nodes)},
+       {"screen.grid_build_us", grid_build_s * 1e6},
+       {"screen.stage1_us_per_ligand", filter_us_per_ligand},
+       {"screen.rescore_us_per_ligand", exact_us_per_ligand},
+       {"screen.stage1_speedup", speedup},
+       {"screen.stage1_ligands_per_s", stage1_ligands_per_s},
+       {"screen.ligands_per_s", ligands_per_s},
+       {"screen.keep_rate", report.keep_rate()},
+       {"screen.ranked_hits", static_cast<double>(report.hits.size())}});
+  return speedup >= 10.0 ? 0 : 1;
+}

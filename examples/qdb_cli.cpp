@@ -30,6 +30,22 @@
 //   qdb ingest <dataset_root> <store_root>
 //                                  ingest a §4.2 dataset tree into the
 //                                  content-addressed store (dedup + index)
+//   qdb screen <pdb_id> [flags]    two-stage virtual screening (ISSUE 9):
+//       --library-seed S        library geometry seed (default 1)
+//       --library-size N        ligands to screen (default 256)
+//       --top-k K               ranked hits to publish (default 16)
+//       --stage1-keep F         fraction surviving the grid filter (0.125)
+//       --poses N --rescored M  stage-1 poses per ligand / exact rescores
+//       --threads N             executor width (never changes the output)
+//       --checkpoint <path>     chunk-level crash-consistent checkpoint
+//       --resume                resume from --checkpoint if it exists
+//       --stop-after N          stop after N chunks this run (exit 5;
+//                               rerun with --resume to finish)
+//       --out <path>            write the ranked-hit report JSON
+//       --store <root>          ingest the receptor grid + report into a
+//                               store and print their blob hashes
+//       --server <host:port>    run remotely via POST /screen instead
+//       --ingest                (remote) server ingests the report too
 //   qdb serve <store_root> [flags] serve the store over HTTP/1.1 (ISSUE 4):
 //       --port P                bind port (default 8080; 0 = ephemeral)
 //       --host H                bind address (default 127.0.0.1)
@@ -91,7 +107,9 @@
 #include "orchestrate/api.h"
 #include "orchestrate/coordinator.h"
 #include "orchestrate/worker.h"
+#include "screen/funnel.h"
 #include "serve/client.h"
+#include "serve/screen_api.h"
 #include "serve/server.h"
 #include "store/store.h"
 #include "structure/pdb.h"
@@ -322,6 +340,109 @@ int cmd_ingest(char** argv) {
   return 0;
 }
 
+/// `qdb screen <pdb_id> [flags]` — run the two-stage screening funnel
+/// locally against the entry's reference pocket, or remotely via POST
+/// /screen when --server is given.  Flags that shape results are identical
+/// in both modes; identical requests produce byte-identical reports.
+int cmd_screen(int argc, char** argv) {
+  const std::string pdb_id = argv[2];
+  screen::ScreenOptions opt;
+  std::string out_path, store_root, server;
+  bool remote_ingest = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--library-seed") opt.library.seed =
+        static_cast<std::uint64_t>(std::atoll(next("--library-seed")));
+    else if (arg == "--library-size") opt.library.size =
+        static_cast<std::uint64_t>(std::atoll(next("--library-size")));
+    else if (arg == "--top-k") opt.top_k = std::atoi(next("--top-k"));
+    else if (arg == "--stage1-keep") opt.stage1_keep = std::atof(next("--stage1-keep"));
+    else if (arg == "--poses") opt.poses_per_ligand = std::atoi(next("--poses"));
+    else if (arg == "--rescored") opt.poses_rescored = std::atoi(next("--rescored"));
+    else if (arg == "--threads") opt.threads = std::atoi(next("--threads"));
+    else if (arg == "--checkpoint") opt.checkpoint_path = next("--checkpoint");
+    else if (arg == "--resume") opt.resume = true;
+    else if (arg == "--stop-after") opt.stop_after_chunks = std::atoi(next("--stop-after"));
+    else if (arg == "--chunk") opt.chunk_size =
+        static_cast<std::uint64_t>(std::atoll(next("--chunk")));
+    else if (arg == "--out") out_path = next("--out");
+    else if (arg == "--store") store_root = next("--store");
+    else if (arg == "--server") server = next("--server");
+    else if (arg == "--ingest") remote_ingest = true;
+    else throw Error("unknown screen flag '" + arg + "'");
+  }
+
+  if (!server.empty()) {
+    const std::size_t colon = server.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= server.size()) {
+      throw Error("--server needs host:port");
+    }
+    serve::HttpClient client(
+        server.substr(0, colon),
+        static_cast<std::uint16_t>(std::atoi(server.c_str() + colon + 1)));
+    Json body = Json::object();
+    body.set("pdb_id", pdb_id);
+    body.set("library_seed", static_cast<std::int64_t>(opt.library.seed));
+    body.set("library_size", static_cast<std::int64_t>(opt.library.size));
+    body.set("top_k", opt.top_k);
+    body.set("stage1_keep", opt.stage1_keep);
+    body.set("poses_per_ligand", opt.poses_per_ligand);
+    body.set("poses_rescored", opt.poses_rescored);
+    if (remote_ingest) body.set("ingest", true);
+    const serve::HttpClientResponse r = client.post("/screen", body.dump());
+    if (!out_path.empty() && r.status < 400) {
+      write_file_atomic(out_path, r.body);
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+    std::fputs(r.body.c_str(), stdout);
+    if (!r.body.empty() && r.body.back() != '\n') std::printf("\n");
+    return r.status < 400 ? 0 : 4;
+  }
+
+  const DatasetEntry& e = entry_by_id(pdb_id);
+  const Structure receptor = reference_structure(e);
+  const screen::PreparedReceptor prepared = screen::prepare_receptor(receptor, opt);
+  const screen::ScreenReport report = screen::run_screen(prepared, pdb_id, opt);
+  if (report.preempted) {
+    std::printf("screen preempted after %llu/%llu chunks; checkpoint %s "
+                "(rerun with --resume to finish)\n",
+                static_cast<unsigned long long>(report.chunks_done),
+                static_cast<unsigned long long>(report.chunks_total),
+                opt.checkpoint_path.c_str());
+    return 5;
+  }
+
+  const std::string report_bytes = screen::serialize_report(report);
+  if (!out_path.empty()) {
+    write_file_atomic(out_path, report_bytes);
+    std::printf("report: %s\n", out_path.c_str());
+  }
+  if (!store_root.empty()) {
+    store::Store s(store_root);
+    std::printf("grid blob:   %s\n", s.put_blob(prepared.grid.serialize()).c_str());
+    std::printf("report blob: %s\n", s.put_blob(report_bytes).c_str());
+  }
+
+  std::printf("screened %llu ligands against %s: %llu survived stage 1 "
+              "(keep rate %.3f), top %zu hits\n",
+              static_cast<unsigned long long>(report.ligands_screened),
+              pdb_id.c_str(),
+              static_cast<unsigned long long>(report.stage1_survivors),
+              report.keep_rate(), report.hits.size());
+  std::printf("%-4s %-28s %12s %12s %6s %5s\n", "Rank", "Ligand", "Stage1",
+              "Affinity", "Atoms", "Tors");
+  for (std::size_t i = 0; i < report.hits.size(); ++i) {
+    const screen::ScreenHit& h = report.hits[i];
+    std::printf("%-4zu %-28s %12.3f %12.3f %6d %5d\n", i + 1, h.id.c_str(),
+                h.stage1_score, h.affinity, h.num_atoms, h.num_torsions);
+  }
+  return 0;
+}
+
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_stop_signal(int) { g_stop = 1; }
@@ -350,6 +471,8 @@ int cmd_serve(int argc, char** argv) {
                 "' has no index — run `qdb ingest` first");
   }
   serve::DatasetServer server(s, opt);
+  serve::ScreenService screen_service(s);
+  serve::attach_screen_api(server, screen_service);
   server.start();
   std::printf("qdb: serving %zu entries on http://%s:%u (%d workers, "
               "cache %zu)\n",
@@ -527,6 +650,7 @@ int dispatch(int argc, char** argv) {
   if (argc >= 3 && cmd == "evaluate") return cmd_evaluate(argc, argv);
   if (argc >= 4 && cmd == "reference") return cmd_reference(argv);
   if (argc >= 4 && cmd == "ingest") return cmd_ingest(argv);
+  if (argc >= 3 && cmd == "screen") return cmd_screen(argc, argv);
   if (argc >= 3 && cmd == "serve") return cmd_serve(argc, argv);
   if (argc >= 3 && cmd == "coordinate") return cmd_coordinate(argc, argv);
   if (argc >= 4 && cmd == "work") return cmd_work(argc, argv);
@@ -580,6 +704,8 @@ int main(int argc, char** argv) {
                  "| batch [S|M|L|all] [--account] [--resume <checkpoint>] "
                  "[--limit N] [flags] "
                  "| ingest <dataset_root> <store_root> "
+                 "| screen <pdb_id> [--library-seed S] [--library-size N] [--top-k K] "
+                 "[--stage1-keep F] [--checkpoint C --resume] [--server host:port] [flags] "
                  "| serve <store_root> [--port P] [--host H] [--threads N] [--cache N] "
                  "| coordinate <results_store> [group] [batch flags] [--port P] "
                  "[--lease-ttl-ms T] [--max-lease-attempts K] [--journal J] [--report R] "

@@ -1,0 +1,117 @@
+#include "screen/library.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace qdb::screen {
+
+namespace {
+
+// Substituent alphabet per ring position: element letters of a linear chain
+// ("" = bare ring hydrogen).  8 choices over 6 positions = 262144 skeletons
+// before the enumeration wraps; chain bonds beyond the anchor attachment are
+// rotatable, so longer substituents also widen the torsion space.
+constexpr const char* kSubstituents[] = {"", "C", "N", "O", "CC", "CN", "CO", "CCO"};
+constexpr std::uint64_t kAlphabet = sizeof(kSubstituents) / sizeof(kSubstituents[0]);
+constexpr int kRingPositions = 6;
+
+constexpr double kRingBond = 1.39;   // aromatic C-C, Angstroms
+constexpr double kChainBond = 1.5;   // sp3 chain bond, Angstroms
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+std::uint64_t library_skeleton_count() {
+  std::uint64_t n = 1;
+  for (int i = 0; i < kRingPositions; ++i) n *= kAlphabet;
+  return n;
+}
+
+std::string library_ligand_id(const LibrarySpec& spec, std::uint64_t index) {
+  return format("LIB-%016llx-%08llu", static_cast<unsigned long long>(spec.seed),
+                static_cast<unsigned long long>(index));
+}
+
+Ligand library_ligand(const LibrarySpec& spec, std::uint64_t index) {
+  static obs::Counter& generated = obs::counter("screen.library.ligands");
+  generated.add();
+
+  const std::string id = library_ligand_id(spec, index);
+  // The geometry stream is keyed by the full ID (seed + index) plus the seed
+  // again as the run discriminator: two libraries never share a stream even
+  // if their IDs collide textually.
+  Rng rng(id, "screen.library", spec.seed);
+
+  std::vector<LigandAtom> atoms;
+  std::vector<TorsionBond> torsions;
+
+  // Benzene scaffold (same construction as dock/ligand_gen).
+  const double ring_r = kRingBond / (2.0 * std::sin(kPi / 6.0));
+  for (int i = 0; i < kRingPositions; ++i) {
+    const double a = 2.0 * kPi * i / kRingPositions;
+    LigandAtom atom;
+    atom.name = format("C%d", i + 1);
+    atom.element = 'C';
+    atom.local_pos = Vec3{ring_r * std::cos(a), ring_r * std::sin(a), 0.0};
+    atom.hydrophobic = true;
+    atoms.push_back(atom);
+  }
+
+  // Mixed-radix decode of the skeleton: digit d of `index` picks the
+  // substituent for ring position d.  Indices beyond the skeleton count wrap
+  // (the geometry stream still differs, so ligands stay distinct).
+  std::uint64_t code = index % library_skeleton_count();
+  int next_id = kRingPositions + 1;
+  for (int anchor = 0; anchor < kRingPositions; ++anchor) {
+    const char* chain = kSubstituents[code % kAlphabet];
+    code /= kAlphabet;
+    if (*chain == '\0') continue;
+
+    const Vec3 out_dir = atoms[static_cast<std::size_t>(anchor)].local_pos.normalized();
+    const Vec3 tilt = Vec3{0, 0, rng.uniform(-0.8, 0.8)};
+    Vec3 dir = (out_dir + tilt).normalized();
+
+    int prev = anchor;
+    std::vector<int> chain_atoms;
+    for (const char* e = chain; *e != '\0'; ++e) {
+      LigandAtom atom;
+      atom.element = *e;
+      if (atom.element == 'N') {
+        atom.donor = true;
+        atom.charge = rng.bernoulli(0.3) ? 0.35 : -0.10;
+      } else if (atom.element == 'O') {
+        atom.acceptor = true;
+        atom.charge = -0.35;
+      } else {
+        atom.hydrophobic = true;
+        atom.charge = 0.02;
+      }
+      atom.name = format("%c%d", atom.element, next_id++);
+      const Vec3 wiggle{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                        rng.uniform(-0.3, 0.3)};
+      dir = (dir + wiggle).normalized();
+      atom.local_pos = atoms[static_cast<std::size_t>(prev)].local_pos + dir * kChainBond;
+      atoms.push_back(atom);
+      chain_atoms.push_back(static_cast<int>(atoms.size()) - 1);
+      prev = static_cast<int>(atoms.size()) - 1;
+    }
+    // Chain bond k rotates everything later in the chain about
+    // (parent(k), chain[k]) — the ligand_gen torsion convention.
+    for (std::size_t k = 0; k + 1 < chain_atoms.size(); ++k) {
+      TorsionBond t;
+      t.axis_a = (k == 0) ? anchor : chain_atoms[k - 1];
+      t.axis_b = chain_atoms[k];
+      t.moved.assign(chain_atoms.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                     chain_atoms.end());
+      torsions.push_back(std::move(t));
+    }
+  }
+
+  return Ligand(std::move(atoms), std::move(torsions), id);
+}
+
+}  // namespace qdb::screen

@@ -1,0 +1,47 @@
+// Seeded combinatorial ligand library (ISSUE 9).
+//
+// A screening library is a pure function of (seed, index): index enumerates
+// the combinatorial skeleton space (a benzene scaffold with one substituent
+// chain per ring position, chosen mixed-radix from a fixed alphabet), and the
+// seed drives the per-ligand geometry stream (chain tilt and wiggle, nitrogen
+// protonation) so two libraries with the same size but different seeds
+// explore different conformers of the same chemistry.  Any slice of a
+// library is therefore reproducible anywhere — a worker handed indices
+// [1000, 2000) regenerates exactly the ligands the coordinator meant —
+// and ligand IDs embed both coordinates so ranked hit lists are stable,
+// self-describing keys (lexicographic ID order == index order within one
+// library).
+//
+// Chemistry matches dock/ligand_gen: carbons are hydrophobic, nitrogens
+// donate, oxygens accept.  Those three atom types are exactly the probe set
+// of screen::ReceptorGrid, which is what makes the stage-1 grid filter exact
+// at grid nodes (DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dock/ligand.h"
+
+namespace qdb::screen {
+
+/// A library is fully described by these two numbers.
+struct LibrarySpec {
+  std::uint64_t seed = 1;   ///< geometry stream seed
+  std::uint64_t size = 256; ///< number of ligands (indices [0, size))
+};
+
+/// Distinct skeletons the mixed-radix enumeration covers before wrapping
+/// (substituent alphabet size ^ ring positions).
+std::uint64_t library_skeleton_count();
+
+/// Deterministic ligand ID: "LIB-<seed:016x>-<index:08u>".  Zero-padded so
+/// lexicographic order within a library equals index order — the stable
+/// tie-break key of the ranked hit list.
+std::string library_ligand_id(const LibrarySpec& spec, std::uint64_t index);
+
+/// Build ligand `index` of the library.  Pure function of (spec.seed, index);
+/// never touches global state.
+Ligand library_ligand(const LibrarySpec& spec, std::uint64_t index);
+
+}  // namespace qdb::screen

@@ -1,0 +1,5 @@
+// Fixture: screen (layer 4) reaching up into serve (layer 6) must be
+// rejected as a layer-violation — the funnel may never know about HTTP.
+#pragma once
+
+#include "serve/handler.h"

@@ -44,9 +44,10 @@ TEST(LayerMap, DeclaredModulesGetTheirLayersAndUnknownsGetMinusOne) {
   EXPECT_EQ(layer_of("quantum"), 2);
   EXPECT_EQ(layer_of("transpile"), 2);  // same layer as quantum (peer cycle)
   EXPECT_EQ(layer_of("vqe"), 3);
-  EXPECT_EQ(layer_of("store"), 4);
-  EXPECT_EQ(layer_of("serve"), 5);
-  EXPECT_EQ(layer_of("orchestrate"), 6);
+  EXPECT_EQ(layer_of("screen"), 4);
+  EXPECT_EQ(layer_of("store"), 5);
+  EXPECT_EQ(layer_of("serve"), 6);
+  EXPECT_EQ(layer_of("orchestrate"), 7);
   EXPECT_EQ(layer_of("gadgets"), -1);
   EXPECT_EQ(layer_of(""), -1);
 }
@@ -65,7 +66,7 @@ TEST(LayerMap, MapIsSortedByLayerThenName) {
 
 TEST(IncludeGraph, ParsesQuotedIncludesWithModulesAndLines) {
   const IncludeGraph g = build_include_graph(kFixtureRoot, {"src"});
-  EXPECT_EQ(g.files.size(), 6u);
+  EXPECT_EQ(g.files.size(), 7u);
   EXPECT_EQ(g.module_of.at("src/common/upward.h"), "common");
   EXPECT_EQ(g.module_of.at("src/serve/handler.cpp"), "serve");
   // upward.h has exactly ONE edge: the commented-out includes are skipped.
@@ -95,17 +96,20 @@ TEST(Architecture, FixtureProjectProducesEachDiagnosticAtItsExactLine) {
                                    "-> src/common/cycle_a.h"),
             std::string::npos);
 
+  // Two upward includes: common -> serve and screen -> serve. The second is
+  // the fixture for the screening funnel: screen (layer 4) must never see
+  // the HTTP layer.
   const auto upward = of_rule(diags, "layer-violation");
-  ASSERT_EQ(upward.size(), 1u);
-  EXPECT_EQ(upward[0].file, "src/common/upward.h");
-  EXPECT_EQ(upward[0].line, 4);
+  ASSERT_EQ(upward.size(), 2u);
+  EXPECT_TRUE(has_at(upward, "src/common/upward.h", 4, "layer-violation"));
+  EXPECT_TRUE(has_at(upward, "src/screen/filter.h", 5, "layer-violation"));
 
   const auto unknown = of_rule(diags, "unknown-module");
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0].file, "src/gadgets/widget.h");
   EXPECT_EQ(unknown[0].line, 1);
 
-  EXPECT_EQ(diags.size(), 3u);  // nothing else fires
+  EXPECT_EQ(diags.size(), 4u);  // nothing else fires
 }
 
 TEST(Architecture, DownwardAndSameLayerIncludesAreLegal) {
@@ -131,9 +135,9 @@ TEST(LockHygiene, FixtureProjectProducesEachDiagnosticAtItsExactLine) {
   EXPECT_TRUE(has_at(diags, f, 13, "cv-wait-no-predicate"));
   EXPECT_TRUE(has_at(diags, f, 14, "naked-lock"));         // .unlock()
   EXPECT_TRUE(has_at(diags, f, 15, "thread-detach"));
-  // 7 hygiene findings + 3 architecture findings, nothing more: the
+  // 7 hygiene findings + 4 architecture findings, nothing more: the
   // predicated wait, free-function wait() and try_lock() stay silent.
-  EXPECT_EQ(diags.size(), 10u);
+  EXPECT_EQ(diags.size(), 11u);
 }
 
 TEST(LockHygiene, WaitVariantsRequireTheirPredicateArity) {
@@ -195,8 +199,10 @@ TEST(GraphDot, RanksLayersAndPaintsUnknownModulesRed) {
   const std::string dot = graph_dot(build_include_graph(kFixtureRoot, {"src"}));
   EXPECT_NE(dot.find("digraph qdb_include_graph"), std::string::npos);
   EXPECT_NE(dot.find("{ rank=same; \"common\"; }  // layer 0"), std::string::npos);
-  EXPECT_NE(dot.find("{ rank=same; \"serve\"; }  // layer 5"), std::string::npos);
+  EXPECT_NE(dot.find("{ rank=same; \"screen\"; }  // layer 4"), std::string::npos);
+  EXPECT_NE(dot.find("{ rank=same; \"serve\"; }  // layer 6"), std::string::npos);
   EXPECT_NE(dot.find("\"common\" -> \"serve\";"), std::string::npos);
+  EXPECT_NE(dot.find("\"screen\" -> \"serve\";"), std::string::npos);
   EXPECT_NE(dot.find("\"serve\" -> \"common\";"), std::string::npos);
   EXPECT_NE(dot.find("\"gadgets\" [color=red"), std::string::npos);
 }

@@ -28,9 +28,10 @@ using qdb::scan::skip_ws;
 ///   1  obs          metrics/trace/log — everything above may instrument
 ///   2  geom quantum lattice optimize transpile structure   domain cores
 ///   3  vqe data dock baseline core    pipelines over the domain cores
-///   4  store        content-addressed artifact store over data records
-///   5  serve        HTTP service over the store
-///   6  orchestrate  distributed coordination over serve + store
+///   4  screen       virtual-screening funnel over dock (grids, libraries)
+///   5  store        content-addressed artifact store over data records
+///   6  serve        HTTP service over the store (mounts /screen on screen)
+///   7  orchestrate  distributed coordination over serve + store
 ///
 /// This deviates from the first sketch in ISSUE 8 (which put obs beside
 /// store and omitted structure/vqe): the lattice/quantum/dock layers log and
@@ -43,7 +44,8 @@ constexpr LayerEntry kLayers[] = {
     {"common", 0},   {"obs", 1},      {"geom", 2},      {"quantum", 2},
     {"lattice", 2},  {"optimize", 2}, {"transpile", 2}, {"structure", 2},
     {"vqe", 3},      {"data", 3},     {"dock", 3},      {"baseline", 3},
-    {"core", 3},     {"store", 4},    {"serve", 5},     {"orchestrate", 6},
+    {"core", 3},     {"screen", 4},   {"store", 5},     {"serve", 6},
+    {"orchestrate", 7},
 };
 
 /// Module of a path under the analysis root: "src/serve/server.cpp" ->
