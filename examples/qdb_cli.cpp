@@ -96,10 +96,14 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/json.h"
+#include "common/rng.h"
 #include "core/qdockbank.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "data/batch.h"
@@ -111,6 +115,7 @@
 #include "serve/client.h"
 #include "serve/screen_api.h"
 #include "serve/server.h"
+#include "serve/trace_api.h"
 #include "store/store.h"
 #include "structure/pdb.h"
 
@@ -473,6 +478,7 @@ int cmd_serve(int argc, char** argv) {
   serve::DatasetServer server(s, opt);
   serve::ScreenService screen_service(s);
   serve::attach_screen_api(server, screen_service);
+  serve::attach_trace_api(server, s);
   server.start();
   std::printf("qdb: serving %zu entries on http://%s:%u (%d workers, "
               "cache %zu)\n",
@@ -545,6 +551,7 @@ int cmd_coordinate(int argc, char** argv) {
 
   serve::DatasetServer server(results, serve_opt);
   orchestrate::attach_job_api(server, coordinator);
+  serve::attach_trace_api(server, results);
   server.start();
   std::printf("qdb: coordinating %zu jobs on http://%s:%u "
               "(ttl %llu ms, %d lease attempts, fingerprint %016llx)\n",
@@ -713,8 +720,24 @@ int main(int argc, char** argv) {
                  "| get <host> <port> <target>  [--trace out.json]\n");
     return 2;
   }
+  // Distributed-tracing identity (ISSUE 10).  The process root context
+  // derives from the command line — the same doctrine as every other seed in
+  // the repo — so a re-run of the identical command produces identical trace
+  // and span ids, and two processes in a coordinator/worker pair (different
+  // commands) get distinct trace ids.  QDB_FLIGHT_DUMP arms the flight
+  // recorder's crash dump: any contract violation writes the last ring of
+  // span/log records there before the exception propagates.
+  std::uint64_t ctx_seed = fnv1a("qdb_cli");
+  for (int i = 1; i < argc; ++i) ctx_seed = seed_combine(ctx_seed, fnv1a(argv[i]));
+  obs::set_process_root_context(obs::derive_root_context(ctx_seed));
+  if (const char* flight_path = std::getenv("QDB_FLIGHT_DUMP");
+      flight_path != nullptr && *flight_path != '\0') {
+    obs::arm_flight_crash_dump(flight_path);
+  }
   try {
     obs::TraceSession session;
+    session.set_process(static_cast<int>(::getpid()),
+                        argc >= 2 ? std::string("qdb ") + argv[1] : "qdb");
     if (!trace_path.empty()) session.start();
     const int rc = dispatch(argc, argv);
     if (!trace_path.empty()) write_trace_file(session, trace_path);

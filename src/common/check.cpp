@@ -98,9 +98,25 @@ std::string format_failure(const Site& site, const std::string& detail) {
   return msg;
 }
 
+namespace {
+std::atomic<FailureHook> g_failure_hook{nullptr};
+}  // namespace
+
+void set_failure_hook(FailureHook hook) {
+  g_failure_hook.store(hook, std::memory_order_release);
+}
+
 void fail(Site& site, const std::string& detail) {
   site.violations.fetch_add(1, std::memory_order_relaxed);
   const std::string msg = format_failure(site, detail);
+  if (FailureHook hook = g_failure_hook.load(std::memory_order_acquire)) {
+    try {
+      hook(msg);
+    } catch (...) {
+      // The hook is best-effort post-mortem capture; the contract
+      // exception below is the authoritative signal.
+    }
+  }
   if (site.kind == Kind::Require) throw PreconditionError(msg);
   throw ContractViolation(msg);
 }

@@ -115,6 +115,16 @@ void reset_violations();
 ///   "<KIND> failed at <file>:<line>: (<expr>) — <detail>"
 std::string format_failure(const Site& site, const std::string& detail);
 
+/// Optional process-wide failure hook, invoked from fail() with the
+/// formatted message *before* the exception is thrown.  Lets higher layers
+/// capture post-mortem state at the moment a contract breaks (the obs
+/// flight recorder arms this to dump its ring — see
+/// obs::arm_flight_crash_dump) without common/ depending on them.  The hook
+/// must not throw; anything it does throw is swallowed so the contract
+/// exception always propagates.  Pass nullptr to clear.
+using FailureHook = void (*)(const std::string& message);
+void set_failure_hook(FailureHook hook);
+
 /// Count the violation against `site` and throw the kind-appropriate
 /// exception (PreconditionError for Require, ContractViolation otherwise).
 [[noreturn]] void fail(Site& site, const std::string& detail);

@@ -1,0 +1,64 @@
+// Always-on flight recorder (ISSUE 10): a fixed-size lock-free ring of the
+// most recent span-end and log records in this process.
+//
+// Trace sessions are opt-in and bounded; the flight recorder is neither —
+// every Span destructor and every emitted log line stamps one slot,
+// whether or not a session is active, so post-mortem state exists for runs
+// nobody thought to trace.  Two consumers:
+//
+//   GET /debug/flight          — serve/trace_api.cpp dumps the ring as JSON
+//   arm_flight_crash_dump()    — hooks common/check.h's failure path so a
+//                                contract violation writes the ring (plus
+//                                the failure message) to a file before the
+//                                exception propagates
+//
+// Concurrency: per-slot seqlock over all-atomic words (Boehm's recipe), so
+// writers never block, readers never block writers, and TSan sees no race.
+// A writer lapped mid-write by a ring wrap can — very rarely — leave one
+// record whose fields mix two events; the snapshot is still schema-valid
+// (lengths are clamped, every field is a plain integer), and a diagnostics
+// ring trades that tolerance for a hot path of a few relaxed stores.
+//
+// Record names are truncated to kFlightNameBytes (48) characters: span
+// names are compile-time literals well under that, and log event names
+// follow the same dotted-lowercase convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace qdb::obs {
+
+inline constexpr std::size_t kFlightCapacity = 256;
+inline constexpr std::size_t kFlightNameBytes = 48;
+
+/// Record a span end.  Called from every Span destructor; ids are zero when
+/// the span carried no trace context.
+void flight_record_span(std::string_view name, std::uint64_t dur_us,
+                        std::uint64_t trace_hi, std::uint64_t trace_lo,
+                        std::uint64_t span_id, std::uint64_t parent_id);
+
+/// Record an emitted log line (the event name, not the payload).
+void flight_record_log(std::string_view event, std::uint64_t trace_hi,
+                       std::uint64_t trace_lo, std::uint64_t span_id);
+
+/// Snapshot the ring as JSON, oldest first, at most `max_records` (clamped
+/// to kFlightCapacity; 0 means everything).  Schema (byte-stable key set):
+///   {"capacity": N, "recorded": total_ever, "records": [
+///      {"seq", "kind": "span"|"log", "name", "ts_us", "dur_us",
+///       "trace": 32-hex, "span": 16-hex, "parent": 16-hex}, ...]}
+/// "trace"/"span"/"parent" appear only when the record carried a context
+/// (span nonzero; parent additionally requires a non-root parent), matching
+/// the Chrome-export convention.
+Json flight_snapshot_json(std::size_t max_records);
+
+/// Arm the common/check.h failure hook: on the next contract violation the
+/// ring (plus the failure message under "failure") is written to `path`
+/// via write_file_atomic.  Re-arming replaces the path; disarm with
+/// qdb::check::set_failure_hook(nullptr).
+void arm_flight_crash_dump(const std::string& path);
+
+}  // namespace qdb::obs

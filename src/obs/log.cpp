@@ -8,7 +8,9 @@
 #include "common/annotations.h"
 #include "common/strings.h"
 #include "common/sync.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb::obs {
 
@@ -144,10 +146,22 @@ LogEvent::LogEvent(LogLevel level, std::string_view event)
   line_ += level_name(level);
   line_ += " event=";
   line_ += log_escape_value(event);
+  event_.assign(event);
+  const TraceContext ctx = current_trace_context();
+  if (ctx.valid()) {
+    trace_hi_ = ctx.trace_hi;
+    trace_lo_ = ctx.trace_lo;
+    span_id_ = ctx.span_id;
+    line_ += " trace=";
+    line_ += trace_id_hex(ctx);
+  }
 }
 
 LogEvent::~LogEvent() {
-  if (enabled_) emit(line_);
+  if (enabled_) {
+    flight_record_log(event_, trace_hi_, trace_lo_, span_id_);
+    emit(line_);
+  }
 }
 
 LogEvent& LogEvent::kv(std::string_view key, std::string_view value) {

@@ -12,6 +12,12 @@
 // machine-parseable.  The event name comes first after the fixed fields; keys
 // keep insertion order.
 //
+// Distributed-trace join (ISSUE 10): when the emitting thread has a trace
+// context installed (a server request handler, a worker job), the line
+// carries `trace=<32 hex chars>` right after `event=`, so log lines and
+// trace spans join on the trace id.  Every emitted record also lands in the
+// obs flight-recorder ring (the event name plus ids, not the payload).
+//
 // Levels follow the QDB_LOG environment variable (off|warn|info|debug,
 // default warn), read once on first use; tests override programmatically via
 // set_log_level().  Emitting a record also bumps the registry counter
@@ -103,6 +109,10 @@ class LogEvent {
  private:
   bool enabled_;
   std::string line_;
+  std::string event_;  ///< name only, for the flight-recorder record
+  std::uint64_t trace_hi_ = 0;
+  std::uint64_t trace_lo_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 inline LogEvent log_warn(std::string_view event) {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/check.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace qdb::obs {
@@ -41,7 +44,131 @@ std::uint64_t micros_between(std::chrono::steady_clock::time_point from,
   return us < 0 ? 0 : static_cast<std::uint64_t>(us);
 }
 
+/// One level of the per-thread context stack: the context spans at this
+/// level parent under, the branch salt mixed into their ids, and the
+/// running sibling index.
+struct TraceFrame {
+  TraceContext ctx;
+  std::uint64_t branch = 0;
+  std::uint64_t children = 0;
+};
+
+std::vector<TraceFrame>& tl_frames() {
+  thread_local std::vector<TraceFrame> frames;
+  return frames;
+}
+
+/// Process-wide default root (set_process_root_context).  Written once
+/// before worker threads spawn; relaxed loads are sufficient because the
+/// two words are only ever written together, once.
+std::atomic<std::uint64_t> g_root_hi{0};
+std::atomic<std::uint64_t> g_root_lo{0};
+
+/// Registration-order thread discriminator: the branch salt of each
+/// thread's implicit base frame, so two threads' spans under the shared
+/// process root can never derive colliding sibling ids.
+std::atomic<std::uint64_t> g_thread_seq{0};
+
+std::uint64_t tl_thread_branch() {
+  thread_local const std::uint64_t branch =
+      g_thread_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  return branch;
+}
+
+bool parse_hex_u64(std::string_view s, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    std::uint64_t d = 0;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;  // uppercase deliberately rejected: W3C mandates lowercase
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
+
+TraceContext derive_root_context(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  TraceContext ctx;
+  ctx.trace_hi = splitmix64(state);
+  ctx.trace_lo = splitmix64(state);
+  if ((ctx.trace_hi | ctx.trace_lo) == 0) ctx.trace_lo = 1;
+  ctx.span_id = 0;
+  return ctx;
+}
+
+std::uint64_t derive_span_id(const TraceContext& parent, std::string_view name,
+                             std::uint64_t branch, std::uint64_t sibling) {
+  std::uint64_t id = seed_combine(parent.span_id ^ parent.trace_lo, fnv1a(name));
+  id = seed_combine(id, branch);
+  id = seed_combine(id, sibling);
+  return id == 0 ? 1 : id;
+}
+
+std::string span_id_hex(std::uint64_t id) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
+std::string trace_id_hex(const TraceContext& ctx) {
+  return span_id_hex(ctx.trace_hi) + span_id_hex(ctx.trace_lo);
+}
+
+std::string format_traceparent(const TraceContext& ctx) {
+  QDB_REQUIRE(ctx.valid() && ctx.span_id != 0,
+              "traceparent needs a valid context with a nonzero span id");
+  return "00-" + trace_id_hex(ctx) + "-" + span_id_hex(ctx.span_id) + "-01";
+}
+
+bool parse_traceparent(std::string_view text, TraceContext* out) {
+  if (text.size() != 55) return false;
+  if (text[0] != '0' || text[1] != '0') return false;
+  if (text[2] != '-' || text[35] != '-' || text[52] != '-') return false;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t span = 0;
+  std::uint64_t flags = 0;
+  if (!parse_hex_u64(text.substr(3, 16), &hi)) return false;
+  if (!parse_hex_u64(text.substr(19, 16), &lo)) return false;
+  if (!parse_hex_u64(text.substr(36, 16), &span)) return false;
+  if (!parse_hex_u64(text.substr(53, 2), &flags)) return false;
+  if ((hi | lo) == 0 || span == 0) return false;
+  out->trace_hi = hi;
+  out->trace_lo = lo;
+  out->span_id = span;
+  return true;
+}
+
+TraceContext current_trace_context() {
+  const auto& frames = tl_frames();
+  return frames.empty() ? TraceContext{} : frames.back().ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx, std::uint64_t branch)
+    : pushed_(ctx.valid()) {
+  if (pushed_) tl_frames().push_back(TraceFrame{ctx, branch, 0});
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (pushed_) tl_frames().pop_back();
+}
+
+void set_process_root_context(const TraceContext& ctx) {
+  g_root_hi.store(ctx.trace_hi, std::memory_order_relaxed);
+  g_root_lo.store(ctx.trace_lo, std::memory_order_relaxed);
+}
 
 TraceSession::~TraceSession() { stop(); }
 
@@ -159,8 +286,13 @@ Json TraceSession::to_chrome_json() const {
     ev.set("ph", "X");
     ev.set("ts", static_cast<std::int64_t>(e.ts_us));
     ev.set("dur", static_cast<std::int64_t>(e.dur_us));
-    ev.set("pid", 1);
+    ev.set("pid", pid_);
     ev.set("tid", e.tid);
+    if (e.span_id != 0) {
+      ev.set("trace", trace_id_hex(TraceContext{e.trace_hi, e.trace_lo, 0}));
+      ev.set("span", span_id_hex(e.span_id));
+      if (e.parent_id != 0) ev.set("parent", span_id_hex(e.parent_id));
+    }
     if (!e.args.empty()) {
       Json args = Json::object();
       for (const auto& [key, value] : e.args) args.set(key, value);
@@ -171,7 +303,18 @@ Json TraceSession::to_chrome_json() const {
   Json doc = Json::object();
   doc.set("traceEvents", std::move(events));
   doc.set("displayTimeUnit", "ms");
+  if (!process_name_.empty()) {
+    Json proc = Json::object();
+    proc.set("pid", pid_);
+    proc.set("name", process_name_);
+    doc.set("process", std::move(proc));
+  }
   return doc;
+}
+
+void TraceSession::set_process(int pid, std::string name) {
+  pid_ = pid;
+  process_name_ = std::move(name);
 }
 
 Json TraceSession::summary_json() const {
@@ -210,12 +353,36 @@ Span::Span(const char* name)
     buffer_ = tl.buffer;
   }
   depth_ = tl_depth()++;
+
+  auto& frames = tl_frames();
+  if (frames.empty()) {
+    const std::uint64_t hi = g_root_hi.load(std::memory_order_relaxed);
+    const std::uint64_t lo = g_root_lo.load(std::memory_order_relaxed);
+    if ((hi | lo) != 0) {
+      // Persistent per-thread base frame under the process root.  Never
+      // popped: its sibling counter must survive across top-level spans on
+      // this thread, and its branch salt keeps ids distinct across threads.
+      frames.push_back(TraceFrame{TraceContext{hi, lo, 0}, tl_thread_branch(), 0});
+    }
+  }
+  if (!frames.empty()) {
+    TraceFrame& parent = frames.back();
+    trace_hi_ = parent.ctx.trace_hi;
+    trace_lo_ = parent.ctx.trace_lo;
+    parent_id_ = parent.ctx.span_id;
+    span_id_ = derive_span_id(parent.ctx, name_, parent.branch, parent.children++);
+    frames.push_back(TraceFrame{TraceContext{trace_hi_, trace_lo_, span_id_}, 0, 0});
+  }
 }
 
 Span::~Span() {
   const auto end = std::chrono::steady_clock::now();
   const std::uint64_t dur_us = micros_between(start_, end);
   --tl_depth();
+  if (span_id_ != 0) tl_frames().pop_back();
+  // The flight recorder sees every span end, session or not — that is the
+  // whole point of an always-on ring.
+  flight_record_span(name_, dur_us, trace_hi_, trace_lo_, span_id_, parent_id_);
   // Always mirrored into the registry so span totals are observable (and
   // cross-checkable against a session's events) through /metrics.
   MetricRegistry::global().histogram(std::string("span.") + name_).record(dur_us);
@@ -226,6 +393,10 @@ Span::~Span() {
     ev.dur_us = dur_us;
     ev.tid = buffer_->tid;
     ev.depth = depth_;
+    ev.trace_hi = trace_hi_;
+    ev.trace_lo = trace_lo_;
+    ev.span_id = span_id_;
+    ev.parent_id = parent_id_;
     ev.args = std::move(args_);
     buffer_->events.push_back(std::move(ev));
   }

@@ -27,6 +27,18 @@
 //   summary()/summary_table() — per-span-name count / total / self time
 //                       (self = total minus direct children), the table
 //                       benches print
+//
+// Distributed tracing (ISSUE 10): every span additionally carries a 128-bit
+// trace id and a 64-bit span id, derived deterministically from the seeded
+// rng primitives (splitmix64 / fnv1a / seed_combine) so that under fixed
+// seeds the same command line produces the same ids run after run.  A
+// process installs one root context (set_process_root_context, or a scoped
+// ScopedTraceContext for a remote parent), and each span derives its id
+// from (parent span id, span name, branch salt, sibling index).  The
+// context crosses processes as a W3C `traceparent` header — injected by
+// serve::HttpClient, extracted by serve::DatasetServer, and threaded
+// through the orchestrate lease grant — so tools/qdb_trace_merge can join
+// per-process dumps into one trace with resolvable cross-process parents.
 #pragma once
 
 #include <chrono>
@@ -43,6 +55,82 @@
 
 namespace qdb::obs {
 
+/// The W3C header name that carries a trace context between processes.
+/// Every layer outside src/obs/ must use this constant (and the parse /
+/// format helpers below) instead of spelling the literal — enforced by the
+/// qdb_lint raw-traceparent rule.
+inline constexpr std::string_view kTraceparentHeader = "traceparent";
+
+/// A position in a distributed trace: which trace (128 bits) and which
+/// span within it (64 bits).  span_id == 0 with a nonzero trace id is a
+/// *root* context — it names a trace but no span, so spans created under
+/// it become roots (parent id 0) rather than dangling references.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo &&
+           a.span_id == b.span_id;
+  }
+};
+
+/// Derive a root context (span_id 0) from a seed.  Deterministic: the same
+/// seed always yields the same trace id; the all-zero trace id is forced to
+/// a nonzero value so the result is always valid().
+TraceContext derive_root_context(std::uint64_t seed);
+
+/// Derive a child span id from its parent context, the span name, a branch
+/// salt (disambiguates independent installations of the same remote
+/// context — e.g. two server requests carrying one lease context), and the
+/// sibling index within the parent.  Never returns 0.
+std::uint64_t derive_span_id(const TraceContext& parent, std::string_view name,
+                             std::uint64_t branch, std::uint64_t sibling);
+
+/// Format as a W3C traceparent value: "00-<32 hex trace>-<16 hex span>-01".
+/// Requires a valid context with a nonzero span id (W3C forbids an all-zero
+/// parent id).
+std::string format_traceparent(const TraceContext& ctx);
+
+/// Strict W3C parse: exactly 55 chars, version "00", lowercase hex only,
+/// rejects all-zero trace or span ids.  Returns false (and leaves *out
+/// untouched) on any deviation.
+bool parse_traceparent(std::string_view text, TraceContext* out);
+
+/// 32 lowercase hex chars for the 128-bit trace id.
+std::string trace_id_hex(const TraceContext& ctx);
+
+/// 16 lowercase hex chars for a 64-bit span id.
+std::string span_id_hex(std::uint64_t id);
+
+/// The context of the innermost span (or installed scope) on this thread.
+/// Invalid (all-zero) when no context has been installed.
+TraceContext current_trace_context();
+
+/// Install `ctx` as the parent for spans opened in this scope on this
+/// thread.  Invalid contexts install nothing (spans fall through to the
+/// enclosing scope).  `branch` is the salt mixed into child span ids; pass
+/// a per-installation discriminator (e.g. a request sequence number) when
+/// the same remote context can be installed more than once in a process.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx, std::uint64_t branch = 0);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  bool pushed_;
+};
+
+/// Install a process-wide default root context: any thread whose context
+/// stack is empty parents its spans under this root (each thread gets a
+/// distinct branch salt so sibling ids never collide across threads).
+/// Called once per process by qdb_cli, before worker threads spawn.
+void set_process_root_context(const TraceContext& ctx);
+
 /// One completed span occurrence.
 struct TraceEvent {
   std::string name;
@@ -50,6 +138,10 @@ struct TraceEvent {
   std::uint64_t dur_us = 0;  ///< wall duration, microseconds
   int tid = 0;               ///< small sequential id (registration order)
   int depth = 0;             ///< nesting depth at start (0 = top level)
+  std::uint64_t trace_hi = 0;   ///< 128-bit trace id (0 when no context)
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;    ///< this span's id (0 when no context)
+  std::uint64_t parent_id = 0;  ///< parent span id (0 = trace root)
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -91,9 +183,16 @@ class TraceSession {
   /// Chrome trace_event JSON document:
   ///   {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
   ///                     "tid", "args"}, ...], "displayTimeUnit": "ms"}
+  /// Events that carried a trace context additionally get "trace" (32 hex
+  /// chars), "span" and — when non-root — "parent" (16 hex chars each).
   /// Built through qdb::Json, so all strings are escaped correctly
   /// (control characters, quotes; UTF-8 passes through byte-exact).
   Json to_chrome_json() const;
+
+  /// Label this process's dump: `pid` becomes the "pid" of every exported
+  /// event (default 1), and a nonempty `name` adds a top-level "process"
+  /// object — what qdb_trace_merge uses to label pid lanes.
+  void set_process(int pid, std::string name);
 
   /// summary() rendered with common/table.h (count, total ms, self ms).
   std::string summary_table() const;
@@ -126,6 +225,8 @@ class TraceSession {
   std::vector<TraceEvent> drained_;
   bool started_ = false;
   bool stopped_ = false;
+  int pid_ = 1;
+  std::string process_name_;
 };
 
 /// RAII timed region.  `name` must outlive the span (string literals).
@@ -146,12 +247,21 @@ class Span {
   /// VqeResult::sim_wall_time_s, replacing the old common/timer.h usage).
   double seconds() const;
 
+  /// This span's position in the distributed trace — what gets formatted
+  /// into an outgoing traceparent.  Invalid when no context was installed
+  /// at construction.
+  TraceContext context() const { return TraceContext{trace_hi_, trace_lo_, span_id_}; }
+
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
   TraceSession* session_;               // nullptr when inactive at start
   TraceSession::ThreadBuffer* buffer_;  // valid iff session_ != nullptr
   int depth_;
+  std::uint64_t trace_hi_ = 0;
+  std::uint64_t trace_lo_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

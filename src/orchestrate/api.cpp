@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "data/checkpoint.h"
+#include "obs/trace.h"
 
 namespace qdb::orchestrate {
 
@@ -60,6 +61,11 @@ Json lease_grant_json(const LeaseGrant& grant) {
       doc.set("lease_token", static_cast<std::int64_t>(grant.lease_token));
       doc.set("attempt", grant.attempt);
       doc.set("deadline_ms", static_cast<std::int64_t>(grant.deadline_ms));
+      // ISSUE 10: the lease span's context rides the grant so remote job
+      // spans can parent to it.  Keyed by the canonical header name.
+      if (!grant.traceparent.empty()) {
+        doc.set(std::string(obs::kTraceparentHeader), grant.traceparent);
+      }
       break;
     case LeaseGrant::State::Wait:
       doc.set("retry_after_ms", static_cast<std::int64_t>(grant.retry_after_ms));
@@ -82,6 +88,9 @@ LeaseGrant lease_grant_from_json(const Json& doc) {
       grant.lease_token = static_cast<std::uint64_t>(doc.at("lease_token").as_int());
       grant.attempt = static_cast<int>(doc.at("attempt").as_int());
       grant.deadline_ms = static_cast<std::uint64_t>(doc.at("deadline_ms").as_int());
+      if (doc.contains(obs::kTraceparentHeader)) {
+        grant.traceparent = doc.at(obs::kTraceparentHeader).as_string();
+      }
       break;
     case LeaseGrant::State::Wait:
       grant.retry_after_ms =

@@ -8,6 +8,7 @@
 #include "data/checkpoint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb::orchestrate {
 
@@ -353,11 +354,24 @@ LeaseGrant Coordinator::grant_locked(const std::string& worker_id,
 }
 
 LeaseGrant Coordinator::lease(const std::string& worker_id) {
+  // The lease span is the cross-process anchor (ISSUE 10): its context
+  // rides back to the worker inside the grant, so every remote job span
+  // parents here.  Opened before the lock so its id derivation sits on the
+  // caller's context (the serving request span, typically).
+  obs::Span span("orchestrate.lease");
   const MutexLock lock(mu_);
   const std::uint64_t now = clock_->now_ms();
   sweep_expired_locked(now);
   LeaseGrant grant = grant_locked(worker_id, now);
-  if (grant.state == LeaseGrant::State::Granted) journal_locked();
+  if (grant.state == LeaseGrant::State::Granted) {
+    span.set_attr("pdb_id", grant.pdb_id);
+    span.set_attr("worker", worker_id);
+    const obs::TraceContext ctx = span.context();
+    if (ctx.valid() && ctx.span_id != 0) {
+      grant.traceparent = obs::format_traceparent(ctx);
+    }
+    journal_locked();
+  }
   return grant;
 }
 

@@ -101,6 +101,10 @@ struct LeaseGrant {
   std::uint64_t lease_ttl_ms = 0;
   std::uint64_t options_fingerprint = 0;
   std::uint64_t retry_after_ms = 0;  ///< polling hint when Wait
+  /// W3C traceparent of the coordinator's orchestrate.lease span, set when
+  /// Granted and the coordinator has a trace context (ISSUE 10).  Workers
+  /// install it so their job spans parent to the lease that scheduled them.
+  std::string traceparent;
 };
 
 struct HeartbeatResult {

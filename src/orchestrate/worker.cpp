@@ -67,9 +67,10 @@ serve::HttpClientResponse post_with_retry(serve::HttpClient& client,
 class HeartbeatPump {
  public:
   HeartbeatPump(const WorkerOptions& opts, std::string pdb_id,
-                std::uint64_t token, std::uint64_t interval_ms)
+                std::uint64_t token, std::uint64_t interval_ms,
+                obs::TraceContext lease_ctx)
       : opts_(opts), pdb_id_(std::move(pdb_id)), token_(token),
-        interval_ms_(interval_ms) {
+        interval_ms_(interval_ms), lease_ctx_(lease_ctx) {
     thread_ = std::thread([this] { run(); });
   }
 
@@ -87,6 +88,11 @@ class HeartbeatPump {
 
  private:
   void run() {
+    // Heartbeats belong to the lease's trace: the context rides along so
+    // the server-side handler spans (and this thread's log lines) join it.
+    const obs::ScopedTraceContext trace_scope(lease_ctx_);
+    static obs::Counter& hb_sent = obs::counter("orchestrate.heartbeat.sent");
+    static obs::Counter& hb_failed = obs::counter("orchestrate.heartbeat.failed");
     serve::HttpClient client(opts_.host, opts_.port);
     Json body = Json::object();
     body.set("worker", opts_.worker_id);
@@ -102,11 +108,17 @@ class HeartbeatPump {
         if (stopped_) return;
       }
       try {
+        obs::Span span("orchestrate.heartbeat");
         const serve::HttpClientResponse resp =
             client.post("/jobs/" + pdb_id_ + "/heartbeat", payload);
-        if (resp.status != 200) return;  // lease gone; completion will say so
+        if (resp.status != 200) {
+          hb_failed.add();
+          return;  // lease gone; completion will say so
+        }
+        hb_sent.add();
         obs::counter("orchestrate.worker.heartbeats_sent").add();
       } catch (const IoError&) {
+        hb_failed.add();
         return;  // coordinator unreachable; the main loop handles it
       }
     }
@@ -116,6 +128,7 @@ class HeartbeatPump {
   std::string pdb_id_;
   std::uint64_t token_ = 0;
   std::uint64_t interval_ms_ = 0;
+  obs::TraceContext lease_ctx_;
   Mutex mu_;
   CondVar cv_;
   bool stopped_ QDB_GUARDED_BY(mu_) = false;
@@ -128,6 +141,11 @@ WorkerStats run_worker(const WorkerOptions& options) {
   Clock& clock = options.clock != nullptr ? *options.clock : steady_clock();
   serve::HttpClient client(options.host, options.port);
   WorkerStats stats;
+
+  // Eager registration: heartbeat health must be scrapeable from /metrics
+  // even before the first heartbeat fires (or when heartbeats are off).
+  obs::counter("orchestrate.heartbeat.sent");
+  obs::counter("orchestrate.heartbeat.failed");
 
   const std::uint64_t fingerprint = batch_options_fingerprint(options.batch);
 
@@ -144,6 +162,13 @@ WorkerStats run_worker(const WorkerOptions& options) {
     try {
       const serve::HttpClientResponse resp =
           post_with_retry(client, options, clock, "/jobs/lease", lease_payload);
+      if (resp.status == 503) {
+        // stop() delivers complete 503 responses to in-flight requests
+        // rather than resetting them (and the client's stale-connection
+        // retry can reconnect straight into one): a shutting-down control
+        // plane is the same terminal condition as an unreachable one.
+        throw IoError("coordinator shutting down: HTTP 503");
+      }
       if (resp.status != 200) {
         throw Error("lease rejected: HTTP " + std::to_string(resp.status) +
                     " " + resp.body);
@@ -169,6 +194,20 @@ WorkerStats run_worker(const WorkerOptions& options) {
       throw Error("worker batch options disagree with the coordinator "
                   "(fingerprint mismatch) — results would not be "
                   "byte-identical; refusing to work");
+    }
+
+    // The coordinator's lease span context (ISSUE 10): everything this
+    // lease causes — the job span, heartbeats, the completion POST — runs
+    // under it, so the merged multi-process trace parents the worker's
+    // spans to the coordinator's lease.  A grant without a (parseable)
+    // traceparent leaves the context invalid, and the scopes below install
+    // nothing — spans then fall back to the worker's own root.
+    obs::TraceContext lease_ctx;
+    if (!grant.traceparent.empty() &&
+        !obs::parse_traceparent(grant.traceparent, &lease_ctx)) {
+      obs::log_warn("orchestrate.worker.bad_traceparent")
+          .kv("worker", options.worker_id)
+          .kv("value", grant.traceparent);
     }
 
     // One fault stream per (job, lease attempt): deterministic in the
@@ -197,11 +236,13 @@ WorkerStats run_worker(const WorkerOptions& options) {
     std::unique_ptr<HeartbeatPump> pump;
     if (options.heartbeats) {
       pump = std::make_unique<HeartbeatPump>(options, grant.pdb_id,
-                                             grant.lease_token, hb_interval);
+                                             grant.lease_token, hb_interval,
+                                             lease_ctx);
     }
 
     BatchJobRecord record;
     try {
+      const obs::ScopedTraceContext trace_scope(lease_ctx);
       obs::Span span("orchestrate.job");
       span.set_attr("pdb_id", grant.pdb_id);
       span.set_attr("worker", options.worker_id);
@@ -235,11 +276,21 @@ WorkerStats run_worker(const WorkerOptions& options) {
     const std::string complete_target = "/jobs/" + grant.pdb_id + "/complete";
 
     bool acked = false;
+    // The completion exchange stays inside the lease's trace too, so the
+    // coordinator's /jobs/{id}/complete handler span parents to the lease.
+    const obs::ScopedTraceContext complete_scope(lease_ctx);
     for (int attempt = 1; attempt <= options.max_request_attempts; ++attempt) {
       try {
         const serve::HttpClientResponse resp =
             post_with_retry(client, options, clock, complete_target,
                             complete_payload);
+        if (resp.status == 503) {
+          // Same doctrine as the lease path: the shutdown 503 is transport
+          // loss, not a protocol rejection.  The IoError handler below
+          // backs off and retries; if the coordinator stays down the
+          // completion is abandoned (the first POST committed it anyway).
+          throw IoError("coordinator shutting down: HTTP 503");
+        }
         if (resp.status != 200) {
           throw Error("completion rejected: HTTP " +
                       std::to_string(resp.status) + " " + resp.body);

@@ -3,11 +3,18 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb::serve {
 
 HttpClient::HttpClient(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+    : host_(std::move(host)), port_(port) {
+  // Eager registration: the retry counter must be scrapeable from /metrics
+  // as soon as any client exists, not only after the first stale-connection
+  // retry actually fires.
+  obs::counter("serve.client.retry");
+}
 
 void HttpClient::close() {
   sock_.close();
@@ -44,6 +51,8 @@ HttpClientResponse HttpClient::request(
     // A stale keep-alive connection the server has since closed: reconnect
     // once and retry.  GETs are idempotent outright; the POSTing job
     // endpoints are idempotent at the application layer (see post()).
+    static obs::Counter& retries = obs::counter("serve.client.retry");
+    retries.add();
     close();
     return request_once(method, target, body, extra_headers);
   }
@@ -63,6 +72,22 @@ HttpClientResponse HttpClient::request_once(
   }
   for (const auto& [name, value] : extra_headers) {
     request += name + ": " + value + "\r\n";
+  }
+  // Distributed-trace propagation (ISSUE 10): when the calling thread is
+  // inside a span, hand its context to the server.  A bare root context
+  // (span id 0) is deliberately NOT injected — W3C forbids a zero parent
+  // id, and the receiving server synthesising its own root is exactly the
+  // right fallback.  An explicit caller-provided header wins.
+  const obs::TraceContext ctx = obs::current_trace_context();
+  if (ctx.valid() && ctx.span_id != 0) {
+    bool caller_provided = false;
+    for (const auto& [name, value] : extra_headers) {
+      caller_provided = caller_provided || name == obs::kTraceparentHeader;
+    }
+    if (!caller_provided) {
+      request += std::string(obs::kTraceparentHeader) + ": " +
+                 obs::format_traceparent(ctx) + "\r\n";
+    }
   }
   request += "\r\n";
   request += body;

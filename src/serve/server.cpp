@@ -7,8 +7,11 @@
 
 #include "common/check.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qdb::serve {
 
@@ -354,11 +357,34 @@ void DatasetServer::serve_connection(Socket conn) {
         response = error_response(503, "server is shutting down");
         keep_alive = false;
       } else {
+        // Distributed-trace extraction (ISSUE 10): adopt the client's
+        // context when a valid traceparent header arrived, otherwise
+        // synthesise a per-request root so the request is traceable either
+        // way.  The per-request sequence number salts both paths (branch
+        // for adopted contexts, root seed for synthesised ones).
+        const std::uint64_t seq =
+            trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        obs::TraceContext rctx;
+        const std::string* tp = request.header(obs::kTraceparentHeader);
+        if (tp != nullptr && !obs::parse_traceparent(*tp, &rctx)) {
+          // The hostile-input log line: the value is attacker-controlled,
+          // so it goes through the escaping kv() path, never raw.
+          obs::log_debug("serve.request.bad_traceparent").kv("value", *tp);
+        }
+        if (!rctx.valid()) {
+          rctx = obs::derive_root_context(seed_combine(options_.trace_seed, seq));
+        }
         const auto t0 = std::chrono::steady_clock::now();
-        try {
-          response = handle(request, body);
-        } catch (const std::exception& e) {
-          response = error_response(500, e.what());
+        {
+          const obs::ScopedTraceContext trace_scope(rctx, seq);
+          obs::Span request_span("serve.request");
+          request_span.set_attr("method", request.method);
+          request_span.set_attr("path", request.path);
+          try {
+            response = handle(request, body);
+          } catch (const std::exception& e) {
+            response = error_response(500, e.what());
+          }
         }
         micros = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(

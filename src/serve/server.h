@@ -66,6 +66,11 @@ struct ServeOptions {
   std::size_t max_header_bytes = 64 * 1024;  ///< request head cap (431 above)
   std::size_t max_body_bytes = 256 * 1024;   ///< request body cap (413 above)
   std::size_t max_queued_connections = 256;  ///< accept backpressure bound
+  /// Seed for the trace roots synthesised for requests that arrive without
+  /// a (valid) traceparent header — mixed with a per-request sequence
+  /// number, so every un-traced request still roots its own reproducible
+  /// trace (ISSUE 10).
+  std::uint64_t trace_seed = 0x71db5e71db5e71dbULL;
 };
 
 /// A mounted sub-API handler (ISSUE 7): receives the parsed request plus the
@@ -151,6 +156,12 @@ class DatasetServer {
   // In-flight connection fds, so stop() can unblock blocked reads.
   Mutex active_mu_;
   std::unordered_set<int> active_fds_ QDB_GUARDED_BY(active_mu_);
+
+  // Per-request sequence: the branch salt for extracted trace contexts
+  // (two requests carrying the same remote context must not derive
+  // colliding child span ids) and the root-seed discriminator for
+  // synthesised ones.
+  std::atomic<std::uint64_t> trace_seq_{0};
 };
 
 }  // namespace qdb::serve

@@ -1,0 +1,9 @@
+// Planted raw-traceparent violations (2): the quoted W3C header literal in
+// library code.  The rule scans raw text (the stripper would remove string
+// literals), so the code spelling and the quoted spelling in the comment
+// below both fire.
+#include <string>
+
+std::string context_header() { return "traceparent"; }
+
+// Even prose quoting the "traceparent" name belongs in src/obs/trace.h.

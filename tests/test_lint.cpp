@@ -181,6 +181,22 @@ TEST(Rules, SleepOnlyFiresInLibraryOutsideCommon) {
   EXPECT_TRUE(of_rule(lint_source("src/a.cpp", ok), "sleep-in-library").empty());
 }
 
+TEST(Rules, RawTraceparentScansRawTextInLibraryOnly) {
+  const std::string bad =
+      "const char* h = \"traceparent\";\n"
+      "// the \"traceparent\" header, quoted in prose\n";
+  // Both fire: the rule scans raw text because the banned spelling is a
+  // string literal (which the stripper removes) — and a quoted spelling in
+  // a comment is still a copy of the name that can drift.
+  EXPECT_EQ(of_rule(lint_source("src/serve/x.cpp", bad), "raw-traceparent").size(), 2u);
+  EXPECT_TRUE(of_rule(lint_source("tests/x.cpp", bad), "raw-traceparent").empty());
+  EXPECT_TRUE(of_rule(lint_source("tools/x.cpp", bad), "raw-traceparent").empty());
+  const std::string ok =
+      "std::string h() { return std::string(obs::kTraceparentHeader); }\n"
+      "// traceparent without quotes is prose, not a header spelling\n";
+  EXPECT_TRUE(of_rule(lint_source("src/serve/x.cpp", ok), "raw-traceparent").empty());
+}
+
 TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
   const std::filesystem::path root =
       std::filesystem::path(QDB_SOURCE_DIR) / "tests" / "lint_fixtures" / "proj";
@@ -197,7 +213,8 @@ TEST(Fixtures, TreeScanFindsEveryPlantedViolationAndNothingElse) {
   EXPECT_EQ(of_rule(diags, "raw-socket").size(), 3u);  // src/raw_socket.cpp
   EXPECT_EQ(of_rule(diags, "simd-intrinsics").size(), 3u);  // src/simd.cpp
   EXPECT_EQ(of_rule(diags, "sleep-in-library").size(), 4u);  // src/sleepy.cpp
-  EXPECT_EQ(diags.size(), 24u);
+  EXPECT_EQ(of_rule(diags, "raw-traceparent").size(), 2u);  // src/traceparent_home.cpp
+  EXPECT_EQ(diags.size(), 26u);
 
   // The near-miss files, the guarded header, and the sanctioned sleep home
   // (src/common/) stay clean.
@@ -236,8 +253,9 @@ TEST(Allowlist, ParseApplyAndStaleDetectionRoundTrip) {
 
   // 3 raw-random + 1 omp-pragma suppressed from violations.cpp; the
   // tests/scoped.cpp raw-random hit is NOT (allowlist is per-file), and the
-  // raw_socket.cpp / simd.cpp / sleepy.cpp hits have no matching entry here.
-  EXPECT_EQ(kept.size(), 24u - 4u);
+  // raw_socket.cpp / simd.cpp / sleepy.cpp / traceparent_home.cpp hits have
+  // no matching entry here.
+  EXPECT_EQ(kept.size(), 26u - 4u);
   EXPECT_EQ(of_rule(kept, "raw-random").size(), 1u);
   EXPECT_EQ(of_rule(kept, "raw-random")[0].file, "tests/scoped.cpp");
   EXPECT_TRUE(of_rule(kept, "omp-pragma").empty());

@@ -5,14 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "common/parallel.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -435,6 +440,292 @@ TEST(Log, ConcurrentRecordsNeverInterleave) {
   for (const std::string& line : cap.lines()) {
     EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
     EXPECT_NE(line.find(" event=log.thread"), std::string::npos) << line;
+  }
+}
+
+// --- distributed trace context (ISSUE 10) -----------------------------------
+
+TEST(TraceContext, RootDerivationIsDeterministicAndSeedSensitive) {
+  const TraceContext a = derive_root_context(42);
+  const TraceContext b = derive_root_context(42);
+  const TraceContext c = derive_root_context(43);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.span_id, 0u);  // a root is a context, not a span
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TraceContext, SpanIdDerivationSeparatesNameBranchSiblingAndParent) {
+  const TraceContext root = derive_root_context(7);
+  const std::uint64_t base = derive_span_id(root, "job", 1, 0);
+  EXPECT_NE(base, 0u);
+  EXPECT_EQ(base, derive_span_id(root, "job", 1, 0));
+  EXPECT_NE(base, derive_span_id(root, "lease", 1, 0));
+  EXPECT_NE(base, derive_span_id(root, "job", 2, 0));
+  EXPECT_NE(base, derive_span_id(root, "job", 1, 1));
+  TraceContext deeper = root;
+  deeper.span_id = base;
+  EXPECT_NE(base, derive_span_id(deeper, "job", 1, 0));
+}
+
+TEST(TraceContext, TraceparentRoundTripAndStrictRejects) {
+  const TraceContext ctx{0x0123456789abcdefULL, 0xfedcba9876543210ULL,
+                         0x00000000deadbeefULL};
+  const std::string header = format_traceparent(ctx);
+  EXPECT_EQ(header,
+            "00-0123456789abcdeffedcba9876543210-00000000deadbeef-01");
+  TraceContext parsed;
+  ASSERT_TRUE(parse_traceparent(header, &parsed));
+  EXPECT_EQ(parsed, ctx);
+
+  TraceContext sink;
+  EXPECT_FALSE(parse_traceparent("", &sink));
+  EXPECT_FALSE(parse_traceparent(header.substr(0, 54), &sink));
+  EXPECT_FALSE(parse_traceparent(header + "0", &sink));
+  std::string upper = header;
+  std::replace(upper.begin(), upper.end(), 'a', 'A');
+  EXPECT_FALSE(parse_traceparent(upper, &sink));  // lowercase hex only
+  std::string version = header;
+  version[1] = '1';
+  EXPECT_FALSE(parse_traceparent(version, &sink));  // only version 00
+  std::string dashes = header;
+  dashes[2] = '_';
+  EXPECT_FALSE(parse_traceparent(dashes, &sink));
+  std::string nonhex = header;
+  nonhex[10] = 'g';
+  EXPECT_FALSE(parse_traceparent(nonhex, &sink));
+  EXPECT_FALSE(parse_traceparent(
+      "00-00000000000000000000000000000000-00000000deadbeef-01", &sink));
+  EXPECT_FALSE(parse_traceparent(
+      "00-0123456789abcdeffedcba9876543210-0000000000000000-01", &sink));
+}
+
+TEST(TraceContext, FormatRequiresASpanToReferTo) {
+  // W3C forbids a zero parent-id on the wire, so a bare root context (no
+  // span open) is not injectable — callers must check span_id first.
+  EXPECT_THROW(format_traceparent(TraceContext{}), Error);
+  EXPECT_THROW(format_traceparent(TraceContext{1, 2, 0}), Error);
+}
+
+TEST_F(TraceTest, SpansWithoutAnyContextCarryNoIds) {
+  TraceSession session;
+  session.start();
+  { Span s("ctx.naked"); }
+  session.stop();
+  ASSERT_EQ(session.events().size(), 1u);
+  EXPECT_EQ(session.events()[0].span_id, 0u);
+  EXPECT_EQ(session.events()[0].trace_hi | session.events()[0].trace_lo, 0u);
+  const Json& ev = session.to_chrome_json().at("traceEvents").as_array()[0];
+  EXPECT_FALSE(ev.contains("trace"));
+  EXPECT_FALSE(ev.contains("span"));
+  EXPECT_FALSE(ev.contains("parent"));
+}
+
+TEST_F(TraceTest, ScopedContextParentsSpansReproducibly) {
+  TraceSession session;
+  session.start();
+  const TraceContext remote{0x11d0c4b17e57aaaaULL, 0x5eedf00dcafef00dULL,
+                            0x1234123412341234ULL};
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_a = 0;
+  std::uint64_t inner_b = 0;
+  {
+    const ScopedTraceContext scope(remote, 9);
+    Span outer("ctx.outer");
+    EXPECT_EQ(outer.context().trace_hi, remote.trace_hi);
+    EXPECT_EQ(outer.context().trace_lo, remote.trace_lo);
+    outer_id = outer.context().span_id;
+    { Span inner("ctx.inner"); inner_a = inner.context().span_id; }
+    { Span inner("ctx.inner"); inner_b = inner.context().span_id; }
+  }
+  EXPECT_NE(outer_id, 0u);
+  // The sibling counter separates same-name sequential children...
+  EXPECT_NE(inner_a, inner_b);
+  {
+    // ...and a fresh scope with the same (context, branch) replays the same
+    // ids: derivation, not randomness.
+    const ScopedTraceContext scope(remote, 9);
+    Span outer("ctx.outer");
+    EXPECT_EQ(outer.context().span_id, outer_id);
+  }
+  session.stop();
+  for (const TraceEvent& ev : session.events()) {
+    if (ev.name == "ctx.outer") {
+      EXPECT_EQ(ev.parent_id, remote.span_id);
+    } else {
+      EXPECT_EQ(ev.parent_id, outer_id);  // inner spans parent to outer
+    }
+  }
+}
+
+TEST_F(TraceTest, InvalidScopedContextInstallsNothing) {
+  const ScopedTraceContext scope(TraceContext{});
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST_F(TraceTest, ChromeJsonCarriesProcessIdentityAndIds) {
+  TraceSession session;
+  session.set_process(7, "qdb test");
+  session.start();
+  const TraceContext remote{0xaULL, 0xbULL, 0xcULL};
+  {
+    const ScopedTraceContext scope(remote, 1);
+    Span s("ctx.export");
+  }
+  session.stop();
+  const Json doc = session.to_chrome_json();
+  EXPECT_EQ(doc.at("process").at("pid").as_int(), 7);
+  EXPECT_EQ(doc.at("process").at("name").as_string(), "qdb test");
+  const Json& ev = doc.at("traceEvents").as_array()[0];
+  EXPECT_EQ(ev.at("pid").as_int(), 7);
+  EXPECT_EQ(ev.at("trace").as_string(), trace_id_hex(remote));
+  EXPECT_EQ(ev.at("span").as_string().size(), 16u);
+  EXPECT_EQ(ev.at("parent").as_string(), span_id_hex(remote.span_id));
+}
+
+// --- flight recorder (ISSUE 10) ---------------------------------------------
+
+TEST(Flight, RecordsEverySpanAndWrapsAtCapacity) {
+  const std::int64_t before = flight_snapshot_json(0).at("recorded").as_int();
+  for (int i = 0; i < 300; ++i) {
+    Span s("flight.spin");  // no session needed: the ring is always on
+  }
+  const Json snap = flight_snapshot_json(0);
+  EXPECT_EQ(snap.at("capacity").as_int(),
+            static_cast<std::int64_t>(kFlightCapacity));
+  EXPECT_GE(snap.at("recorded").as_int(), before + 300);
+  const auto& recs = snap.at("records").as_array();
+  EXPECT_EQ(recs.size(), kFlightCapacity);  // 300 > 256: the ring wrapped
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i - 1].at("seq").as_int(), recs[i].at("seq").as_int());
+  }
+  // Byte-stable schema: the fixed key prefix, in order, on every record.
+  for (const Json& rec : recs) {
+    const auto& fields = rec.as_object();
+    ASSERT_GE(fields.size(), 5u);
+    EXPECT_EQ(fields[0].first, "seq");
+    EXPECT_EQ(fields[1].first, "kind");
+    EXPECT_EQ(fields[2].first, "name");
+    EXPECT_EQ(fields[3].first, "ts_us");
+    EXPECT_EQ(fields[4].first, "dur_us");
+  }
+  EXPECT_EQ(recs.back().at("kind").as_string(), "span");
+  EXPECT_EQ(recs.back().at("name").as_string(), "flight.spin");
+}
+
+TEST(Flight, SnapshotKeepsOnlyTheLastN) {
+  for (int i = 0; i < 10; ++i) {
+    Span s("flight.lastn");
+  }
+  const Json snap = flight_snapshot_json(5);
+  const auto& recs = snap.at("records").as_array();
+  ASSERT_EQ(recs.size(), 5u);
+  EXPECT_EQ(recs.back().at("name").as_string(), "flight.lastn");
+}
+
+TEST(Flight, EnabledLogEventsLandInTheRing) {
+  set_log_sink([](std::string_view) {});
+  set_log_level(LogLevel::Info);
+  log_info("flight.logged").kv("k", 1);
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::Warn);
+  const Json snap = flight_snapshot_json(1);
+  const auto& recs = snap.at("records").as_array();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].at("kind").as_string(), "log");
+  EXPECT_EQ(recs[0].at("name").as_string(), "flight.logged");
+}
+
+TEST(Flight, ConcurrentWritersAndSnapshotsStayConsistent) {
+  // TSan coverage for the seqlock: writers race the ring while a reader
+  // snapshots continuously; every surfaced record must be well-formed.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Json snap = flight_snapshot_json(0);
+      for (const Json& rec : snap.at("records").as_array()) {
+        EXPECT_LE(rec.at("name").as_string().size(), kFlightNameBytes);
+        EXPECT_FALSE(rec.at("kind").as_string().empty());
+      }
+    }
+  });
+  parallel_for_threads(4, 4, [&](std::int64_t t) {
+    const std::string name = "flight.concurrent." + std::to_string(t);
+    for (int i = 0; i < 2000; ++i) {
+      flight_record_span(name, static_cast<std::uint64_t>(i), 1, 2, 3, 0);
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+}
+
+TEST(Flight, CrashDumpWrittenOnContractViolation) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "qdb_flight_dump_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "flight.json").string();
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  arm_flight_crash_dump(path);
+  { Span s("flight.before_crash"); }
+  EXPECT_THROW(
+      ([&] { QDB_REQUIRE(false, "flight crash dump test"); }()),
+      PreconditionError);
+  check::set_failure_hook(nullptr);  // disarm before any other test fails
+
+  const Json doc = Json::parse(read_file(path));
+  EXPECT_NE(doc.at("failure").as_string().find("flight crash dump test"),
+            std::string::npos);
+  bool found = false;
+  for (const Json& rec : doc.at("records").as_array()) {
+    found = found || rec.at("name").as_string() == "flight.before_crash";
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- log / trace join (ISSUE 10) --------------------------------------------
+
+TEST(Log, LinesJoinTheCurrentTraceContext) {
+  LogCapture cap;
+  set_log_level(LogLevel::Info);
+  log_info("log.noctx");
+  const TraceContext ctx{0xabcULL, 0xdefULL, 0x123ULL};
+  {
+    const ScopedTraceContext scope(ctx, 0);
+    log_info("log.withctx").kv("k", "v");
+  }
+  ASSERT_EQ(cap.lines().size(), 2u);
+  EXPECT_EQ(cap.lines()[0].find(" trace="), std::string::npos);
+  EXPECT_NE(cap.lines()[1].find(" event=log.withctx trace=" +
+                                trace_id_hex(ctx) + " k=v"),
+            std::string::npos)
+      << cap.lines()[1];
+}
+
+// --- process root (LAST in this file: set_process_root_context is sticky) ---
+
+TEST(TraceContextRoot, ProcessRootIdentifiesSpansOnEveryThread) {
+  // Installing the process root context is irreversible for the process
+  // (worker threads cache a base frame derived from it), so this suite runs
+  // last: earlier tests assert the no-context behaviour.
+  set_process_root_context(derive_root_context(99));
+  const TraceContext root = derive_root_context(99);
+  TraceSession session;
+  session.start();
+  std::vector<std::uint64_t> span_ids(4, 0);
+  std::vector<std::uint64_t> trace_his(4, 0);
+  parallel_for_threads(4, 4, [&](std::int64_t t) {
+    Span s("ctx.thread");
+    span_ids[static_cast<std::size_t>(t)] = s.context().span_id;
+    trace_his[static_cast<std::size_t>(t)] = s.context().trace_hi;
+  });
+  session.stop();
+  const std::set<std::uint64_t> unique(span_ids.begin(), span_ids.end());
+  EXPECT_EQ(unique.size(), 4u);  // distinct ids even for same-name spans
+  EXPECT_EQ(unique.count(0), 0u);
+  for (const std::uint64_t hi : trace_his) {
+    EXPECT_EQ(hi, root.trace_hi);  // one trace per process
   }
 }
 

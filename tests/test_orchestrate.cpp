@@ -9,9 +9,11 @@
 #include <unistd.h>  // getpid for per-process scratch directories
 
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -22,6 +24,7 @@
 #include "data/checkpoint.h"
 #include "data/registry.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orchestrate/api.h"
 #include "orchestrate/coordinator.h"
 #include "orchestrate/worker.h"
@@ -586,6 +589,77 @@ TEST(Worker, SingleWorkerMatchesSerialByteForByte) {
     EXPECT_EQ(*store.read_blob(job.result_hash),
               batch_job_record_json(job.record).dump());
   }
+  fs::remove_all(dir);
+}
+
+// The tracing contract of ISSUE 10: every worker-side orchestrate.job span
+// must parent to the coordinator-side orchestrate.lease span that granted it
+// (the grant's traceparent is the propagation vehicle), sharing that lease's
+// trace id.  Distinct leases root distinct traces (the server salts each
+// synthesized root with its request sequence), so the match is per-job, not
+// one global trace id.  The heartbeat pump's counters must also be
+// registered even when no heartbeat fired during the short run.
+TEST(Worker, JobSpansParentToCoordinatorLeaseSpans) {
+  InjectorGuard guard;
+  const std::string dir = scratch_dir("tracing");
+  store::Store store(dir + "/results");
+  CoordinatorOptions copt;
+  copt.batch = account_options();
+  copt.results = &store;
+  const auto entries = first_s_entries(4);
+
+  obs::TraceSession session;
+  session.start();
+  {
+    Coordinator coord(entries, copt);
+    serve::DatasetServer server(store, ephemeral_options(2));
+    attach_job_api(server, coord);
+    server.start();
+
+    WorkerOptions wopt;
+    wopt.port = server.port();
+    wopt.worker_id = "traced";
+    wopt.batch = copt.batch;
+    const WorkerStats stats = run_worker(wopt);
+    server.stop();
+
+    EXPECT_EQ(stats.jobs_executed, 4);
+    EXPECT_TRUE(coord.drained());
+  }
+  session.stop();
+
+  // Lease span id -> the trace it roots.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> leases;
+  for (const obs::TraceEvent& ev : session.events()) {
+    if (ev.name != "orchestrate.lease") continue;
+    ASSERT_NE(ev.span_id, 0u);
+    leases.emplace(ev.span_id, std::make_pair(ev.trace_hi, ev.trace_lo));
+  }
+  // One lease span per granted job plus the final empty-handed request that
+  // tells the worker the queue is drained.
+  EXPECT_GE(leases.size(), 4u);
+
+  std::size_t jobs_seen = 0;
+  for (const obs::TraceEvent& ev : session.events()) {
+    if (ev.name != "orchestrate.job") continue;
+    ++jobs_seen;
+    ASSERT_NE(ev.span_id, 0u);
+    const auto lease = leases.find(ev.parent_id);
+    ASSERT_NE(lease, leases.end())
+        << "job span " << obs::span_id_hex(ev.span_id)
+        << " does not parent to any lease span";
+    EXPECT_EQ(ev.trace_hi, lease->second.first);
+    EXPECT_EQ(ev.trace_lo, lease->second.second);
+  }
+  EXPECT_EQ(jobs_seen, 4u);
+
+  // run_worker registers the heartbeat counters eagerly, so the scrape
+  // names are stable whether or not a heartbeat fired during the run.
+  const Json registry = obs::MetricRegistry::global().to_json();
+  const Json& counters = registry.at("counters");
+  EXPECT_NO_THROW(counters.at("orchestrate.heartbeat.sent"));
+  EXPECT_NO_THROW(counters.at("orchestrate.heartbeat.failed"));
+
   fs::remove_all(dir);
 }
 

@@ -21,10 +21,15 @@
 #include "common/json.h"
 #include "data/registry.h"
 #include "dataset_fixture.h"
+#include "obs/flight.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
+#include "serve/trace_api.h"
 #include "store/store.h"
 
 namespace qdb::serve {
@@ -517,6 +522,188 @@ TEST_F(ServeTest, StopDeliversInFlightResponseCompletely) {
   EXPECT_EQ(got.status, 200);
   EXPECT_EQ(got.body, payload);
   EXPECT_FALSE(server.running());
+}
+
+// --- distributed tracing over the control plane (ISSUE 10) -------------------
+
+TEST_F(ServeTest, TraceContextPropagatesClientToServer) {
+  obs::TraceSession session;
+  session.start();
+  DatasetServer server(*store_, ephemeral_options(2));
+  server.start();
+  const obs::TraceContext remote{0x7e57000011112222ULL, 0x7e57000033334444ULL,
+                                 0x0000000000abcdefULL};
+  std::uint64_t client_span = 0;
+  {
+    const obs::ScopedTraceContext scope(remote, 3);
+    obs::Span cli("test.client");
+    client_span = cli.context().span_id;
+    HttpClient client("127.0.0.1", server.port());
+    EXPECT_EQ(client.get("/healthz").status, 200);
+  }
+  server.stop();
+  session.stop();
+  // The server handler runs on its own worker thread, but its serve.request
+  // span must join the *client's* trace: same trace id, parented to the
+  // client-side span whose context rode the traceparent header.
+  bool saw_request = false;
+  for (const obs::TraceEvent& ev : session.events()) {
+    if (ev.name != "serve.request") continue;
+    saw_request = true;
+    EXPECT_EQ(ev.trace_hi, remote.trace_hi);
+    EXPECT_EQ(ev.trace_lo, remote.trace_lo);
+    EXPECT_EQ(ev.parent_id, client_span);
+    EXPECT_NE(ev.span_id, 0u);
+  }
+  EXPECT_TRUE(saw_request);
+}
+
+TEST_F(ServeTest, ServerSynthesizesRootAndEscapesHostileTraceparent) {
+  std::mutex lines_mu;
+  std::vector<std::string> lines;
+  obs::set_log_sink([&](std::string_view line) {
+    const std::lock_guard<std::mutex> lock(lines_mu);
+    lines.emplace_back(line);
+  });
+  obs::set_log_level(obs::LogLevel::Debug);
+
+  obs::TraceSession session;
+  session.start();
+  ServeOptions opt = ephemeral_options(2);
+  opt.trace_seed = 77;
+  DatasetServer server(*store_, opt);
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  // No traceparent at all, then a hostile one: malformed, with quotes and a
+  // tab that must not reach the log stream unescaped.
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  const std::string hostile = "00-bad\"quote\tchars-0000-01";
+  EXPECT_EQ(client
+                .get("/healthz", {{std::string(obs::kTraceparentHeader),
+                                   hostile}})
+                .status,
+            200);
+  server.stop();
+  session.stop();
+  obs::set_log_sink(nullptr);
+  obs::set_log_level(obs::LogLevel::Warn);
+
+  // Both requests got synthesized roots: valid ids, no parent, and distinct
+  // per-request trace ids (the root seed is salted with the request seq).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> trace_ids;
+  for (const obs::TraceEvent& ev : session.events()) {
+    if (ev.name != "serve.request") continue;
+    EXPECT_NE(ev.trace_hi | ev.trace_lo, 0u);
+    EXPECT_NE(ev.span_id, 0u);
+    EXPECT_EQ(ev.parent_id, 0u);
+    trace_ids.emplace_back(ev.trace_hi, ev.trace_lo);
+  }
+  ASSERT_EQ(trace_ids.size(), 2u);
+  EXPECT_NE(trace_ids[0], trace_ids[1]);
+
+  // The rejection is logged at debug with the hostile value escaped: one
+  // line, tab rendered as \t, quotes backslashed.
+  bool saw_reject = false;
+  const std::lock_guard<std::mutex> lock(lines_mu);
+  for (const std::string& line : lines) {
+    if (line.find("event=serve.request.bad_traceparent") == std::string::npos) {
+      continue;
+    }
+    saw_reject = true;
+    EXPECT_EQ(line.find('\t'), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    EXPECT_NE(line.find("\\t"), std::string::npos) << line;
+    EXPECT_NE(line.find("\\\""), std::string::npos) << line;
+  }
+  EXPECT_TRUE(saw_reject);
+}
+
+TEST_F(ServeTest, TraceIngestIsContentAddressedAndStrict) {
+  DatasetServer server(*store_, ephemeral_options(2));
+  attach_trace_api(server, *store_);
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+
+  Json dump = Json::object();
+  dump.set("traceEvents", Json::array());
+  const std::string body = dump.dump();
+  const HttpClientResponse first = client.post("/trace", body);
+  ASSERT_EQ(first.status, 200) << first.body;
+  const Json first_doc = Json::parse(first.body);
+  const std::string hash = first_doc.at("hash").as_string();
+  EXPECT_FALSE(hash.empty());
+  EXPECT_EQ(first_doc.at("events").as_int(), 0);
+  // Content-addressed: the identical dump lands on the identical blob.
+  const HttpClientResponse second = client.post("/trace", body);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(Json::parse(second.body).at("hash").as_string(), hash);
+
+  EXPECT_EQ(client.post("/trace", "not json").status, 400);
+  EXPECT_EQ(client.post("/trace", "[]").status, 400);
+  EXPECT_EQ(client.post("/trace", "{\"no\": \"events\"}").status, 400);
+  EXPECT_EQ(client.get("/trace").status, 405);
+  EXPECT_EQ(client.post("/trace?x=1", body).status, 400);
+  EXPECT_EQ(client.post("/trace/sub", body).status, 404);
+  server.stop();
+}
+
+TEST_F(ServeTest, DebugFlightEndpointIsStrictAndStable) {
+  DatasetServer server(*store_, ephemeral_options(2));
+  attach_trace_api(server, *store_);
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/healthz").status, 200);  // seeds >=1 flight record
+
+  const HttpClientResponse all = client.get("/debug/flight");
+  ASSERT_EQ(all.status, 200);
+  const Json doc = Json::parse(all.body);
+  EXPECT_EQ(doc.at("capacity").as_int(),
+            static_cast<std::int64_t>(obs::kFlightCapacity));
+  EXPECT_GE(doc.at("recorded").as_int(), 1);
+  EXPECT_TRUE(doc.at("records").is_array());
+
+  const HttpClientResponse one = client.get("/debug/flight?n=1");
+  ASSERT_EQ(one.status, 200);
+  const Json one_doc = Json::parse(one.body);
+  EXPECT_EQ(one_doc.at("records").as_array().size(), 1u);
+
+  for (const char* bad :
+       {"/debug/flight?n=0", "/debug/flight?n=257", "/debug/flight?n=abc",
+        "/debug/flight?n=9999999", "/debug/flight?m=1"}) {
+    EXPECT_EQ(client.get(bad).status, 400) << bad;
+  }
+  EXPECT_EQ(client.post("/debug/flight", "{}").status, 400);  // bodies rejected
+  EXPECT_EQ(client.get("/debug/other").status, 404);
+  server.stop();
+}
+
+TEST_F(ServeTest, ClientRetryCounterCountsStaleConnectionRetries) {
+  const std::uint64_t before = obs::counter("serve.client.retry").value();
+  ServeOptions opt = ephemeral_options(2);
+  DatasetServer server(*store_, opt);
+  server.start();
+  const std::uint16_t port = server.port();
+  HttpClient client("127.0.0.1", port);
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  server.stop();
+
+  // Rebind the same port (SO_REUSEADDR) and reuse the client: its first
+  // request rides the stale keep-alive connection, fails with IoError, and
+  // the retry path reconnects — exactly one counted retry.
+  ServeOptions opt2 = ephemeral_options(2);
+  opt2.port = port;
+  DatasetServer server2(*store_, opt2);
+  server2.start();
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  EXPECT_GT(obs::counter("serve.client.retry").value(), before);
+  // And the counter is scrapeable from /metrics.
+  const HttpClientResponse metrics = client.get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_TRUE(Json::parse(metrics.body)
+                  .at("registry")
+                  .at("counters")
+                  .contains("serve.client.retry"));
+  server2.stop();
 }
 
 }  // namespace

@@ -228,6 +228,25 @@ std::vector<Diagnostic> lint_source(const std::string& relpath, const std::strin
     }
   }
 
+  // raw-traceparent: the W3C context header is parsed, formatted and even
+  // *named* in exactly one place — src/obs/trace.h (allowlisted home of
+  // kTraceparentHeader) — so strictness rules (reject uppercase hex, zero
+  // ids, wrong version) cannot fork between hand-rolled copies.  The banned
+  // spelling is a string literal, which strip_comments_and_strings removes,
+  // so this rule scans the RAW text with its own line index.
+  if (library) {
+    const LineIndex raw_lines(text);
+    const std::string needle = "\"traceparent\"";
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      diags.push_back(
+          {relpath, raw_lines.line_of(pos), "raw-traceparent",
+           "hand-rolled traceparent literal — use obs::kTraceparentHeader "
+           "with parse_traceparent/format_traceparent (src/obs/trace.h owns "
+           "the header and its strictness rules)"});
+    }
+  }
+
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });

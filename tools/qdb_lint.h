@@ -35,6 +35,17 @@
 //                       the injectable qdb::Clock (common/clock.h owns the
 //                       one real sleep) so lease/backoff tests run on a
 //                       ManualClock instead of wall-clock time.
+//   simd-intrinsics     raw AVX2 spellings (immintrin.h, _mm256*, __m256*)
+//                       outside src/quantum/kernels.* (allowlisted) — one
+//                       surface to audit for the QDB_NO_AVX2 fallback and
+//                       non-x86 ports.
+//   raw-traceparent     the quoted W3C context-header literal in src/ —
+//                       src/obs/trace.h (allowlisted) owns the header name
+//                       (obs::kTraceparentHeader) and its strict
+//                       parse/format rules, so strictness cannot fork
+//                       between hand-rolled copies.  Scans raw text: the
+//                       banned spelling is a string literal, which the
+//                       stripper removes from code.
 //
 // The scanner core (comment/string stripping, token-boundary matching, tree
 // walking, allowlist machinery) lives in tools/scan_util.h, shared with
